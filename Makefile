@@ -1,0 +1,36 @@
+# Convenience targets for the AHS safety reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test bench figures figures-full docs clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Quick-look benchmark pass: regenerates every paper figure at a reduced
+# batch budget and runs the micro/ablation benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Quick figures (about a minute).
+figures:
+	$(GO) run ./cmd/ahs-experiments -fig all
+
+# Paper-quality figures with CSV, SVG and a self-contained HTML report
+# (roughly 20 minutes on one core; deterministic for a fixed seed).
+figures-full:
+	$(GO) run ./cmd/ahs-experiments -fig all -batches 20000 -seed 1 \
+		-csv docs/results -svg docs/svg -html docs/report.html
+
+docs: figures-full
+
+clean:
+	$(GO) clean ./...

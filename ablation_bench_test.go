@@ -1,0 +1,103 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// benchmark estimates the unsafety of an amplified configuration with one
+// model mechanism removed and logs the ratio to the full model, so
+// `go test -bench=Ablation` quantifies how much each mechanism contributes
+// to the headline measure.
+package ahs_test
+
+import (
+	"testing"
+
+	"ahs"
+	"ahs/internal/core"
+)
+
+// ablationParams is an amplified regime (unreliable vehicles) where the
+// mechanisms' contributions are measurable with few batches.
+func ablationParams() ahs.Params {
+	p := ahs.DefaultParams()
+	p.Lambda = 0.004
+	return p
+}
+
+func estimateAblation(b *testing.B, p ahs.Params) float64 {
+	b.Helper()
+	sys, err := ahs.New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		iv, err := sys.Unsafety(8, ahs.EvalOptions{Seed: 17, MaxBatches: 4000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = iv.Point
+	}
+	return last
+}
+
+func runAblation(b *testing.B, mutate func(*ahs.Params), label string) {
+	full := estimateAblation(b, ablationParams())
+	p := ablationParams()
+	mutate(&p)
+	ablated := estimateAblation(b, p)
+	ratio := 0.0
+	if full > 0 {
+		ratio = ablated / full
+	}
+	b.Logf("%s: S_full(8h)=%.3e  S_ablated(8h)=%.3e  ratio=%.2f", label, full, ablated, ratio)
+}
+
+// BenchmarkAblationEscalation removes the Figure 2 degradation chain:
+// failed maneuvers are retried instead of escalating towards class A.
+func BenchmarkAblationEscalation(b *testing.B) {
+	runAblation(b, func(p *ahs.Params) { p.DisableEscalation = true }, "no escalation chain")
+}
+
+// BenchmarkAblationRefusal removes the §2.1.2 refusal rule: maneuver
+// requests are never escalated against concurrent higher-priority
+// maneuvers.
+func BenchmarkAblationRefusal(b *testing.B) {
+	runAblation(b, func(p *ahs.Params) { p.DisableRefusal = true }, "no refusal rule")
+}
+
+// BenchmarkAblationDegradedCoupling removes the participant-health
+// coupling: a degraded participant no longer lowers maneuver success.
+func BenchmarkAblationDegradedCoupling(b *testing.B) {
+	runAblation(b, func(p *ahs.Params) { p.DegradedPenalty = 1 }, "no degraded-participant coupling")
+}
+
+// BenchmarkAblationParticipantFailure removes per-participant coordination
+// fallibility, the mechanism that differentiates Table 3's strategies.
+func BenchmarkAblationParticipantFailure(b *testing.B) {
+	runAblation(b, func(p *ahs.Params) { p.ParticipantFailure = 0 }, "no participant coordination failure")
+}
+
+// BenchmarkAblationDynamics freezes the Dynamicity submodel: no joins,
+// leaves or platoon changes.
+func BenchmarkAblationDynamics(b *testing.B) {
+	runAblation(b, func(p *ahs.Params) {
+		p.JoinRate, p.LeaveRate, p.ChangeRate = 0, 0, 0
+	}, "no dynamicity")
+}
+
+// BenchmarkUnsafetyBreakdown measures the cost of the cause-attributed
+// estimation (shared trajectories, four measures).
+func BenchmarkUnsafetyBreakdown(b *testing.B) {
+	sys, err := ahs.New(ablationParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.UnsafetyBreakdown(8, core.EvalOptions{Seed: 18, MaxBatches: 2000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPhasedManeuvers swaps the single-phase maneuver model
+// for the two-phase (coordination + execution) protocol variant.
+func BenchmarkAblationPhasedManeuvers(b *testing.B) {
+	runAblation(b, func(p *ahs.Params) { p.PhasedManeuvers = true }, "two-phase maneuver protocol")
+}

@@ -1,0 +1,90 @@
+// Package ahs is the public facade of the AHS safety-modeling library, a
+// reproduction of "Safety Modeling and Evaluation of Automated Highway
+// Systems" (Hamouda, Kaâniche, Kanoun; DSN 2009).
+//
+// The library models a two-lane Automated Highway System of coordinated
+// vehicle platoons as a compositional Stochastic Activity Network: each
+// vehicle's failure modes and recovery maneuvers (Table 1 of the paper),
+// the catastrophic multi-failure situations (Table 2), the dynamic joining
+// and leaving of vehicles, and the four inter-/intra-platoon coordination
+// strategies (Table 3). The headline measure is the system unsafety S(t) —
+// the probability that the AHS has reached a catastrophic state by trip
+// duration t — estimated by batched Monte-Carlo simulation with optional
+// rare-event importance sampling.
+//
+// Quick start:
+//
+//	sys, err := ahs.New(ahs.DefaultParams())
+//	if err != nil { ... }
+//	curve, err := sys.UnsafetyCurve(ahs.EvalOptions{
+//		Times:       []float64{2, 4, 6, 8, 10},
+//		MaxBatches:  20000,
+//		FailureBias: sys.SuggestedFailureBias(10),
+//	})
+//
+// The heavy lifting lives in the internal packages: internal/san (the SAN
+// formalism), internal/sim (trajectory execution), internal/ctmc (exact
+// solution of reduced models), internal/mc (batched estimation),
+// internal/platoon (the AHS domain rules) and internal/core (the composed
+// model). This package re-exports the types a downstream user needs.
+package ahs
+
+import (
+	"ahs/internal/core"
+	"ahs/internal/mc"
+	"ahs/internal/platoon"
+	"ahs/internal/stats"
+)
+
+// Params collects every model parameter of the paper's §4.1; see
+// DefaultParams for the base configuration.
+type Params = core.Params
+
+// EvalOptions configures the Monte-Carlo estimation of unsafety.
+type EvalOptions = core.EvalOptions
+
+// System is a built AHS safety model ready for evaluation.
+type System = core.AHS
+
+// Curve is an estimated S(t) curve over a time grid.
+type Curve = mc.Curve
+
+// Interval is a point estimate with a two-sided confidence interval.
+type Interval = stats.Interval
+
+// Strategy is an inter-/intra-platoon coordination strategy (Table 3).
+type Strategy = platoon.Strategy
+
+// Maneuver is one of the six recovery maneuvers of Table 1.
+type Maneuver = platoon.Maneuver
+
+// FailureMode is one of the six vehicle failure modes of Table 1.
+type FailureMode = platoon.FailureMode
+
+// The four coordination strategies of Table 3 (inter, then intra):
+// decentralized strategies involve fewer vehicles per maneuver and are
+// therefore safer (Figures 14 and 15 of the paper).
+var (
+	DD = platoon.DD
+	DC = platoon.DC
+	CD = platoon.CD
+	CC = platoon.CC
+)
+
+// AllStrategies lists the four coordination strategies in Table 3 order.
+func AllStrategies() []Strategy { return platoon.AllStrategies() }
+
+// ParseStrategy parses a two-letter strategy code ("DD", "DC", "CD", "CC").
+func ParseStrategy(code string) (Strategy, error) { return platoon.ParseStrategy(code) }
+
+// DefaultParams returns the paper's base configuration: platoons of up to
+// 10 vehicles, λ = 1e-5/hr, join 12/hr, leave 4/hr, change 6/hr,
+// decentralized/decentralized coordination.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// New validates the parameters and builds the composed SAN model.
+func New(p Params) (*System, error) { return core.Build(p) }
+
+// PaperStopRule returns the convergence criterion of the paper's §4.1:
+// 95% confidence, 0.1 relative half-width, at least 10000 batches.
+func PaperStopRule() stats.RelativeStopRule { return stats.PaperStopRule() }

@@ -1,0 +1,140 @@
+// Command ahs-compare runs the three unsafety estimators of this library —
+// naive Monte-Carlo, importance sampling (failure forcing with exact
+// likelihood ratios) and fixed-effort multilevel splitting — on one AHS
+// scenario, and optionally the exact CTMC solution when the configuration
+// is small enough, so their precision per unit of work can be compared.
+//
+// Example:
+//
+//	ahs-compare -n 1 -lambda 1e-3 -static -t 8 -batches 30000 -exact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ahs"
+	"ahs/internal/ctmc"
+	"ahs/internal/rare"
+	"ahs/internal/report"
+	"ahs/internal/san"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ahs-compare:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ahs-compare", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", 10, "maximum vehicles per platoon")
+		lambda  = fs.Float64("lambda", 1e-4, "base failure rate λ per hour")
+		horizon = fs.Float64("t", 10, "trip duration in hours")
+		batches = fs.Uint64("batches", 20000, "batches for the Monte-Carlo estimators")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		static  = fs.Bool("static", false, "disable dynamicity (joins/leaves/changes)")
+		exact   = fs.Bool("exact", false, "also solve the exact CTMC (small configurations only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := ahs.DefaultParams()
+	p.N = *n
+	p.Lambda = *lambda
+	if *static {
+		p.JoinRate, p.LeaveRate, p.ChangeRate = 0, 0, 0
+	}
+	if *exact {
+		p.TrackOutcomes = false // keep the state space finite
+	}
+	sys, err := ahs.New(p)
+	if err != nil {
+		return err
+	}
+
+	header := []string{"method", "estimate", "ci_lo", "ci_hi", "rel_halfwidth", "elapsed"}
+	var rows [][]string
+	addRow := func(method string, iv ahs.Interval, elapsed time.Duration) {
+		rel := "n/a"
+		if iv.Point > 0 {
+			rel = fmt.Sprintf("%.0f%%", 100*iv.RelativeHalfWidth())
+		}
+		rows = append(rows, []string{
+			method,
+			report.FormatProb(iv.Point),
+			report.FormatProb(iv.Lo),
+			report.FormatProb(iv.Hi),
+			rel,
+			elapsed.Round(time.Millisecond).String(),
+		})
+	}
+
+	// Naive Monte-Carlo.
+	start := time.Now()
+	naive, err := sys.Unsafety(*horizon, ahs.EvalOptions{Seed: *seed, MaxBatches: *batches})
+	if err != nil {
+		return err
+	}
+	addRow("naive MC", naive, time.Since(start))
+
+	// Importance sampling with the calibrated forcing factor.
+	bias := sys.SuggestedFailureBias(*horizon)
+	start = time.Now()
+	forced, err := sys.Unsafety(*horizon, ahs.EvalOptions{
+		Seed: *seed, MaxBatches: *batches, FailureBias: bias,
+	})
+	if err != nil {
+		return err
+	}
+	addRow(fmt.Sprintf("importance sampling (x%.0f)", bias), forced, time.Since(start))
+
+	// Multilevel splitting over the active-failure count.
+	effort := int(*batches / 10)
+	if effort < 100 {
+		effort = 100
+	}
+	sp := &rare.Splitting{
+		Model:   sys.Model,
+		MaxTime: *horizon,
+		Target:  sys.Unsafe,
+		Level: func(mk *san.Marking) int {
+			nA, nB, nC := sys.ActiveFailures(mk)
+			return nA + nB + nC
+		},
+		Thresholds:   []int{1},
+		Effort:       effort,
+		Replications: 10,
+		Seed:         *seed,
+	}
+	start = time.Now()
+	splitRes, err := sp.Estimate()
+	if err != nil {
+		return err
+	}
+	addRow(fmt.Sprintf("splitting (%d/stage x10)", effort), splitRes.Interval, time.Since(start))
+
+	// Exact solution when requested.
+	if *exact {
+		start = time.Now()
+		g, err := ctmc.Explore(sys.Model, ctmc.ExploreOptions{Absorb: sys.Unsafe, MaxStates: 2_000_000})
+		if err != nil {
+			return fmt.Errorf("exact solution infeasible: %w (try -static and small -n)", err)
+		}
+		s, err := g.TransientProbability(*horizon, sys.Unsafe)
+		if err != nil {
+			return err
+		}
+		addRow(fmt.Sprintf("exact CTMC (%d states)", g.NumStates()),
+			ahs.Interval{Point: s, Lo: s, Hi: s, Confidence: 1}, time.Since(start))
+	}
+
+	fmt.Printf("S(%gh) for n=%d λ=%g/hr %s dynamics=%v\n",
+		*horizon, p.N, p.Lambda, p.Strategy, !*static)
+	fmt.Print(report.Table(header, rows))
+	return nil
+}

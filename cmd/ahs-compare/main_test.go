@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunSmallComparison(t *testing.T) {
+	err := run([]string{
+		"-n", "1", "-lambda", "0.01", "-static", "-t", "2",
+		"-batches", "2000", "-exact",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithDynamics(t *testing.T) {
+	err := run([]string{"-n", "2", "-lambda", "0.01", "-t", "1", "-batches", "1000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+	if err := run([]string{"-n", "0", "-batches", "10"}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

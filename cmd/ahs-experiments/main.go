@@ -1,0 +1,154 @@
+// Command ahs-experiments regenerates the figures of the paper's evaluation
+// section (Figures 10-15) and prints each as a table, optionally writing
+// CSV files.
+//
+// Quick look (about a minute):
+//
+//	ahs-experiments -fig all
+//
+// Paper-quality run (tens of minutes):
+//
+//	ahs-experiments -fig all -batches 20000 -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ahs"
+	"ahs/internal/experiments"
+	"ahs/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ahs-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ahs-experiments", flag.ContinueOnError)
+	var (
+		fig      = fs.String("fig", "all", `figure to reproduce: "10".."15", "fig10".."fig15" or "all"`)
+		batches  = fs.Uint64("batches", 4000, "maximum simulation batches per estimated curve/point")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		workers  = fs.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		csvDir   = fs.String("csv", "", "directory to write one CSV per figure (created if missing)")
+		chart    = fs.Bool("chart", false, "also render each figure as an ASCII log-scale chart")
+		svgDir   = fs.String("svg", "", "directory to write one SVG chart per figure (created if missing)")
+		htmlPath = fs.String("html", "", "write all figures (inline charts + tables) to one self-contained HTML page")
+		noBias   = fs.Bool("no-bias", false, "disable rare-event importance sampling (only sane for large λ)")
+		converge = fs.Bool("converge", false, "apply the paper's §4.1 convergence rule per curve")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Config{
+		Seed:       *seed,
+		MaxBatches: *batches,
+		Workers:    *workers,
+		NoBias:     *noBias,
+	}
+	if *converge {
+		cfg.StopRule = ahs.PaperStopRule()
+	}
+
+	var results []*experiments.Result
+	if *fig == "all" {
+		all, err := experiments.All(cfg)
+		if err != nil {
+			return err
+		}
+		results = all
+	} else {
+		id := *fig
+		if len(id) == 2 {
+			id = "fig" + id
+		}
+		runner, ok := experiments.Registry()[id]
+		if !ok {
+			return fmt.Errorf("unknown figure %q (have %v)", *fig, experiments.IDs())
+		}
+		res, err := runner(cfg)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+
+	for _, res := range results {
+		fmt.Println(report.RenderResult(res))
+		if *chart {
+			fmt.Println(report.Chart(res, 64, 16))
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, res); err != nil {
+				return err
+			}
+		}
+		if *svgDir != "" {
+			if err := writeSVG(*svgDir, res); err != nil {
+				return err
+			}
+		}
+	}
+	if *htmlPath != "" {
+		f, err := os.Create(*htmlPath)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *htmlPath, err)
+		}
+		if err := report.WriteHTML(f, "AHS safety reproduction — Figures 10-15", results); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", *htmlPath, err)
+		}
+		fmt.Println("wrote", *htmlPath)
+	}
+	return nil
+}
+
+func writeCSV(dir string, res *experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create csv dir: %w", err)
+	}
+	path := filepath.Join(dir, res.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	if err := report.WriteResultCSV(f, res); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+func writeSVG(dir string, res *experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create svg dir: %w", err)
+	}
+	path := filepath.Join(dir, res.ID+".svg")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	if err := report.WriteSVG(f, res); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	fmt.Println("wrote", path)
+	return nil
+}

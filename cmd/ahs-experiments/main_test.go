@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Fatal("expected error for unknown figure")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+}
+
+func TestRunSingleFigureWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-fig", "14", "-batches", "20", "-csv", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig14.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty csv written")
+	}
+}
+
+func TestRunAcceptsFigPrefix(t *testing.T) {
+	if err := run([]string{"-fig", "fig15", "-batches", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesSVG(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-fig", "14", "-batches", "20", "-svg", dir, "-chart"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig14.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty svg")
+	}
+}
+
+func TestRunWritesHTML(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.html")
+	if err := run([]string{"-fig", "15", "-batches", "20", "-html", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty html")
+	}
+}
+
+func TestRunWithConvergenceAndNoBias(t *testing.T) {
+	// The paper stop rule requires 10000 batches minimum; cap below it so
+	// the test stays fast while exercising the flag plumbing.
+	if err := run([]string{"-fig", "14", "-batches", "30", "-converge", "-no-bias"}); err != nil {
+		t.Fatal(err)
+	}
+}

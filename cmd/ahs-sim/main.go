@@ -1,0 +1,181 @@
+// Command ahs-sim estimates the unsafety curve S(t) of one AHS
+// configuration and prints it as a table.
+//
+// Example (the paper's base case, Figure 10's n=10 series):
+//
+//	ahs-sim -n 10 -lambda 1e-5 -strategy DD -horizon 10 -points 5 -batches 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"ahs"
+	"ahs/internal/config"
+	"ahs/internal/core"
+	"ahs/internal/platoon"
+	"ahs/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ahs-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ahs-sim", flag.ContinueOnError)
+	var (
+		configPath = fs.String("config", "", "JSON scenario file (overrides all model flags; see internal/config)")
+
+		n         = fs.Int("n", 10, "maximum vehicles per platoon")
+		lanes     = fs.Int("lanes", 2, "number of lanes (one platoon per lane)")
+		lambda    = fs.Float64("lambda", 1e-5, "base failure rate λ per hour")
+		strategy  = fs.String("strategy", "DD", "coordination strategy: DD, DC, CD or CC")
+		join      = fs.Float64("join", 12, "vehicle join rate per hour")
+		leave     = fs.Float64("leave", 4, "vehicle leave rate per hour")
+		change    = fs.Float64("change", 6, "platoon change rate per hour")
+		horizon   = fs.Float64("horizon", 10, "longest trip duration in hours")
+		points    = fs.Int("points", 5, "number of evenly spaced time points")
+		batches   = fs.Uint64("batches", 20000, "maximum simulation batches")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		noBias    = fs.Bool("no-bias", false, "disable rare-event importance sampling")
+		converge  = fs.Bool("converge", false, "stop early with the paper's §4.1 rule (95% CI, 0.1 relative)")
+		breakdown = fs.Bool("breakdown", false, "decompose S(horizon) by catastrophic situation (Table 2)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *configPath != "" {
+		return runScenario(*configPath)
+	}
+	if *points < 1 {
+		return fmt.Errorf("points must be >= 1, got %d", *points)
+	}
+	if *horizon <= 0 {
+		return fmt.Errorf("horizon must be positive, got %v", *horizon)
+	}
+
+	strat, err := ahs.ParseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+	p := ahs.DefaultParams()
+	p.N = *n
+	p.Lanes = *lanes
+	p.Lambda = *lambda
+	p.Strategy = strat
+	p.JoinRate = *join
+	p.LeaveRate = *leave
+	p.ChangeRate = *change
+
+	sys, err := ahs.New(p)
+	if err != nil {
+		return err
+	}
+
+	times := make([]float64, *points)
+	for i := range times {
+		times[i] = *horizon * float64(i+1) / float64(*points)
+	}
+	opts := ahs.EvalOptions{
+		Times:      times,
+		Seed:       *seed,
+		MaxBatches: *batches,
+	}
+	if !*noBias {
+		opts.FailureBias = sys.SuggestedFailureBias(*horizon)
+	}
+	if *converge {
+		opts.StopRule = ahs.PaperStopRule()
+	}
+
+	curve, err := sys.UnsafetyCurve(opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("AHS unsafety, n=%d lanes=%d λ=%g/hr strategy=%s join=%g leave=%g change=%g\n",
+		p.N, p.Lanes, p.Lambda, p.Strategy, p.JoinRate, p.LeaveRate, p.ChangeRate)
+	if opts.FailureBias > 1 {
+		fmt.Printf("importance sampling: failure rates forced x%.1f (exact reweighting)\n", opts.FailureBias)
+	}
+	rows := make([][]string, len(curve.Times))
+	for i, t := range curve.Times {
+		rows[i] = []string{
+			strconv.FormatFloat(t, 'g', -1, 64),
+			report.FormatProb(curve.Mean[i]),
+			report.FormatProb(curve.Intervals[i].Lo),
+			report.FormatProb(curve.Intervals[i].Hi),
+		}
+	}
+	fmt.Print(report.Table([]string{"t (h)", "S(t)", "ci_lo", "ci_hi"}, rows))
+	fmt.Printf("batches: %d, converged: %v\n", curve.Batches, curve.Converged)
+
+	if *breakdown {
+		bd, err := sys.UnsafetyBreakdown(*horizon, core.EvalOptions{
+			Seed:        *seed,
+			MaxBatches:  *batches,
+			FailureBias: opts.FailureBias,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nS(%gh) by catastrophic situation:\n", *horizon)
+		brows := make([][]string, 0, 3)
+		for _, s := range []platoon.Situation{platoon.ST1, platoon.ST2, platoon.ST3} {
+			iv := bd.BySituation[s]
+			share := "n/a"
+			if bd.Total.Point > 0 {
+				share = fmt.Sprintf("%.0f%%", 100*iv.Point/bd.Total.Point)
+			}
+			brows = append(brows, []string{s.String(), report.FormatProb(iv.Point), share})
+		}
+		fmt.Print(report.Table([]string{"situation", "contribution", "share"}, brows))
+	}
+	return nil
+}
+
+// runScenario evaluates a JSON scenario file.
+func runScenario(path string) error {
+	scenario, err := config.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	p, err := scenario.Params()
+	if err != nil {
+		return err
+	}
+	sys, err := ahs.New(p)
+	if err != nil {
+		return err
+	}
+	opts := scenario.EvalOptions(sys)
+	curve, err := sys.UnsafetyCurve(opts)
+	if err != nil {
+		return err
+	}
+	name := scenario.Name
+	if name == "" {
+		name = path
+	}
+	fmt.Printf("scenario %q: n=%d λ=%g/hr strategy=%s\n", name, p.N, p.Lambda, p.Strategy)
+	if opts.FailureBias > 1 {
+		fmt.Printf("importance sampling: failure rates forced x%.1f (exact reweighting)\n", opts.FailureBias)
+	}
+	rows := make([][]string, len(curve.Times))
+	for i, t := range curve.Times {
+		rows[i] = []string{
+			strconv.FormatFloat(t, 'g', -1, 64),
+			report.FormatProb(curve.Mean[i]),
+			report.FormatProb(curve.Intervals[i].Lo),
+			report.FormatProb(curve.Intervals[i].Hi),
+		}
+	}
+	fmt.Print(report.Table([]string{"t (h)", "S(t)", "ci_lo", "ci_hi"}, rows))
+	fmt.Printf("batches: %d, converged: %v\n", curve.Batches, curve.Converged)
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := map[string][]string{
+		"bad strategy":  {"-strategy", "XY"},
+		"zero points":   {"-points", "0"},
+		"zero horizon":  {"-horizon", "0"},
+		"unknown flag":  {"-definitely-not-a-flag"},
+		"bad lambda":    {"-lambda", "0", "-batches", "10"},
+		"negative join": {"-join", "-1", "-batches", "10"},
+	}
+	for name, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("%s: expected error for %v", name, args)
+		}
+	}
+}
+
+func TestRunSmallScenario(t *testing.T) {
+	err := run([]string{
+		"-n", "2", "-lambda", "0.01", "-horizon", "2",
+		"-points", "2", "-batches", "50", "-seed", "1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithConvergenceRuleAndNoBias(t *testing.T) {
+	err := run([]string{
+		"-n", "2", "-lambda", "0.05", "-horizon", "1",
+		"-points", "1", "-batches", "100", "-no-bias", "-converge",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScenarioConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	raw := `{"name":"test","n":2,"lambdaPerHour":0.01,"tripHours":[1,2],"batches":50}`
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Fatal("expected error for missing config")
+	}
+}
+
+func TestRunWithBreakdown(t *testing.T) {
+	err := run([]string{
+		"-n", "2", "-lambda", "0.05", "-horizon", "2",
+		"-points", "1", "-batches", "200", "-breakdown",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultiLane(t *testing.T) {
+	err := run([]string{
+		"-n", "2", "-lanes", "3", "-lambda", "0.02", "-horizon", "1",
+		"-points", "1", "-batches", "100",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

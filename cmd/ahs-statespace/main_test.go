@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunReducedModel(t *testing.T) {
+	if err := run([]string{"-n", "1", "-lambda", "0.01", "-horizon", "4", "-points", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithDynamics(t *testing.T) {
+	err := run([]string{
+		"-n", "1", "-lambda", "0.02", "-join", "4", "-leave", "2", "-change", "1",
+		"-horizon", "2", "-points", "1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-strategy", "QQ"}); err == nil {
+		t.Fatal("expected strategy error")
+	}
+	if err := run([]string{"-lambda", "0"}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestRunStateSpaceCapEnforced(t *testing.T) {
+	// n=2 with dynamics exceeds a tiny cap.
+	err := run([]string{"-n", "2", "-lambda", "0.01", "-join", "6", "-leave", "2", "-max-states", "10"})
+	if err == nil {
+		t.Fatal("expected state-space cap error")
+	}
+}

@@ -1,0 +1,37 @@
+package ahs_test
+
+import (
+	"fmt"
+	"log"
+
+	"ahs"
+)
+
+// Example evaluates the unsafety of a small, very unreliable AHS
+// configuration — small enough that the example runs in milliseconds while
+// still exercising the full pipeline. Results are deterministic for a
+// fixed seed.
+func Example() {
+	params := ahs.DefaultParams()
+	params.N = 2        // two platoons of up to 2 vehicles
+	params.Lambda = 0.1 // deliberately terrible vehicles
+
+	sys, err := ahs.New(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	curve, err := sys.UnsafetyCurve(ahs.EvalOptions{
+		Times:      []float64{2, 4},
+		Seed:       1,
+		MaxBatches: 2000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, t := range curve.Times {
+		fmt.Printf("S(%gh) = %.3f\n", t, curve.Mean[i])
+	}
+	// Output:
+	// S(2h) = 0.240
+	// S(4h) = 0.421
+}

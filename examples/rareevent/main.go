@@ -1,0 +1,65 @@
+// Rareevent: demonstrate why rare-event importance sampling is essential
+// for the paper's parameter regime, by estimating the same unsafety twice —
+// naively and with failure-rate forcing — on an equal trajectory budget.
+//
+// At λ = 1e-4/hr the unsafety of a 10-hour trip is ~1e-4: a naive estimator
+// with 20000 trajectories sees a handful of hits and its confidence
+// interval spans half an order of magnitude, while the importance-sampling
+// estimator nails the value with the same budget. At the paper's base rate
+// λ = 1e-5/hr (S ~ 1e-6) the naive estimator would need millions of
+// trajectories to see its first hit.
+//
+//	go run ./examples/rareevent
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ahs"
+)
+
+func main() {
+	const (
+		tripHours = 10.0
+		batches   = 20000
+	)
+	params := ahs.DefaultParams()
+	params.Lambda = 1e-4 // rare, but still (barely) measurable naively
+
+	sys, err := ahs.New(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	naive, err := sys.Unsafety(tripHours, ahs.EvalOptions{
+		Seed:       11,
+		MaxBatches: batches,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bias := sys.SuggestedFailureBias(tripHours)
+	forced, err := sys.Unsafety(tripHours, ahs.EvalOptions{
+		Seed:        11,
+		MaxBatches:  batches,
+		FailureBias: bias,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Estimating S(%gh) at λ=%g/hr with %d trajectories each:\n\n",
+		tripHours, params.Lambda, batches)
+	fmt.Printf("naive Monte-Carlo:       %v\n", naive)
+	fmt.Printf("importance sampling:     %v   (failure rates forced x%.1f)\n", forced, bias)
+
+	rel := func(iv ahs.Interval) float64 { return iv.RelativeHalfWidth() }
+	fmt.Printf("\nrelative CI half-width:  naive %.0f%%  vs  forced %.0f%%\n",
+		100*rel(naive), 100*rel(forced))
+	fmt.Println("\nThe forcing multiplies every failure-mode rate and reweights each")
+	fmt.Println("trajectory by its exact likelihood ratio, so the estimator stays")
+	fmt.Println("unbiased (validated against exact CTMC solutions in the tests)")
+	fmt.Println("while concentrating the sampling effort on failure-rich paths.")
+}

@@ -1,0 +1,87 @@
+// Tripplanner: answer the paper's second design question — "what is the
+// maximum trip duration?" — by inverting the unsafety curve against a
+// safety budget, and show what would cause the budget to be blown
+// (the breakdown by catastrophic situation of Table 2).
+//
+//	go run ./examples/tripplanner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ahs"
+	"ahs/internal/core"
+	"ahs/internal/platoon"
+)
+
+func main() {
+	const budget = 5e-7 // accept at most a 1-in-2-million catastrophic trip
+
+	params := ahs.DefaultParams()
+	sys, err := ahs.New(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	times := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	curve, err := sys.UnsafetyCurve(ahs.EvalOptions{
+		Times:       times,
+		Seed:        13,
+		MaxBatches:  20000,
+		FailureBias: sys.SuggestedFailureBias(times[len(times)-1]),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Safety budget: S(t) <= %.1e (n=%d, λ=%g/hr, %s)\n\n",
+		budget, params.N, params.Lambda, params.Strategy)
+	fmt.Println("trip (h)    S(t)         within budget?")
+	longest := 0.0
+	for i, t := range curve.Times {
+		ok := curve.Mean[i] <= budget
+		marker := "no"
+		if ok {
+			marker = "yes"
+			longest = t
+		}
+		fmt.Printf("%7.0f     %.3e    %s\n", t, curve.Mean[i], marker)
+	}
+	if longest > 0 {
+		fmt.Printf("\nLongest admissible trip: about %g hours.\n", longest)
+	} else {
+		fmt.Println("\nNo admissible trip duration under this budget.")
+	}
+
+	// What would a catastrophe look like? Decompose S(10h) by the
+	// triggering situation of Table 2.
+	bd, err := sys.UnsafetyBreakdown(10, core.EvalOptions{
+		Seed:        13,
+		MaxBatches:  20000,
+		FailureBias: sys.SuggestedFailureBias(10),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDecomposition of S(10h) = %.3e by catastrophic situation:\n", bd.Total.Point)
+	for _, s := range []platoon.Situation{platoon.ST1, platoon.ST2, platoon.ST3} {
+		iv := bd.BySituation[s]
+		share := 0.0
+		if bd.Total.Point > 0 {
+			share = 100 * iv.Point / bd.Total.Point
+		}
+		fmt.Printf("  %s  %.3e  (%.0f%%)  — %s\n", s, iv.Point, share, situationText(s))
+	}
+}
+
+func situationText(s platoon.Situation) string {
+	switch s {
+	case platoon.ST1:
+		return "two or more class A failures"
+	case platoon.ST2:
+		return "a class A failure plus enough class B/C failures"
+	default:
+		return "four or more class B/C failures"
+	}
+}

@@ -1,0 +1,3 @@
+module ahs
+
+go 1.22

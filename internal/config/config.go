@@ -1,0 +1,192 @@
+// Package config loads AHS evaluation scenarios from JSON, so parameter
+// studies can be versioned as files and replayed through cmd/ahs-sim
+// (-config flag) instead of long flag lists.
+//
+// Unset optional fields inherit the paper's §4.1 defaults. Unknown fields
+// are rejected to catch typos in scenario files.
+package config
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"ahs/internal/core"
+	"ahs/internal/platoon"
+	"ahs/internal/stats"
+)
+
+// Scenario is one evaluation configuration. Pointer fields are optional;
+// nil means "paper default".
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string `json:"name"`
+	// N is the maximum number of vehicles per platoon (required).
+	N int `json:"n"`
+	// Lanes is the number of lanes / platoons (default 2).
+	Lanes int `json:"lanes,omitempty"`
+	// LambdaPerHour is the base failure rate λ (required).
+	LambdaPerHour float64 `json:"lambdaPerHour"`
+	// Strategy is the Table 3 coordination code: DD, DC, CD or CC
+	// (default DD).
+	Strategy string `json:"strategy,omitempty"`
+
+	JoinRatePerHour    *float64 `json:"joinRatePerHour,omitempty"`
+	LeaveRatePerHour   *float64 `json:"leaveRatePerHour,omitempty"`
+	ChangeRatePerHour  *float64 `json:"changeRatePerHour,omitempty"`
+	PassThroughPerHour *float64 `json:"passThroughPerHour,omitempty"`
+
+	// ManeuverRatesPerHour overrides execution rates by maneuver
+	// abbreviation ("TIE-N", "TIE", "TIE-E", "GS", "CS", "AS").
+	ManeuverRatesPerHour map[string]float64 `json:"maneuverRatesPerHour,omitempty"`
+
+	ManeuverBaseFailure *float64 `json:"maneuverBaseFailure,omitempty"`
+	ParticipantFailure  *float64 `json:"participantFailure,omitempty"`
+	DegradedPenalty     *float64 `json:"degradedPenalty,omitempty"`
+
+	// TripHours is the measurement grid (required, ascending).
+	TripHours []float64 `json:"tripHours"`
+	// Batches caps the simulation effort (default 20000).
+	Batches uint64 `json:"batches,omitempty"`
+	// Seed selects the random stream family (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// DisableImportanceSampling turns off the automatic rare-event
+	// forcing.
+	DisableImportanceSampling bool `json:"disableImportanceSampling,omitempty"`
+	// UsePaperStopRule applies the §4.1 convergence criterion.
+	UsePaperStopRule bool `json:"usePaperStopRule,omitempty"`
+}
+
+// Load parses a scenario from JSON, rejecting unknown fields.
+func Load(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("config: parse scenario: %w", err)
+	}
+	// Reject trailing garbage.
+	if dec.More() {
+		return nil, errors.New("config: trailing data after scenario object")
+	}
+	if err := s.check(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadFile parses a scenario file.
+func LoadFile(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	s, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("config: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+func (s *Scenario) check() error {
+	var errs []error
+	if len(s.TripHours) == 0 {
+		errs = append(errs, errors.New("config: tripHours is required"))
+	}
+	for i := 1; i < len(s.TripHours); i++ {
+		if s.TripHours[i] <= s.TripHours[i-1] {
+			errs = append(errs, fmt.Errorf("config: tripHours not ascending at index %d", i))
+			break
+		}
+	}
+	for name := range s.ManeuverRatesPerHour {
+		if _, err := maneuverByName(name); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func maneuverByName(name string) (platoon.Maneuver, error) {
+	for _, m := range platoon.AllManeuvers() {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("config: unknown maneuver %q", name)
+}
+
+// Params converts the scenario into validated model parameters.
+func (s *Scenario) Params() (core.Params, error) {
+	p := core.DefaultParams()
+	p.N = s.N
+	if s.Lanes != 0 {
+		p.Lanes = s.Lanes
+	}
+	p.Lambda = s.LambdaPerHour
+	if s.Strategy != "" {
+		strat, err := platoon.ParseStrategy(s.Strategy)
+		if err != nil {
+			return core.Params{}, err
+		}
+		p.Strategy = strat
+	}
+	if s.JoinRatePerHour != nil {
+		p.JoinRate = *s.JoinRatePerHour
+	}
+	if s.LeaveRatePerHour != nil {
+		p.LeaveRate = *s.LeaveRatePerHour
+	}
+	if s.ChangeRatePerHour != nil {
+		p.ChangeRate = *s.ChangeRatePerHour
+	}
+	if s.PassThroughPerHour != nil {
+		p.PassThroughRate = *s.PassThroughPerHour
+	}
+	for name, rate := range s.ManeuverRatesPerHour {
+		m, err := maneuverByName(name)
+		if err != nil {
+			return core.Params{}, err
+		}
+		p.ManeuverRates[m] = rate
+	}
+	if s.ManeuverBaseFailure != nil {
+		p.ManeuverBaseFailure = *s.ManeuverBaseFailure
+	}
+	if s.ParticipantFailure != nil {
+		p.ParticipantFailure = *s.ParticipantFailure
+	}
+	if s.DegradedPenalty != nil {
+		p.DegradedPenalty = *s.DegradedPenalty
+	}
+	if err := p.Validate(); err != nil {
+		return core.Params{}, err
+	}
+	return p, nil
+}
+
+// EvalOptions converts the scenario's evaluation settings, calibrating the
+// importance-sampling bias against the built system.
+func (s *Scenario) EvalOptions(sys *core.AHS) core.EvalOptions {
+	opts := core.EvalOptions{
+		Times:      append([]float64(nil), s.TripHours...),
+		Seed:       s.Seed,
+		MaxBatches: s.Batches,
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.MaxBatches == 0 {
+		opts.MaxBatches = 20000
+	}
+	if !s.DisableImportanceSampling {
+		opts.FailureBias = sys.SuggestedFailureBias(s.TripHours[len(s.TripHours)-1])
+	}
+	if s.UsePaperStopRule {
+		opts.StopRule = stats.PaperStopRule()
+	}
+	return opts
+}

@@ -1,0 +1,184 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ahs/internal/core"
+	"ahs/internal/platoon"
+)
+
+const validScenario = `{
+	"name": "fig14-cc",
+	"n": 12,
+	"lambdaPerHour": 1e-5,
+	"strategy": "CC",
+	"joinRatePerHour": 8,
+	"leaveRatePerHour": 4,
+	"maneuverRatesPerHour": {"AS": 18, "TIE-N": 28},
+	"participantFailure": 0.03,
+	"tripHours": [2, 6, 10],
+	"batches": 500,
+	"seed": 9
+}`
+
+func TestLoadValidScenario(t *testing.T) {
+	s, err := Load(strings.NewReader(validScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 12 || p.Lambda != 1e-5 || p.Strategy != platoon.CC {
+		t.Fatalf("params %+v", p)
+	}
+	if p.JoinRate != 8 || p.LeaveRate != 4 {
+		t.Fatalf("rates %v/%v", p.JoinRate, p.LeaveRate)
+	}
+	if p.ChangeRate != 6 {
+		t.Fatalf("unset change rate must default to 6, got %v", p.ChangeRate)
+	}
+	if p.ManeuverRates[platoon.AS] != 18 || p.ManeuverRates[platoon.TIEN] != 28 {
+		t.Fatalf("maneuver overrides %v", p.ManeuverRates)
+	}
+	if p.ManeuverRates[platoon.GS] != core.DefaultParams().ManeuverRates[platoon.GS] {
+		t.Fatal("untouched maneuver rates must keep defaults")
+	}
+	if p.ParticipantFailure != 0.03 {
+		t.Fatalf("participant failure %v", p.ParticipantFailure)
+	}
+
+	sys := core.MustBuild(p)
+	opts := s.EvalOptions(sys)
+	if opts.Seed != 9 || opts.MaxBatches != 500 || len(opts.Times) != 3 {
+		t.Fatalf("eval options %+v", opts)
+	}
+	if opts.FailureBias <= 1 {
+		t.Fatal("importance sampling should be on by default at this lambda")
+	}
+}
+
+func TestLoadDefaults(t *testing.T) {
+	s, err := Load(strings.NewReader(`{"n": 10, "lambdaPerHour": 1e-4, "tripHours": [6]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Strategy != platoon.DD {
+		t.Fatal("strategy must default to DD")
+	}
+	sys := core.MustBuild(p)
+	opts := s.EvalOptions(sys)
+	if opts.Seed != 1 || opts.MaxBatches != 20000 {
+		t.Fatalf("defaulted options %+v", opts)
+	}
+	if opts.StopRule.MinSamples != 0 {
+		t.Fatal("stop rule must be off unless requested")
+	}
+}
+
+func TestLoadStopRuleAndNoBias(t *testing.T) {
+	s, err := Load(strings.NewReader(`{
+		"n": 4, "lambdaPerHour": 0.01, "tripHours": [2],
+		"disableImportanceSampling": true, "usePaperStopRule": true
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.MustBuild(p)
+	opts := s.EvalOptions(sys)
+	if opts.FailureBias != 0 {
+		t.Fatal("importance sampling must be disabled")
+	}
+	if opts.StopRule.MinSamples != 10000 {
+		t.Fatalf("stop rule %+v", opts.StopRule)
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":    `{"n":4,"lambdaPerHour":1e-5,"tripHours":[1],"typoField":1}`,
+		"no trip hours":    `{"n":4,"lambdaPerHour":1e-5}`,
+		"descending grid":  `{"n":4,"lambdaPerHour":1e-5,"tripHours":[2,1]}`,
+		"bad maneuver":     `{"n":4,"lambdaPerHour":1e-5,"tripHours":[1],"maneuverRatesPerHour":{"XX":3}}`,
+		"not json":         `{`,
+		"trailing garbage": `{"n":4,"lambdaPerHour":1e-5,"tripHours":[1]} {"x":1}`,
+	}
+	for name, raw := range cases {
+		if _, err := Load(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParamsValidationPropagates(t *testing.T) {
+	s, err := Load(strings.NewReader(`{"n": 0, "lambdaPerHour": 1e-5, "tripHours": [1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Params(); err == nil {
+		t.Fatal("expected invalid-params error for n=0")
+	}
+	s2, err := Load(strings.NewReader(`{"n": 4, "lambdaPerHour": 1e-5, "strategy": "ZZ", "tripHours": [1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Params(); err == nil {
+		t.Fatal("expected strategy parse error")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	if err := os.WriteFile(path, []byte(validScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "fig14-cc" {
+		t.Fatalf("name %q", s.Name)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestLoadLanes(t *testing.T) {
+	s, err := Load(strings.NewReader(`{"n": 3, "lanes": 4, "lambdaPerHour": 1e-4, "tripHours": [2]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lanes != 4 {
+		t.Fatalf("lanes %d, want 4", p.Lanes)
+	}
+	// Default stays 2 when omitted.
+	s2, err := Load(strings.NewReader(`{"n": 3, "lambdaPerHour": 1e-4, "tripHours": [2]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s2.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Lanes != 2 {
+		t.Fatalf("default lanes %d, want 2", p2.Lanes)
+	}
+}

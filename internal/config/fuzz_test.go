@@ -1,0 +1,28 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoad checks that arbitrary bytes never panic the scenario parser and
+// that anything it accepts yields either valid params or a clean error.
+func FuzzLoad(f *testing.F) {
+	f.Add(validScenario)
+	f.Add(`{"n":4,"lambdaPerHour":1e-5,"tripHours":[1]}`)
+	f.Add(`{"tripHours":[]}`)
+	f.Add(`{`)
+	f.Add(`[1,2,3]`)
+	f.Add(`{"n":1e999,"lambdaPerHour":-1,"tripHours":[0,0]}`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		s, err := Load(strings.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// Accepted scenarios must convert without panicking; the params
+		// themselves may still be rejected.
+		if _, err := s.Params(); err != nil {
+			return
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOccupancyCurve(t *testing.T) {
+	p := DefaultParams()
+	p.N = 5
+	a := MustBuild(p)
+	curve, err := a.OccupancyCurve(EvalOptions{
+		Times:      []float64{1, 5, 10},
+		Seed:       41,
+		MaxBatches: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tp := range curve.Times {
+		occ := curve.Mean[i]
+		if occ <= 0 || occ > float64(2*p.N) {
+			t.Fatalf("occupancy %v at t=%v outside (0, %d]", occ, tp, 2*p.N)
+		}
+	}
+	// With join 12/hr against a system-level leave of 4/hr, the highway
+	// stays nearly full.
+	if curve.Final() < float64(2*p.N)*0.8 {
+		t.Fatalf("occupancy %v suspiciously low for join >> leave", curve.Final())
+	}
+}
+
+func TestOccupancyCurveDrainsWithoutJoins(t *testing.T) {
+	p := DefaultParams()
+	p.N = 5
+	p.JoinRate = 0
+	p.LeaveRate = 12
+	a := MustBuild(p)
+	curve, err := a.OccupancyCurve(EvalOptions{
+		Times:      []float64{0.5, 8},
+		Seed:       42,
+		MaxBatches: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(curve.Mean[1] < curve.Mean[0]) {
+		t.Fatalf("occupancy did not drain: %v", curve.Mean)
+	}
+}
+
+func TestOccupancyCurveValidation(t *testing.T) {
+	a := MustBuild(DefaultParams())
+	if _, err := a.OccupancyCurve(EvalOptions{}); err == nil {
+		t.Fatal("expected empty-grid error")
+	}
+}
+
+func TestSensitivityTableLambdaElasticity(t *testing.T) {
+	// With two-failure catastrophes dominating, S ∝ λ², so the lambda
+	// elasticity must be close to 2.
+	p := DefaultParams()
+	p.Lambda = 1e-4
+	rows, err := SensitivityTable(p, 6, EvalOptions{Seed: 43, MaxBatches: 12000}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Sensitivity{}
+	for _, r := range rows {
+		byName[r.Parameter] = r
+	}
+	lam, ok := byName["lambda"]
+	if !ok {
+		t.Fatalf("missing lambda row in %v", rows)
+	}
+	if lam.SLow >= lam.SHigh {
+		t.Fatalf("unsafety not increasing in lambda: %+v", lam)
+	}
+	if math.Abs(lam.Elasticity-2) > 0.5 {
+		t.Fatalf("lambda elasticity %v, want ~2", lam.Elasticity)
+	}
+	// All six positive parameters are present.
+	if len(rows) != 6 {
+		t.Fatalf("expected 6 sensitivity rows, got %d", len(rows))
+	}
+}
+
+func TestSensitivityTableSkipsZeroParams(t *testing.T) {
+	p := DefaultParams()
+	p.Lambda = 1e-3
+	p.ChangeRate = 0
+	rows, err := SensitivityTable(p, 2, EvalOptions{Seed: 44, MaxBatches: 500}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Parameter == "change_rate" {
+			t.Fatal("zero parameter must be skipped")
+		}
+	}
+}
+
+func TestSensitivityTableValidation(t *testing.T) {
+	p := DefaultParams()
+	if _, err := SensitivityTable(p, 2, EvalOptions{MaxBatches: 10}, 0); err == nil {
+		t.Fatal("expected error for zero rel")
+	}
+	if _, err := SensitivityTable(p, 2, EvalOptions{MaxBatches: 10}, 1); err == nil {
+		t.Fatal("expected error for rel >= 1")
+	}
+	p.N = 0
+	if _, err := SensitivityTable(p, 2, EvalOptions{MaxBatches: 10}, 0.2); err == nil {
+		t.Fatal("expected invalid-params error")
+	}
+}

@@ -1,0 +1,457 @@
+// Package ctmc converts exponential-only Stochastic Activity Networks into
+// continuous-time Markov chains by reachability analysis and solves them
+// numerically (transient solution by uniformization, steady state by power
+// iteration).
+//
+// The paper evaluates its models by simulation; this package provides the
+// exact counterpart on reduced state spaces, used to validate the simulator
+// in internal/sim (and usable on its own for small AHS configurations).
+package ctmc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+
+	"ahs/internal/san"
+)
+
+// ErrStateSpaceTooLarge is returned when exploration exceeds MaxStates.
+var ErrStateSpaceTooLarge = errors.New("ctmc: state space exceeds MaxStates")
+
+// Arc is one rate transition of the generator matrix.
+type Arc struct {
+	To   int
+	Rate float64
+}
+
+// Graph is the reachability graph of a SAN: a CTMC over stable markings
+// (markings with no enabled instantaneous activity).
+type Graph struct {
+	// States holds one representative marking per state.
+	States []*san.Marking
+	// Initial is the index of the initial stable state.
+	Initial int
+
+	rows     [][]Arc
+	exitRate []float64
+}
+
+// ExploreOptions configures state-space generation.
+type ExploreOptions struct {
+	// MaxStates bounds exploration; 0 means 200000.
+	MaxStates int
+	// MaxInstantDepth bounds the instantaneous-closure recursion;
+	// 0 means 10000.
+	MaxInstantDepth int
+	// Absorb, when non-nil, marks matching states absorbing: their
+	// outgoing transitions are dropped. Use it to compute first-passage
+	// ("unsafety") measures as transient probabilities.
+	Absorb san.Predicate
+}
+
+// Explore builds the CTMC reachable from the model's initial marking.
+func Explore(model *san.Model, opts ExploreOptions) (*Graph, error) {
+	if opts.MaxStates == 0 {
+		opts.MaxStates = 200_000
+	}
+	if opts.MaxInstantDepth == 0 {
+		opts.MaxInstantDepth = 10_000
+	}
+	e := &explorer{model: model, opts: opts, index: make(map[string]int)}
+
+	init, err := e.stabilize(model.InitialMarking())
+	if err != nil {
+		return nil, err
+	}
+	if len(init) != 1 {
+		return nil, fmt.Errorf("ctmc: initial marking stabilizes into %d states; probabilistic initialisation is not supported", len(init))
+	}
+	g := &Graph{Initial: 0}
+	start, _ := e.intern(init[0].mk, g)
+
+	// BFS over stable states.
+	queue := []int{start}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		mk := g.States[s]
+		if opts.Absorb != nil && opts.Absorb(mk) {
+			continue // absorbing: no outgoing transitions
+		}
+		for i := 0; i < model.NumTimed(); i++ {
+			act := model.Timed(i)
+			if !act.EnabledIn(mk) {
+				continue
+			}
+			rate, err := act.RateIn(mk)
+			if err != nil {
+				return nil, err
+			}
+			ws, err := san.CaseWeights(act.Cases, mk, nil)
+			if err != nil {
+				return nil, fmt.Errorf("activity %q: %w", act.Name, err)
+			}
+			total := 0.0
+			for _, w := range ws {
+				total += w
+			}
+			for ci, w := range ws {
+				if w == 0 {
+					continue
+				}
+				succ := mk.Clone()
+				san.FireTimed(act, ci, succ)
+				stables, err := e.stabilize(succ)
+				if err != nil {
+					return nil, err
+				}
+				for _, st := range stables {
+					idx, fresh := e.intern(st.mk, g)
+					if fresh {
+						if len(g.States) > opts.MaxStates {
+							return nil, fmt.Errorf("%w (%d)", ErrStateSpaceTooLarge, opts.MaxStates)
+						}
+						queue = append(queue, idx)
+					}
+					g.addArc(s, idx, rate*(w/total)*st.prob)
+				}
+			}
+		}
+	}
+	g.finish()
+	return g, nil
+}
+
+type weightedMarking struct {
+	mk   *san.Marking
+	prob float64
+}
+
+type explorer struct {
+	model *san.Model
+	opts  ExploreOptions
+	index map[string]int
+}
+
+// stabilize resolves the instantaneous closure of a marking into a
+// distribution over stable markings, branching on probabilistic cases.
+func (e *explorer) stabilize(mk *san.Marking) ([]weightedMarking, error) {
+	var out []weightedMarking
+	var walk func(m *san.Marking, prob float64, depth int) error
+	walk = func(m *san.Marking, prob float64, depth int) error {
+		if depth > e.opts.MaxInstantDepth {
+			return fmt.Errorf("ctmc: instantaneous closure deeper than %d (livelock?)", e.opts.MaxInstantDepth)
+		}
+		// Find the highest-priority enabled instantaneous activity.
+		best := -1
+		for i := 0; i < e.model.NumInstant(); i++ {
+			act := e.model.Instant(i)
+			if !act.EnabledIn(m) {
+				continue
+			}
+			if best < 0 || act.Priority < e.model.Instant(best).Priority {
+				best = i
+			}
+		}
+		if best < 0 {
+			out = append(out, weightedMarking{mk: m, prob: prob})
+			return nil
+		}
+		act := e.model.Instant(best)
+		ws, err := san.CaseWeights(act.Cases, m, nil)
+		if err != nil {
+			return fmt.Errorf("activity %q: %w", act.Name, err)
+		}
+		total := 0.0
+		for _, w := range ws {
+			total += w
+		}
+		for ci, w := range ws {
+			if w == 0 {
+				continue
+			}
+			next := m.Clone()
+			san.FireInstant(act, ci, next)
+			if err := walk(next, prob*(w/total), depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(mk, 1, 0); err != nil {
+		return nil, err
+	}
+	// Merge duplicates.
+	merged := make([]weightedMarking, 0, len(out))
+	for _, wm := range out {
+		found := false
+		for i := range merged {
+			if merged[i].mk.Equal(wm.mk) {
+				merged[i].prob += wm.prob
+				found = true
+				break
+			}
+		}
+		if !found {
+			merged = append(merged, wm)
+		}
+	}
+	return merged, nil
+}
+
+// intern returns the state index for a marking, adding it when new.
+func (e *explorer) intern(mk *san.Marking, g *Graph) (int, bool) {
+	key := markingKey(mk)
+	if idx, ok := e.index[key]; ok {
+		return idx, false
+	}
+	idx := len(g.States)
+	e.index[key] = idx
+	g.States = append(g.States, mk)
+	g.rows = append(g.rows, nil)
+	return idx, true
+}
+
+func markingKey(mk *san.Marking) string {
+	buf := make([]byte, 0, 64)
+	model := mk.Model()
+	for p := 0; p < model.NumPlaces(); p++ {
+		buf = strconv.AppendInt(buf, int64(mk.Tokens(san.PlaceID(p))), 10)
+		buf = append(buf, ',')
+	}
+	for p := 0; p < model.NumExtPlaces(); p++ {
+		buf = append(buf, '[')
+		for _, v := range mk.Ext(san.ExtPlaceID(p)) {
+			buf = strconv.AppendInt(buf, int64(v), 10)
+			buf = append(buf, ',')
+		}
+		buf = append(buf, ']')
+	}
+	return string(buf)
+}
+
+func (g *Graph) addArc(from, to int, rate float64) {
+	if rate <= 0 {
+		return
+	}
+	// Merge parallel arcs.
+	for i := range g.rows[from] {
+		if g.rows[from][i].To == to {
+			g.rows[from][i].Rate += rate
+			return
+		}
+	}
+	g.rows[from] = append(g.rows[from], Arc{To: to, Rate: rate})
+}
+
+func (g *Graph) finish() {
+	g.exitRate = make([]float64, len(g.States))
+	for s, row := range g.rows {
+		for _, a := range row {
+			g.exitRate[s] += a.Rate
+		}
+	}
+}
+
+// NumStates returns the number of stable states.
+func (g *Graph) NumStates() int { return len(g.States) }
+
+// NumTransitions returns the number of distinct rate transitions.
+func (g *Graph) NumTransitions() int {
+	n := 0
+	for _, row := range g.rows {
+		n += len(row)
+	}
+	return n
+}
+
+// Arcs returns the outgoing transitions of state s. The slice aliases
+// internal storage and must not be modified.
+func (g *Graph) Arcs(s int) []Arc { return g.rows[s] }
+
+// ExitRate returns the total outgoing rate of state s.
+func (g *Graph) ExitRate(s int) float64 { return g.exitRate[s] }
+
+// StatesWhere returns the indices of states whose marking satisfies pred.
+func (g *Graph) StatesWhere(pred san.Predicate) []int {
+	var out []int
+	for i, mk := range g.States {
+		if pred(mk) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TransientDistribution returns the state probability vector at time t,
+// starting from the initial state, computed by uniformization with the
+// given truncation tolerance (eps <= 0 defaults to 1e-12).
+func (g *Graph) TransientDistribution(t, eps float64) ([]float64, error) {
+	if t < 0 {
+		return nil, fmt.Errorf("ctmc: negative time %v", t)
+	}
+	if eps <= 0 {
+		eps = 1e-12
+	}
+	n := len(g.States)
+	pi := make([]float64, n)
+	pi[g.Initial] = 1
+	if t == 0 {
+		return pi, nil
+	}
+
+	lambda := 0.0
+	for _, r := range g.exitRate {
+		if r > lambda {
+			lambda = r
+		}
+	}
+	if lambda == 0 {
+		return pi, nil // no activity anywhere: distribution is frozen
+	}
+	lambda *= 1.02 // keep self-loop probability positive (aperiodicity)
+
+	lt := lambda * t
+	kmax := int(lt + 10*math.Sqrt(lt) + 50)
+
+	result := make([]float64, n)
+	cur := pi
+	next := make([]float64, n)
+	accumulated := 0.0
+	for k := 0; ; k++ {
+		w := poissonPMF(lt, k)
+		if w > 0 {
+			for i, p := range cur {
+				result[i] += w * p
+			}
+			accumulated += w
+		}
+		if accumulated >= 1-eps || k >= kmax {
+			break
+		}
+		g.stepUniformized(cur, next, lambda)
+		cur, next = next, cur
+	}
+	// Renormalise the truncation remainder.
+	if accumulated > 0 && accumulated < 1 {
+		for i := range result {
+			result[i] /= accumulated
+		}
+	}
+	return result, nil
+}
+
+// stepUniformized computes next = cur · P where P = I + Q/lambda.
+func (g *Graph) stepUniformized(cur, next []float64, lambda float64) {
+	for i := range next {
+		next[i] = 0
+	}
+	for s, p := range cur {
+		if p == 0 {
+			continue
+		}
+		stay := 1 - g.exitRate[s]/lambda
+		next[s] += p * stay
+		for _, a := range g.rows[s] {
+			next[a.To] += p * a.Rate / lambda
+		}
+	}
+}
+
+// TransientProbability returns the probability that the chain is in a state
+// satisfying pred at time t. With absorbing target states (see
+// ExploreOptions.Absorb) this is the first-passage CDF.
+func (g *Graph) TransientProbability(t float64, pred san.Predicate) (float64, error) {
+	dist, err := g.TransientDistribution(t, 0)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for i, p := range dist {
+		if p > 0 && pred(g.States[i]) {
+			total += p
+		}
+	}
+	return total, nil
+}
+
+// SteadyState returns the long-run state distribution computed by power
+// iteration on the uniformized chain. It returns an error if the iteration
+// does not converge within maxIter (0 means 1 million) to the given
+// tolerance (<=0 means 1e-12). The result is meaningful only for models
+// with a single recurrent class.
+func (g *Graph) SteadyState(tol float64, maxIter int) ([]float64, error) {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter == 0 {
+		maxIter = 1_000_000
+	}
+	n := len(g.States)
+	lambda := 0.0
+	for _, r := range g.exitRate {
+		if r > lambda {
+			lambda = r
+		}
+	}
+	if lambda == 0 {
+		pi := make([]float64, n)
+		pi[g.Initial] = 1
+		return pi, nil
+	}
+	lambda *= 1.02
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for i := range cur {
+		cur[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		g.stepUniformized(cur, next, lambda)
+		diff := 0.0
+		for i := range next {
+			diff += math.Abs(next[i] - cur[i])
+		}
+		cur, next = next, cur
+		if diff < tol {
+			return cur, nil
+		}
+	}
+	return nil, fmt.Errorf("ctmc: steady state did not converge in %d iterations", maxIter)
+}
+
+// poissonPMF returns the Poisson(k; mean) probability computed in log space
+// so that large means do not underflow prematurely.
+func poissonPMF(mean float64, k int) float64 {
+	if mean == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	lg, _ := math.Lgamma(float64(k) + 1)
+	return math.Exp(-mean + float64(k)*math.Log(mean) - lg)
+}
+
+// CheckGeneratorConsistency verifies structural invariants of the graph:
+// non-negative rates, arcs pointing to valid states and exit rates matching
+// row sums. It is used by tests and by cmd/ahs-statespace.
+func (g *Graph) CheckGeneratorConsistency() error {
+	for s, row := range g.rows {
+		sum := 0.0
+		for _, a := range row {
+			if a.To < 0 || a.To >= len(g.States) {
+				return fmt.Errorf("ctmc: state %d has arc to invalid state %d", s, a.To)
+			}
+			if a.Rate <= 0 {
+				return fmt.Errorf("ctmc: state %d has non-positive arc rate %v", s, a.Rate)
+			}
+			sum += a.Rate
+		}
+		if math.Abs(sum-g.exitRate[s]) > 1e-9*math.Max(1, sum) {
+			return fmt.Errorf("ctmc: state %d exit rate %v != row sum %v", s, g.exitRate[s], sum)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package ctmc
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ahs/internal/san"
+)
+
+// buildErlangChain returns a pure-birth chain absorbed at k.
+func buildErlangChain(k int, rate float64) (*san.Model, san.PlaceID) {
+	b := san.NewBuilder("erlang")
+	c := b.Place("count", 0)
+	b.Timed(san.TimedActivity{
+		Name:    "step",
+		Enabled: func(m *san.Marking) bool { return m.Tokens(c) < k },
+		Rate:    san.ConstRate(rate),
+		Input:   san.Produce(c, 1),
+	})
+	return b.MustBuild(), c
+}
+
+func TestMeanTimeToErlang(t *testing.T) {
+	// Mean first-passage of a pure-birth chain to k is k/rate exactly.
+	const k, rate = 5, 2.0
+	m, c := buildErlangChain(k, rate)
+	g, err := Explore(m, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.MeanTimeTo(san.HasTokens(c, k), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(k) / rate
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MTTA %v, want %v", got, want)
+	}
+}
+
+func TestMeanTimeToMM1KFullBuffer(t *testing.T) {
+	// Busy-cycle first passage 0 -> K of an M/M/1/K queue; verified via
+	// the standard recursion m_i = mean passage time from i to i+1:
+	// m_0 = 1/λ, m_i = 1/λ + (μ/λ)·m_{i-1}; MTTA = Σ m_i.
+	const k = 5
+	const lambda, mu = 1.0, 2.0
+	m, q := buildMM1K(k, lambda, mu)
+	g, err := Explore(m, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.MeanTimeTo(san.HasTokens(q, k), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	mi := 0.0
+	for i := 0; i < k; i++ {
+		if i == 0 {
+			mi = 1 / lambda
+		} else {
+			mi = 1/lambda + (mu/lambda)*mi
+		}
+		want += mi
+	}
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("MTTA %v, want %v", got, want)
+	}
+}
+
+func TestMeanTimeToTargetAtStart(t *testing.T) {
+	m, c := buildErlangChain(3, 1)
+	g, err := Explore(m, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.MeanTimeTo(san.HasTokens(c, 0), 0, 0)
+	if err != nil || got != 0 {
+		t.Fatalf("MTTA to initial state = %v, %v", got, err)
+	}
+}
+
+func TestMeanTimeToUnreachable(t *testing.T) {
+	m, c := buildErlangChain(3, 1)
+	g, err := Explore(m, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.MeanTimeTo(san.HasTokens(c, 99), 0, 0); !errors.Is(err, ErrUnreachableTarget) {
+		t.Fatalf("expected ErrUnreachableTarget, got %v", err)
+	}
+}
+
+func TestMeanTimeToInfiniteWhenMissable(t *testing.T) {
+	// Branching chain: from the start, one case goes to a "good" absorbing
+	// state, the other to a "bad" one; mean time to "good" is infinite.
+	b := san.NewBuilder("branch")
+	good := b.Place("good", 0)
+	bad := b.Place("bad", 0)
+	start := b.Place("start", 1)
+	b.Timed(san.TimedActivity{
+		Name:    "go",
+		Enabled: san.HasTokens(start, 1),
+		Rate:    san.ConstRate(1),
+		Input:   san.Consume(start, 1),
+		Cases: []san.Case{
+			{Weight: san.ConstWeight(0.5), Output: san.Produce(good, 1)},
+			{Weight: san.ConstWeight(0.5), Output: san.Produce(bad, 1)},
+		},
+	})
+	m := b.MustBuild()
+	g, err := Explore(m, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.MeanTimeTo(san.HasTokens(good, 1), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, 1) {
+		t.Fatalf("MTTA %v, want +Inf", got)
+	}
+	// And the absorption probability is exactly one half.
+	p, err := g.AbsorptionProbability(san.HasTokens(good, 1), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.5) > 1e-9 {
+		t.Fatalf("absorption probability %v, want 0.5", p)
+	}
+}
+
+func TestAbsorptionProbabilityCertainEvent(t *testing.T) {
+	m, c := buildErlangChain(4, 3)
+	g, err := Explore(m, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := g.AbsorptionProbability(san.HasTokens(c, 4), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-1) > 1e-9 {
+		t.Fatalf("absorption probability %v, want 1", p)
+	}
+	// Already satisfied at start.
+	p, err = g.AbsorptionProbability(san.HasTokens(c, 0), 0, 0)
+	if err != nil || p != 1 {
+		t.Fatalf("trivial absorption = %v, %v", p, err)
+	}
+}
+
+func TestMeanTimeToAgreesWithTransientTail(t *testing.T) {
+	// For a certain absorbing event, MTTA = ∫ (1 - F(t)) dt; approximate
+	// the integral from the uniformization CDF and compare.
+	const k, rate = 3, 1.5
+	m, c := buildErlangChain(k, rate)
+	g, err := Explore(m, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := san.HasTokens(c, k)
+	mtta, err := g.MeanTimeTo(target, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	integral := 0.0
+	const dt = 0.01
+	for x := 0.0; x < 40; x += dt {
+		cdf, err := g.TransientProbability(x+dt/2, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		integral += (1 - cdf) * dt
+	}
+	if math.Abs(integral-mtta) > 0.01*mtta {
+		t.Fatalf("MTTA %v vs integral of survival %v", mtta, integral)
+	}
+}

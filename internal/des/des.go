@@ -1,0 +1,202 @@
+// Package des provides a generic discrete-event simulation kernel: an
+// indexed binary-heap event queue keyed by simulation time and a clock that
+// only moves forward.
+//
+// The SAN executor in internal/sim uses exponential race semantics and does
+// not strictly need a calendar, but the kernel is used for mixed-distribution
+// activity timing, for scheduled measurement probes, and by tests that need
+// an ordered event source.
+package des
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Event is an entry in the queue. Events with equal times are dequeued in
+// ascending Priority order, then in insertion order (stable).
+type Event struct {
+	Time     float64
+	Priority int
+	Payload  interface{}
+
+	seq   uint64 // insertion order, for stable tie-breaking
+	index int    // heap position; -1 when not queued
+}
+
+// Queue is an indexed min-heap of events. The zero value is not usable;
+// call NewQueue.
+type Queue struct {
+	events []*Event
+	seq    uint64
+}
+
+// NewQueue returns an empty event queue.
+func NewQueue() *Queue {
+	return &Queue{}
+}
+
+// Len returns the number of queued events.
+func (q *Queue) Len() int { return len(q.events) }
+
+// ErrPastEvent is returned when scheduling before the current minimum would
+// violate causality as detected by the caller; the queue itself accepts any
+// finite time, so this sentinel lives here for the Clock type.
+var ErrPastEvent = errors.New("des: event scheduled in the past")
+
+// Schedule inserts an event at the given time with priority 0 and returns
+// it. The returned handle can be passed to Cancel.
+func (q *Queue) Schedule(time float64, payload interface{}) *Event {
+	return q.ScheduleWithPriority(time, 0, payload)
+}
+
+// ScheduleWithPriority inserts an event with an explicit tie-break priority
+// (lower fires first among equal times).
+func (q *Queue) ScheduleWithPriority(time float64, priority int, payload interface{}) *Event {
+	ev := &Event{Time: time, Priority: priority, Payload: payload, seq: q.seq, index: -1}
+	q.seq++
+	q.push(ev)
+	return ev
+}
+
+// Peek returns the earliest event without removing it, or nil when empty.
+func (q *Queue) Peek() *Event {
+	if len(q.events) == 0 {
+		return nil
+	}
+	return q.events[0]
+}
+
+// Pop removes and returns the earliest event, or nil when empty.
+func (q *Queue) Pop() *Event {
+	if len(q.events) == 0 {
+		return nil
+	}
+	ev := q.events[0]
+	q.remove(0)
+	return ev
+}
+
+// Cancel removes a previously scheduled event. It reports whether the event
+// was still queued.
+func (q *Queue) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 || ev.index >= len(q.events) || q.events[ev.index] != ev {
+		return false
+	}
+	q.remove(ev.index)
+	return true
+}
+
+// Reschedule moves a queued event to a new time, preserving its payload.
+// It reports whether the event was still queued.
+func (q *Queue) Reschedule(ev *Event, time float64) bool {
+	if ev == nil || ev.index < 0 || ev.index >= len(q.events) || q.events[ev.index] != ev {
+		return false
+	}
+	ev.Time = time
+	q.fix(ev.index)
+	return true
+}
+
+// Clear removes all events.
+func (q *Queue) Clear() {
+	for _, ev := range q.events {
+		ev.index = -1
+	}
+	q.events = q.events[:0]
+}
+
+func (q *Queue) less(i, j int) bool {
+	a, b := q.events[i], q.events[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) swap(i, j int) {
+	q.events[i], q.events[j] = q.events[j], q.events[i]
+	q.events[i].index = i
+	q.events[j].index = j
+}
+
+func (q *Queue) push(ev *Event) {
+	q.events = append(q.events, ev)
+	ev.index = len(q.events) - 1
+	q.up(ev.index)
+}
+
+func (q *Queue) remove(i int) {
+	last := len(q.events) - 1
+	q.events[i].index = -1
+	if i != last {
+		q.events[i] = q.events[last]
+		q.events[i].index = i
+	}
+	q.events = q.events[:last]
+	if i < len(q.events) {
+		q.fix(i)
+	}
+}
+
+func (q *Queue) fix(i int) {
+	if !q.down(i) {
+		q.up(i)
+	}
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) bool {
+	start := i
+	n := len(q.events)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			break
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+	return i > start
+}
+
+// Clock tracks simulation time and enforces monotonic advancement.
+type Clock struct {
+	now float64
+}
+
+// Now returns the current simulation time.
+func (c *Clock) Now() float64 { return c.now }
+
+// AdvanceTo moves the clock to t. It returns ErrPastEvent wrapped with
+// context if t is earlier than the current time.
+func (c *Clock) AdvanceTo(t float64) error {
+	if t < c.now {
+		return fmt.Errorf("advance to %v before now %v: %w", t, c.now, ErrPastEvent)
+	}
+	c.now = t
+	return nil
+}
+
+// Reset returns the clock to zero.
+func (c *Clock) Reset() { c.now = 0 }

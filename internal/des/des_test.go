@@ -1,0 +1,221 @@
+package des
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ahs/internal/rng"
+)
+
+func drainTimes(q *Queue) []float64 {
+	var out []float64
+	for {
+		ev := q.Pop()
+		if ev == nil {
+			return out
+		}
+		out = append(out, ev.Time)
+	}
+}
+
+func TestQueueOrdersByTimeProperty(t *testing.T) {
+	f := func(raw []int32) bool {
+		q := NewQueue()
+		times := make([]float64, len(raw))
+		for i, v := range raw {
+			times[i] = float64(v)
+			q.Schedule(times[i], i)
+		}
+		got := drainTimes(q)
+		sort.Float64s(times)
+		if len(got) != len(times) {
+			return false
+		}
+		for i := range got {
+			if got[i] != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueStableForEqualTimes(t *testing.T) {
+	q := NewQueue()
+	for i := 0; i < 10; i++ {
+		q.Schedule(1.0, i)
+	}
+	for i := 0; i < 10; i++ {
+		ev := q.Pop()
+		if ev.Payload.(int) != i {
+			t.Fatalf("expected FIFO order among equal times, got %v at %d", ev.Payload, i)
+		}
+	}
+}
+
+func TestQueuePriorityBreaksTies(t *testing.T) {
+	q := NewQueue()
+	q.ScheduleWithPriority(1.0, 5, "low")
+	q.ScheduleWithPriority(1.0, 1, "high")
+	if got := q.Pop().Payload.(string); got != "high" {
+		t.Fatalf("priority tie-break failed, got %q first", got)
+	}
+}
+
+func TestQueueCancel(t *testing.T) {
+	q := NewQueue()
+	a := q.Schedule(1, "a")
+	b := q.Schedule(2, "b")
+	c := q.Schedule(3, "c")
+	if !q.Cancel(b) {
+		t.Fatal("cancel of queued event returned false")
+	}
+	if q.Cancel(b) {
+		t.Fatal("double cancel returned true")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len %d after cancel", q.Len())
+	}
+	if q.Pop() != a || q.Pop() != c {
+		t.Fatal("wrong events remain after cancel")
+	}
+	if q.Cancel(nil) {
+		t.Fatal("cancel(nil) returned true")
+	}
+}
+
+func TestQueueCancelPoppedEvent(t *testing.T) {
+	q := NewQueue()
+	a := q.Schedule(1, "a")
+	q.Pop()
+	if q.Cancel(a) {
+		t.Fatal("cancel of popped event returned true")
+	}
+}
+
+func TestQueueReschedule(t *testing.T) {
+	q := NewQueue()
+	a := q.Schedule(10, "a")
+	q.Schedule(5, "b")
+	if !q.Reschedule(a, 1) {
+		t.Fatal("reschedule returned false")
+	}
+	if got := q.Pop().Payload.(string); got != "a" {
+		t.Fatalf("rescheduled event not first, got %q", got)
+	}
+	if q.Reschedule(a, 2) {
+		t.Fatal("reschedule of dequeued event returned true")
+	}
+}
+
+func TestQueueRescheduleLater(t *testing.T) {
+	q := NewQueue()
+	a := q.Schedule(1, "a")
+	q.Schedule(5, "b")
+	q.Reschedule(a, 9)
+	if got := q.Pop().Payload.(string); got != "b" {
+		t.Fatalf("expected b first after pushing a later, got %q", got)
+	}
+	if got := q.Pop().Payload.(string); got != "a" {
+		t.Fatalf("expected a second, got %q", got)
+	}
+}
+
+func TestQueueClear(t *testing.T) {
+	q := NewQueue()
+	a := q.Schedule(1, nil)
+	q.Schedule(2, nil)
+	q.Clear()
+	if q.Len() != 0 || q.Peek() != nil || q.Pop() != nil {
+		t.Fatal("queue not empty after Clear")
+	}
+	if q.Cancel(a) {
+		t.Fatal("cancel after Clear returned true")
+	}
+}
+
+func TestQueuePeekDoesNotRemove(t *testing.T) {
+	q := NewQueue()
+	q.Schedule(1, "x")
+	if q.Peek() == nil || q.Len() != 1 {
+		t.Fatal("peek removed the event")
+	}
+}
+
+func TestQueueRandomChurnMaintainsHeapOrder(t *testing.T) {
+	r := rng.NewStream(17)
+	q := NewQueue()
+	live := make(map[*Event]bool)
+	for step := 0; step < 20000; step++ {
+		switch {
+		case q.Len() == 0 || r.Float64() < 0.55:
+			ev := q.Schedule(r.Float64()*1000, step)
+			live[ev] = true
+		case r.Float64() < 0.5:
+			// Cancel a pseudo-random live event.
+			for ev := range live {
+				q.Cancel(ev)
+				delete(live, ev)
+				break
+			}
+		default:
+			ev := q.Pop()
+			delete(live, ev)
+		}
+	}
+	// Drain and verify sortedness.
+	prev := math.Inf(-1)
+	for {
+		ev := q.Pop()
+		if ev == nil {
+			break
+		}
+		if ev.Time < prev {
+			t.Fatalf("heap order violated: %v after %v", ev.Time, prev)
+		}
+		prev = ev.Time
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	var c Clock
+	if err := c.AdvanceTo(5); err != nil {
+		t.Fatal(err)
+	}
+	if c.Now() != 5 {
+		t.Fatalf("now %v", c.Now())
+	}
+	err := c.AdvanceTo(4)
+	if err == nil {
+		t.Fatal("expected error advancing backwards")
+	}
+	if !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("error %v does not wrap ErrPastEvent", err)
+	}
+	if err := c.AdvanceTo(5); err != nil {
+		t.Fatalf("advancing to the same time must succeed: %v", err)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func BenchmarkQueueScheduleAndPop(b *testing.B) {
+	r := rng.NewStream(1)
+	q := NewQueue()
+	for i := 0; i < 1024; i++ {
+		q.Schedule(r.Float64(), nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := q.Pop()
+		q.Schedule(ev.Time+r.Float64(), nil)
+	}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps figure runs fast in unit tests; statistical shape checks
+// live in the repository-level EXPERIMENTS run, not here.
+var quickCfg = Config{Seed: 1, MaxBatches: 50}
+
+func TestRegistryCompleteness(t *testing.T) {
+	reg := Registry()
+	want := []string{"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "lanes"}
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for _, id := range want {
+		if reg[id] == nil {
+			t.Errorf("missing runner for %s", id)
+		}
+	}
+	ids := IDs()
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("IDs() = %v, want %v", ids, want)
+		}
+	}
+}
+
+func checkResult(t *testing.T, res *Result, wantSeries, wantPoints int) {
+	t.Helper()
+	if res == nil {
+		t.Fatal("nil result")
+	}
+	if len(res.Series) != wantSeries {
+		t.Fatalf("%s: %d series, want %d", res.ID, len(res.Series), wantSeries)
+	}
+	for _, s := range res.Series {
+		if len(s.X) != wantPoints || len(s.Y) != wantPoints || len(s.CI) != wantPoints {
+			t.Fatalf("%s/%s: %d/%d/%d points, want %d", res.ID, s.Label, len(s.X), len(s.Y), len(s.CI), wantPoints)
+		}
+		if s.Batches == 0 {
+			t.Fatalf("%s/%s: no batches recorded", res.ID, s.Label)
+		}
+		for i := 1; i < len(s.X); i++ {
+			if s.X[i] <= s.X[i-1] {
+				t.Fatalf("%s/%s: x grid not increasing: %v", res.ID, s.Label, s.X)
+			}
+		}
+		for i, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Fatalf("%s/%s: estimate %v out of [0,1] at %v", res.ID, s.Label, y, s.X[i])
+			}
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	res, err := Fig10(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, 4, 5)
+	for i, wantLabel := range []string{"n=8", "n=10", "n=12", "n=14"} {
+		if res.Series[i].Label != wantLabel {
+			t.Errorf("series %d label %q, want %q", i, res.Series[i].Label, wantLabel)
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	res, err := Fig11(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, 3, 5)
+	if !strings.Contains(res.Series[0].Label, "1e-06") {
+		t.Errorf("unexpected label %q", res.Series[0].Label)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	res, err := Fig12(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, 3, 5)
+	// The x axis is the platoon size here.
+	if res.Series[0].X[0] != 10 || res.Series[0].X[4] != 18 {
+		t.Errorf("n grid %v", res.Series[0].X)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	res, err := Fig13(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, 6, 5)
+	rho1, rho2 := 0, 0
+	for _, s := range res.Series {
+		switch {
+		case strings.HasPrefix(s.Label, "ρ=1"):
+			rho1++
+		case strings.HasPrefix(s.Label, "ρ=2"):
+			rho2++
+		}
+	}
+	if rho1 != 3 || rho2 != 3 {
+		t.Fatalf("expected 3 series per load, got ρ=1:%d ρ=2:%d", rho1, rho2)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	res, err := Fig14(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, 4, 5)
+	want := []string{"DD", "DC", "CD", "CC"}
+	for i, s := range res.Series {
+		if s.Label != want[i] {
+			t.Errorf("series %d label %q, want %q", i, s.Label, want[i])
+		}
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	res, err := Fig15(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, 4, 5)
+}
+
+func TestAllRunsEveryFigure(t *testing.T) {
+	results, err := All(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 7 {
+		t.Fatalf("All returned %d results", len(results))
+	}
+	for i, id := range IDs() {
+		if results[i].ID != id {
+			t.Fatalf("result %d is %s, want %s", i, results[i].ID, id)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.MaxBatches != 4000 {
+		t.Fatalf("default MaxBatches %d", cfg.MaxBatches)
+	}
+	cfg = Config{MaxBatches: 7}.withDefaults()
+	if cfg.MaxBatches != 7 {
+		t.Fatal("explicit MaxBatches overridden")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a, err := Fig14(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig14(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Series {
+		for j := range a.Series[i].Y {
+			if a.Series[i].Y[j] != b.Series[i].Y[j] {
+				t.Fatalf("figure runs not reproducible at series %d point %d", i, j)
+			}
+		}
+	}
+}
+
+func TestLanesExtensionShape(t *testing.T) {
+	res, err := LanesExtension(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, res, 3, 5)
+	want := []string{"lanes=2", "lanes=3", "lanes=4"}
+	for i, s := range res.Series {
+		if s.Label != want[i] {
+			t.Errorf("series %d label %q, want %q", i, s.Label, want[i])
+		}
+	}
+}

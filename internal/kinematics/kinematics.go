@@ -1,0 +1,235 @@
+// Package kinematics models the physical layer beneath the paper's
+// maneuver-duration parameters: vehicles cruising at highway speed with the
+// intra-platoon spacing of 1–3 m and inter-platoon spacing of 30–60 m from
+// §2 / Figure 1, executing the longitudinal and lateral motions that the
+// six recovery maneuvers of Table 1 are built from (braking to a stop,
+// opening a split gap, changing lanes, driving to the next exit).
+//
+// The paper takes the maneuver execution rates (15–30 per hour, i.e. 2–4
+// minute durations) as givens from the PATH experiments; this package
+// derives them from first principles — piecewise-constant-acceleration
+// motion profiles plus explicit coordination/clearing overheads — so the
+// SAN model's ManeuverRates can be calibrated from physical assumptions
+// (see SuggestedManeuverRates and the maneuvertiming example).
+//
+// All quantities are SI: meters, seconds, m/s, m/s².
+package kinematics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ahs/internal/platoon"
+)
+
+// Config describes the highway and vehicle capabilities.
+type Config struct {
+	// CruiseSpeed is the platoon speed (default 25 m/s = 90 km/h).
+	CruiseSpeed float64
+	// IntraGap is the spacing inside a platoon (paper: 1–3 m; default 2).
+	IntraGap float64
+	// InterGap is the spacing between platoons in a lane (paper: 30–60 m;
+	// default 45).
+	InterGap float64
+	// LaneWidth is the lateral distance of a lane change (default 3.6 m).
+	LaneWidth float64
+	// SplitSpeedDelta is the relative speed used to open or close a split
+	// gap (default 2 m/s).
+	SplitSpeedDelta float64
+	// Accel is the comfortable acceleration magnitude for speed changes
+	// (default 1.5 m/s²).
+	Accel float64
+	// GentleBrake is the Gentle Stop deceleration (default 2 m/s²).
+	GentleBrake float64
+	// CrashBrake is the maximum emergency deceleration (default 8 m/s²).
+	CrashBrake float64
+	// AidedBrake is the deceleration achievable when the vehicle ahead
+	// brakes for the faulty one (default 1.2 m/s²).
+	AidedBrake float64
+	// LateralAccel is the comfortable lateral acceleration of a lane
+	// change (default 1.0 m/s²).
+	LateralAccel float64
+	// ExitSpacing is the typical distance to the next off-ramp (default
+	// 1500 m).
+	ExitSpacing float64
+	// CoordinationOverhead is the per-maneuver communication/agreement
+	// time (default 30 s).
+	CoordinationOverhead float64
+	// ClearingOverhead is the additional time a stop maneuver blocks the
+	// lane while traffic is diverted around the stopped vehicle — the
+	// post-stop control laws of §2.1.1 (default 90 s).
+	ClearingOverhead float64
+}
+
+// DefaultConfig returns plausible highway values consistent with the
+// paper's Figure 1 spacings.
+func DefaultConfig() Config {
+	return Config{
+		CruiseSpeed:          25,
+		IntraGap:             2,
+		InterGap:             45,
+		LaneWidth:            3.6,
+		SplitSpeedDelta:      2,
+		Accel:                1.5,
+		GentleBrake:          2,
+		CrashBrake:           8,
+		AidedBrake:           1.2,
+		LateralAccel:         1.0,
+		ExitSpacing:          1500,
+		CoordinationOverhead: 30,
+		ClearingOverhead:     90,
+	}
+}
+
+// Validate checks physical consistency.
+func (c Config) Validate() error {
+	var errs []error
+	positive := map[string]float64{
+		"CruiseSpeed":     c.CruiseSpeed,
+		"IntraGap":        c.IntraGap,
+		"InterGap":        c.InterGap,
+		"LaneWidth":       c.LaneWidth,
+		"SplitSpeedDelta": c.SplitSpeedDelta,
+		"Accel":           c.Accel,
+		"GentleBrake":     c.GentleBrake,
+		"CrashBrake":      c.CrashBrake,
+		"AidedBrake":      c.AidedBrake,
+		"LateralAccel":    c.LateralAccel,
+		"ExitSpacing":     c.ExitSpacing,
+	}
+	for name, v := range positive {
+		if !(v > 0) {
+			errs = append(errs, fmt.Errorf("kinematics: %s must be positive, got %v", name, v))
+		}
+	}
+	if c.CoordinationOverhead < 0 || c.ClearingOverhead < 0 {
+		errs = append(errs, errors.New("kinematics: overheads must be non-negative"))
+	}
+	if c.SplitSpeedDelta >= c.CruiseSpeed {
+		errs = append(errs, errors.New("kinematics: SplitSpeedDelta must be below CruiseSpeed"))
+	}
+	if c.GentleBrake > c.CrashBrake {
+		errs = append(errs, errors.New("kinematics: GentleBrake cannot exceed CrashBrake"))
+	}
+	return errors.Join(errs...)
+}
+
+// StopTime returns the time to brake from speed v to rest at deceleration a.
+func StopTime(v, a float64) float64 { return v / a }
+
+// StopDistance returns the distance covered braking from v to rest at a.
+func StopDistance(v, a float64) float64 { return v * v / (2 * a) }
+
+// LaneChangeTime returns the duration of a bang-bang lateral lane change of
+// width w at lateral acceleration a: accelerate halfway, decelerate
+// halfway, zero lateral speed at both ends.
+func LaneChangeTime(w, a float64) float64 { return 2 * math.Sqrt(w/a) }
+
+// GapOpenTime returns the time for a follower to open an additional gap of
+// size g by briefly dropping dv below cruise speed (comfortable accel a for
+// both transitions). During each speed transition of duration dv/a the
+// average speed deficit is dv/2, so the transitions themselves open dv²/a
+// of gap; the remainder opens at rate dv.
+func GapOpenTime(g, dv, a float64) float64 {
+	transition := 2 * dv / a // decelerate dv, later accelerate back
+	opened := dv * dv / a    // gap opened during the two transitions
+	if opened >= g {         // short splits finish inside transitions
+		return 2 * math.Sqrt(g/a) // solve g = a·t²/4 with symmetric ramps
+	}
+	return transition + (g-opened)/dv
+}
+
+// Timing is the derived duration of one recovery maneuver.
+type Timing struct {
+	Maneuver platoon.Maneuver
+	// Phases decomposes the duration (seconds) by named phase.
+	Phases map[string]float64
+	// Total is the summed duration in seconds.
+	Total float64
+}
+
+// RatePerHour converts the duration into the exponential execution rate
+// used by the SAN model.
+func (t Timing) RatePerHour() float64 { return 3600 / t.Total }
+
+// Timings derives the duration of each of Table 1's maneuvers from the
+// configuration:
+//
+//   - GS/CS: coordinate, brake to rest (gentle or emergency), then hold the
+//     lane while traffic is cleared around the stopped vehicle.
+//   - AS: like GS but braking is performed through the vehicle ahead at the
+//     lower aided deceleration.
+//   - TIE/TIE-N: coordinate, open a split gap to inter-platoon spacing,
+//     change lanes, drive to the next exit.
+//   - TIE-E: as TIE with a second (escort) lane change window and doubled
+//     coordination (two platoons are involved).
+func Timings(c Config) (map[platoon.Maneuver]Timing, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	out := make(map[platoon.Maneuver]Timing, 6)
+	add := func(m platoon.Maneuver, phases map[string]float64) {
+		total := 0.0
+		for _, v := range phases {
+			total += v
+		}
+		out[m] = Timing{Maneuver: m, Phases: phases, Total: total}
+	}
+
+	splitGap := c.InterGap - c.IntraGap // widen an intra gap to a platoon gap
+	split := GapOpenTime(splitGap, c.SplitSpeedDelta, c.Accel)
+	lane := LaneChangeTime(c.LaneWidth, c.LateralAccel)
+	toExit := c.ExitSpacing / c.CruiseSpeed
+
+	add(platoon.GS, map[string]float64{
+		"coordination": c.CoordinationOverhead,
+		"braking":      StopTime(c.CruiseSpeed, c.GentleBrake),
+		"clearing":     c.ClearingOverhead,
+	})
+	add(platoon.CS, map[string]float64{
+		"coordination": c.CoordinationOverhead / 2, // emergency: minimal agreement
+		"braking":      StopTime(c.CruiseSpeed, c.CrashBrake),
+		"clearing":     c.ClearingOverhead,
+	})
+	add(platoon.AS, map[string]float64{
+		"coordination": c.CoordinationOverhead,
+		"docking":      split, // the helper closes up on the faulty vehicle
+		"braking":      StopTime(c.CruiseSpeed, c.AidedBrake),
+		"clearing":     c.ClearingOverhead,
+	})
+	add(platoon.TIEN, map[string]float64{
+		"coordination": c.CoordinationOverhead / 2,
+		"split":        split,
+		"lane_change":  lane,
+		"to_exit":      toExit,
+	})
+	add(platoon.TIE, map[string]float64{
+		"coordination": c.CoordinationOverhead,
+		"split":        split,
+		"lane_change":  lane,
+		"to_exit":      toExit,
+	})
+	add(platoon.TIEE, map[string]float64{
+		"coordination": 2 * c.CoordinationOverhead,
+		"split":        split,
+		"escort_slot":  lane, // the escorting platoon opens a slot
+		"lane_change":  lane,
+		"to_exit":      toExit,
+	})
+	return out, nil
+}
+
+// SuggestedManeuverRates converts the derived timings into the per-hour
+// rate array consumed by core.Params.ManeuverRates.
+func SuggestedManeuverRates(c Config) ([7]float64, error) {
+	var rates [7]float64
+	timings, err := Timings(c)
+	if err != nil {
+		return rates, err
+	}
+	for m, t := range timings {
+		rates[m] = t.RatePerHour()
+	}
+	return rates, nil
+}

@@ -1,0 +1,227 @@
+package kinematics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ahs/internal/core"
+	"ahs/internal/platoon"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestStopIdentities(t *testing.T) {
+	// v² = 2·a·d and t = v/a for every braking maneuver.
+	f := func(vRaw, aRaw uint8) bool {
+		v := 5 + float64(vRaw%30)  // 5..34 m/s
+		a := 0.5 + float64(aRaw%8) // 0.5..7.5 m/s²
+		d := StopDistance(v, a)
+		tt := StopTime(v, a)
+		return almost(v*v, 2*a*d, 1e-9) && almost(tt, v/a, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaneChangeScaling(t *testing.T) {
+	base := LaneChangeTime(3.6, 1.0)
+	if base <= 0 {
+		t.Fatal("non-positive lane change time")
+	}
+	// Doubling the width scales time by sqrt(2); doubling accel by 1/sqrt(2).
+	if !almost(LaneChangeTime(7.2, 1.0), base*math.Sqrt2, 1e-9) {
+		t.Fatal("width scaling violated")
+	}
+	if !almost(LaneChangeTime(3.6, 2.0), base/math.Sqrt2, 1e-9) {
+		t.Fatal("accel scaling violated")
+	}
+}
+
+func TestGapOpenTimeContinuousAtBranch(t *testing.T) {
+	// At g = dv²/a both formulas must agree.
+	const dv, a = 2.0, 1.5
+	g := dv * dv / a
+	long := 2*dv/a + (g-dv*dv/a)/dv
+	short := 2 * math.Sqrt(g/a)
+	if !almost(long, short, 1e-9) || !almost(GapOpenTime(g, dv, a), long, 1e-9) {
+		t.Fatalf("branch discontinuity: long %v short %v got %v", long, short, GapOpenTime(g, dv, a))
+	}
+}
+
+func TestGapOpenAgainstProfileIntegration(t *testing.T) {
+	// The gap opened by the follower equals the leader's displacement
+	// (v·T) minus the follower's. Verified numerically for both branches.
+	const v = 25.0
+	cases := []struct{ g, dv, a float64 }{
+		{43, 2, 1.5},  // long split (cruise phase)
+		{1.5, 2, 1.5}, // short split (triangular)
+		{10, 3, 1},
+	}
+	for _, c := range cases {
+		p := GapOpenProfile(v, c.g, c.dv, c.a)
+		T := p.Duration()
+		if !almost(T, GapOpenTime(c.g, c.dv, c.a), 1e-9) {
+			t.Fatalf("profile duration %v != formula %v for %+v", T, GapOpenTime(c.g, c.dv, c.a), c)
+		}
+		pos, vel, err := p.Integrate(1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap := v*T - pos
+		if !almost(gap, c.g, 1e-2) {
+			t.Fatalf("opened gap %v, want %v (case %+v)", gap, c.g, c)
+		}
+		if !almost(vel, v, 1e-6) {
+			t.Fatalf("final speed %v, want cruise %v", vel, v)
+		}
+	}
+}
+
+func TestProfileClosedFormMatchesIntegration(t *testing.T) {
+	f := func(v0Raw, seedA, seedB uint8) bool {
+		p := Profile{
+			V0: float64(v0Raw % 30),
+			Segments: []Segment{
+				{Duration: 1 + float64(seedA%5), Accel: float64(seedB%5) - 2},
+				{Duration: 0.5, Accel: 0},
+				{Duration: float64(seedB%3) + 0.25, Accel: -(float64(seedA%3) - 1)},
+			},
+		}
+		T := p.Duration()
+		pos, vel, err := p.Integrate(1e-4)
+		if err != nil {
+			return false
+		}
+		return almost(pos, p.PositionAt(T), 1e-3) && almost(vel, p.VelocityAt(T), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileQueriesClampOutsideSpan(t *testing.T) {
+	p := StopProfile(20, 2) // 10 s to rest
+	if p.VelocityAt(-1) != 20 {
+		t.Fatal("velocity before start must be V0")
+	}
+	if !almost(p.VelocityAt(100), 0, 1e-12) {
+		t.Fatal("velocity after end must stay final")
+	}
+	if !almost(p.PositionAt(100), StopDistance(20, 2), 1e-9) {
+		t.Fatal("position after end must stay final")
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	bad := Profile{V0: 1, Segments: []Segment{{Duration: -1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected negative-duration error")
+	}
+	if _, _, err := bad.Integrate(0.01); err == nil {
+		t.Fatal("Integrate must reject invalid profiles")
+	}
+	good := StopProfile(10, 1)
+	if _, _, err := good.Integrate(0); err == nil {
+		t.Fatal("Integrate must reject non-positive dt")
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mutate := func(f func(*Config)) Config {
+		c := DefaultConfig()
+		f(&c)
+		return c
+	}
+	bad := map[string]Config{
+		"zero speed":     mutate(func(c *Config) { c.CruiseSpeed = 0 }),
+		"zero gap":       mutate(func(c *Config) { c.IntraGap = 0 }),
+		"neg overhead":   mutate(func(c *Config) { c.ClearingOverhead = -1 }),
+		"dv over speed":  mutate(func(c *Config) { c.SplitSpeedDelta = 30 }),
+		"gentle > crash": mutate(func(c *Config) { c.GentleBrake = 10 }),
+	}
+	for name, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+		if _, err := Timings(c); err == nil {
+			t.Errorf("%s: Timings must reject invalid configs", name)
+		}
+	}
+}
+
+func TestTimingsMatchPaperRange(t *testing.T) {
+	timings, err := Timings(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timings) != 6 {
+		t.Fatalf("expected 6 maneuvers, got %d", len(timings))
+	}
+	for m, timing := range timings {
+		if timing.Total < 90 || timing.Total > 300 {
+			t.Errorf("%v duration %.0fs outside the paper's ~2-4 minute range", m, timing.Total)
+		}
+		rate := timing.RatePerHour()
+		if rate < 12 || rate > 40 {
+			t.Errorf("%v rate %.1f/hr far from the paper's 15-30/hr", m, rate)
+		}
+		sum := 0.0
+		for _, v := range timing.Phases {
+			sum += v
+		}
+		if !almost(sum, timing.Total, 1e-9) {
+			t.Errorf("%v phases sum %v != total %v", m, sum, timing.Total)
+		}
+	}
+}
+
+func TestTimingsOrderings(t *testing.T) {
+	timings, err := Timings(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(m platoon.Maneuver) float64 { return timings[m].Total }
+	// Escorted exit needs the most coordination of the exits.
+	if !(get(platoon.TIEE) > get(platoon.TIE) && get(platoon.TIE) > get(platoon.TIEN)) {
+		t.Fatalf("exit ordering violated: TIEE %v TIE %v TIEN %v",
+			get(platoon.TIEE), get(platoon.TIE), get(platoon.TIEN))
+	}
+	// The aided stop (weak deceleration through the helper) is the slowest
+	// stop; the crash stop the fastest.
+	if !(get(platoon.AS) > get(platoon.GS) && get(platoon.GS) > get(platoon.CS)) {
+		t.Fatalf("stop ordering violated: AS %v GS %v CS %v",
+			get(platoon.AS), get(platoon.GS), get(platoon.CS))
+	}
+}
+
+// TestCalibratedRatesDriveTheSafetyModel closes the loop: kinematics-derived
+// rates plug into the SAN model and produce a working evaluation.
+func TestCalibratedRatesDriveTheSafetyModel(t *testing.T) {
+	rates, err := SuggestedManeuverRates(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.DefaultParams()
+	p.N = 3
+	p.Lambda = 0.01
+	p.ManeuverRates = rates
+	sys, err := core.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := sys.Unsafety(4, core.EvalOptions{Seed: 5, MaxBatches: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Point < 0 || iv.Point > 1 {
+		t.Fatalf("nonsense unsafety %v", iv.Point)
+	}
+}

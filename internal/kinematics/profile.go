@@ -1,0 +1,135 @@
+package kinematics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Segment is one constant-acceleration piece of a motion profile.
+type Segment struct {
+	Duration float64 // seconds, >= 0
+	Accel    float64 // m/s², signed
+}
+
+// Profile is a piecewise-constant-acceleration longitudinal motion.
+type Profile struct {
+	// V0 is the initial speed.
+	V0 float64
+	// Segments are executed in order.
+	Segments []Segment
+}
+
+// Validate rejects negative segment durations.
+func (p Profile) Validate() error {
+	for i, s := range p.Segments {
+		if s.Duration < 0 {
+			return fmt.Errorf("kinematics: segment %d has negative duration %v", i, s.Duration)
+		}
+	}
+	return nil
+}
+
+// Duration returns the total profile duration.
+func (p Profile) Duration() float64 {
+	total := 0.0
+	for _, s := range p.Segments {
+		total += s.Duration
+	}
+	return total
+}
+
+// VelocityAt returns the speed at time t (clamped to the profile's span).
+func (p Profile) VelocityAt(t float64) float64 {
+	v := p.V0
+	for _, s := range p.Segments {
+		if t <= 0 {
+			break
+		}
+		dt := s.Duration
+		if t < dt {
+			dt = t
+		}
+		v += s.Accel * dt
+		t -= s.Duration
+	}
+	return v
+}
+
+// PositionAt returns the distance travelled by time t (closed form).
+func (p Profile) PositionAt(t float64) float64 {
+	x, v := 0.0, p.V0
+	for _, s := range p.Segments {
+		if t <= 0 {
+			break
+		}
+		dt := s.Duration
+		if t < dt {
+			dt = t
+		}
+		x += v*dt + 0.5*s.Accel*dt*dt
+		v += s.Accel * dt
+		t -= s.Duration
+	}
+	return x
+}
+
+// Integrate advances the profile numerically with midpoint steps of size
+// dt, returning the final position and velocity. It exists to cross-check
+// the closed forms (and the maneuver timing formulas built on them) in
+// tests.
+func (p Profile) Integrate(dt float64) (pos, vel float64, err error) {
+	if !(dt > 0) {
+		return 0, 0, errors.New("kinematics: integration step must be positive")
+	}
+	if err := p.Validate(); err != nil {
+		return 0, 0, err
+	}
+	vel = p.V0
+	t := 0.0
+	total := p.Duration()
+	for _, s := range p.Segments {
+		end := t + s.Duration
+		for t < end {
+			step := dt
+			if t+step > end {
+				step = end - t
+			}
+			// Midpoint: position advances at the half-step velocity.
+			pos += (vel + 0.5*s.Accel*step) * step
+			vel += s.Accel * step
+			t += step
+		}
+	}
+	_ = total
+	return pos, vel, nil
+}
+
+// StopProfile returns the profile of braking from speed v at deceleration a
+// until standstill.
+func StopProfile(v, a float64) Profile {
+	return Profile{V0: v, Segments: []Segment{{Duration: v / a, Accel: -a}}}
+}
+
+// GapOpenProfile returns the follower's profile for opening a gap of g
+// behind a leader cruising at v: decelerate by dv (or less for short
+// splits), hold, and accelerate back to v. The gap opened equals the
+// leader's displacement minus the follower's.
+func GapOpenProfile(v, g, dv, a float64) Profile {
+	opened := dv * dv / a
+	if opened >= g {
+		// Short split: triangular speed deficit.
+		half := math.Sqrt(g / a)
+		return Profile{V0: v, Segments: []Segment{
+			{Duration: half, Accel: -a},
+			{Duration: half, Accel: a},
+		}}
+	}
+	transition := dv / a
+	cruise := (g - opened) / dv
+	return Profile{V0: v, Segments: []Segment{
+		{Duration: transition, Accel: -a},
+		{Duration: cruise, Accel: 0},
+		{Duration: transition, Accel: a},
+	}}
+}

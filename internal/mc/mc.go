@@ -1,0 +1,254 @@
+// Package mc runs batched Monte-Carlo estimation of transient SAN measures.
+//
+// It reproduces the evaluation procedure of §4.1 of the paper: every plotted
+// point is the mean over simulation batches, stopped when the 95% confidence
+// interval has relative half-width 0.1 (with a minimum batch count), and the
+// batch budget grows as the measure gets rarer. Batches are deterministic —
+// batch i always uses random stream i of the job's seed — so results do not
+// depend on the number of workers.
+//
+// Importance sampling is expressed through sim.Options.Bias: each batch
+// contributes Value·LikelihoodRatio, which reduces to plain Value for
+// unbiased runs, so naive and rare-event estimation share one code path.
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ahs/internal/rng"
+	"ahs/internal/san"
+	"ahs/internal/sim"
+	"ahs/internal/stats"
+)
+
+// Job describes one curve estimation.
+type Job struct {
+	// Model is the SAN to simulate.
+	Model *san.Model
+	// Sim configures trajectory execution (MaxTime must cover Times).
+	Sim sim.Options
+	// Times is the ascending measurement grid.
+	Times []float64
+	// Value is the measured quantity (e.g. the unsafety indicator).
+	Value func(mk *san.Marking) float64
+	// Seed selects the random stream family.
+	Seed uint64
+	// StopRule is the convergence criterion, applied to the estimate at
+	// the last time point (the paper's per-point criterion applied to the
+	// point that converges slowest for monotone measures). Zero value
+	// means "run exactly MaxBatches".
+	StopRule stats.RelativeStopRule
+	// MaxBatches caps the effort; 0 means 1 million.
+	MaxBatches uint64
+	// CheckEvery is the round size between convergence checks; 0 means
+	// 2000.
+	CheckEvery uint64
+	// Workers is the parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Curve is the estimated measure over the time grid.
+type Curve struct {
+	Times     []float64
+	Mean      []float64
+	Intervals []stats.Interval
+	// Batches is the number of simulated trajectories.
+	Batches uint64
+	// Converged reports whether StopRule was met (always true when no
+	// rule was set).
+	Converged bool
+}
+
+// At returns the estimate at the i-th grid point.
+func (c *Curve) At(i int) float64 { return c.Mean[i] }
+
+// Final returns the estimate at the last grid point.
+func (c *Curve) Final() float64 { return c.Mean[len(c.Mean)-1] }
+
+func (j *Job) validate() error {
+	if j.Model == nil {
+		return errors.New("mc: nil model")
+	}
+	if j.Value == nil {
+		return errors.New("mc: nil value function")
+	}
+	if len(j.Times) == 0 {
+		return errors.New("mc: empty time grid")
+	}
+	for i := 1; i < len(j.Times); i++ {
+		if j.Times[i] <= j.Times[i-1] {
+			return fmt.Errorf("mc: time grid not strictly increasing at index %d", i)
+		}
+	}
+	if j.Sim.MaxTime < j.Times[len(j.Times)-1] {
+		return fmt.Errorf("mc: MaxTime %v does not cover last measurement %v",
+			j.Sim.MaxTime, j.Times[len(j.Times)-1])
+	}
+	return nil
+}
+
+// EstimateCurve runs the job and returns the estimated curve.
+func EstimateCurve(job Job) (*Curve, error) {
+	curve, _, err := EstimateCurveMulti(job, nil)
+	return curve, err
+}
+
+// EstimateCurveMulti runs the job and simultaneously estimates additional
+// measures over the same trajectories (e.g. a breakdown of the unsafety by
+// catastrophic situation). The convergence rule still applies to the main
+// Value; the extra curves simply ride along, sharing every batch.
+func EstimateCurveMulti(job Job, extras map[string]func(mk *san.Marking) float64) (*Curve, map[string]*Curve, error) {
+	if err := job.validate(); err != nil {
+		return nil, nil, err
+	}
+	extraNames := make([]string, 0, len(extras))
+	for name := range extras {
+		if extras[name] == nil {
+			return nil, nil, fmt.Errorf("mc: nil extra value %q", name)
+		}
+		extraNames = append(extraNames, name)
+	}
+	sort.Strings(extraNames)
+	if job.MaxBatches == 0 {
+		job.MaxBatches = 1_000_000
+	}
+	if job.CheckEvery == 0 {
+		job.CheckEvery = 2000
+	}
+	workers := job.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	hasRule := job.StopRule != (stats.RelativeStopRule{})
+	src := rng.NewSource(job.Seed)
+	// measures[0] is the main Value; measures[1..] the extras in name order.
+	measures := len(extraNames) + 1
+	accs := make([][]stats.Welford, measures)
+	for mi := range accs {
+		accs[mi] = make([]stats.Welford, len(job.Times))
+	}
+
+	type workerState struct {
+		runner *sim.Runner
+		probes []*sim.Probe
+		accs   [][]stats.Welford
+	}
+	states := make([]*workerState, workers)
+	for w := range states {
+		runner, err := sim.NewRunner(job.Model, job.Sim)
+		if err != nil {
+			return nil, nil, err
+		}
+		st := &workerState{
+			runner: runner,
+			probes: make([]*sim.Probe, measures),
+			accs:   make([][]stats.Welford, measures),
+		}
+		st.probes[0] = &sim.Probe{Times: job.Times, Value: job.Value}
+		for ei, name := range extraNames {
+			st.probes[ei+1] = &sim.Probe{Times: job.Times, Value: extras[name]}
+		}
+		for mi := range st.accs {
+			st.accs[mi] = make([]stats.Welford, len(job.Times))
+		}
+		states[w] = st
+	}
+
+	var done uint64
+	converged := false
+	for done < job.MaxBatches && !converged {
+		round := job.CheckEvery
+		if rem := job.MaxBatches - done; round > rem {
+			round = rem
+		}
+
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		for w := 0; w < workers; w++ {
+			// Batch indices are striped: worker w runs done+w,
+			// done+w+workers, ... Deterministic regardless of scheduling.
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				st := states[w]
+				for b := uint64(w); b < round; b += uint64(workers) {
+					stream := src.Stream(done + b)
+					if _, err := st.runner.Run(stream, st.probes...); err != nil {
+						errs[w] = err
+						return
+					}
+					for mi, probe := range st.probes {
+						for i := range probe.Values {
+							st.accs[mi][i].Add(probe.Values[i] * probe.Weights[i])
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		for w := range states {
+			for mi := range accs {
+				for i := range accs[mi] {
+					accs[mi][i].Merge(&states[w].accs[mi][i])
+					states[w].accs[mi][i] = stats.Welford{}
+				}
+			}
+		}
+		done += round
+		if hasRule && job.StopRule.Satisfied(&accs[0][len(job.Times)-1]) {
+			converged = true
+		}
+	}
+
+	conf := job.StopRule.Confidence
+	if conf == 0 {
+		conf = 0.95
+	}
+	buildCurve := func(acc []stats.Welford) *Curve {
+		curve := &Curve{
+			Times:     append([]float64(nil), job.Times...),
+			Mean:      make([]float64, len(job.Times)),
+			Intervals: make([]stats.Interval, len(job.Times)),
+			Batches:   done,
+			Converged: converged || !hasRule,
+		}
+		for i := range acc {
+			curve.Mean[i] = acc[i].Mean()
+			curve.Intervals[i] = acc[i].CI(conf)
+		}
+		return curve
+	}
+	main := buildCurve(accs[0])
+	var extraCurves map[string]*Curve
+	if len(extraNames) > 0 {
+		extraCurves = make(map[string]*Curve, len(extraNames))
+		for ei, name := range extraNames {
+			extraCurves[name] = buildCurve(accs[ei+1])
+		}
+	}
+	return main, extraCurves, nil
+}
+
+// EstimateAt is a convenience wrapper estimating the measure at a single
+// time point.
+func EstimateAt(job Job, t float64) (stats.Interval, error) {
+	job.Times = []float64{t}
+	if job.Sim.MaxTime == 0 {
+		job.Sim.MaxTime = t
+	}
+	curve, err := EstimateCurve(job)
+	if err != nil {
+		return stats.Interval{}, err
+	}
+	return curve.Intervals[0], nil
+}

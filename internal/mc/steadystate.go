@@ -1,0 +1,99 @@
+package mc
+
+import (
+	"errors"
+	"fmt"
+
+	"ahs/internal/rng"
+	"ahs/internal/san"
+	"ahs/internal/sim"
+	"ahs/internal/stats"
+)
+
+// SteadyStateJob estimates a long-run mean E[f(X_∞)] by the method of batch
+// means on a single long trajectory: after a warm-up period, the horizon is
+// divided into batches, the measure is sampled on a regular grid within
+// each batch, and the batch means — approximately independent for batches
+// much longer than the system's mixing time — feed a Student-t confidence
+// interval.
+type SteadyStateJob struct {
+	// Model is the SAN to simulate (must not deadlock or absorb for the
+	// estimate to be meaningful).
+	Model *san.Model
+	// Value is the measured quantity.
+	Value func(mk *san.Marking) float64
+	// Horizon is the total simulated time (required, > 0).
+	Horizon float64
+	// WarmupFraction of the horizon is discarded (default 0.2).
+	WarmupFraction float64
+	// Batches is the number of batch means (default 32, minimum 2).
+	Batches int
+	// SamplesPerBatch is the sampling grid within each batch (default 64).
+	SamplesPerBatch int
+	// Seed selects the random stream.
+	Seed uint64
+	// MaxSteps guards the trajectory length (0: simulator default).
+	MaxSteps uint64
+}
+
+// EstimateSteadyState runs the batch-means estimation and returns the
+// long-run mean with a 95% confidence interval over the batch means.
+func EstimateSteadyState(job SteadyStateJob) (stats.Interval, error) {
+	if job.Model == nil {
+		return stats.Interval{}, errors.New("mc: nil model")
+	}
+	if job.Value == nil {
+		return stats.Interval{}, errors.New("mc: nil value function")
+	}
+	if !(job.Horizon > 0) {
+		return stats.Interval{}, fmt.Errorf("mc: horizon %v must be positive", job.Horizon)
+	}
+	if job.WarmupFraction == 0 {
+		job.WarmupFraction = 0.2
+	}
+	if job.WarmupFraction < 0 || job.WarmupFraction >= 1 {
+		return stats.Interval{}, fmt.Errorf("mc: warmup fraction %v outside [0,1)", job.WarmupFraction)
+	}
+	if job.Batches == 0 {
+		job.Batches = 32
+	}
+	if job.Batches < 2 {
+		return stats.Interval{}, fmt.Errorf("mc: need at least 2 batches, got %d", job.Batches)
+	}
+	if job.SamplesPerBatch == 0 {
+		job.SamplesPerBatch = 64
+	}
+	if job.SamplesPerBatch < 1 {
+		return stats.Interval{}, fmt.Errorf("mc: need at least 1 sample per batch, got %d", job.SamplesPerBatch)
+	}
+
+	warmup := job.Horizon * job.WarmupFraction
+	span := job.Horizon - warmup
+	total := job.Batches * job.SamplesPerBatch
+	times := make([]float64, total)
+	for i := range times {
+		times[i] = warmup + span*(float64(i)+0.5)/float64(total)
+	}
+
+	runner, err := sim.NewRunner(job.Model, sim.Options{
+		MaxTime:  job.Horizon,
+		MaxSteps: job.MaxSteps,
+	})
+	if err != nil {
+		return stats.Interval{}, err
+	}
+	probe := &sim.Probe{Times: times, Value: job.Value}
+	if _, err := runner.Run(rng.NewSource(job.Seed).Stream(0), probe); err != nil {
+		return stats.Interval{}, err
+	}
+
+	var acc stats.Welford
+	for b := 0; b < job.Batches; b++ {
+		sum := 0.0
+		for s := 0; s < job.SamplesPerBatch; s++ {
+			sum += probe.Values[b*job.SamplesPerBatch+s]
+		}
+		acc.Add(sum / float64(job.SamplesPerBatch))
+	}
+	return acc.CI(0.95), nil
+}

@@ -1,0 +1,27 @@
+package platoon
+
+import "testing"
+
+// FuzzParseStrategy checks that arbitrary input never panics and that
+// accepted codes round-trip through String.
+func FuzzParseStrategy(f *testing.F) {
+	for _, seed := range []string{"DD", "DC", "CD", "CC", "dd", "xx", "", "D", "DDD", "C\x00"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, code string) {
+		s, err := ParseStrategy(code)
+		if err != nil {
+			return
+		}
+		if s.Inter != Centralized && s.Inter != Decentralized {
+			t.Fatalf("accepted %q with invalid inter %v", code, s.Inter)
+		}
+		if s.Intra != Centralized && s.Intra != Decentralized {
+			t.Fatalf("accepted %q with invalid intra %v", code, s.Intra)
+		}
+		rt, err := ParseStrategy(s.String())
+		if err != nil || rt != s {
+			t.Fatalf("round trip failed for %q: %v, %v", code, rt, err)
+		}
+	})
+}

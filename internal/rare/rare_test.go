@@ -1,0 +1,191 @@
+package rare
+
+import (
+	"math"
+	"testing"
+
+	"ahs/internal/core"
+	"ahs/internal/ctmc"
+	"ahs/internal/san"
+)
+
+func buildMM1K(k int, lambda, mu float64) (*san.Model, san.PlaceID) {
+	b := san.NewBuilder("mm1k")
+	q := b.Place("queue", 0)
+	b.Timed(san.TimedActivity{
+		Name:    "arrive",
+		Enabled: func(m *san.Marking) bool { return m.Tokens(q) < k },
+		Rate:    san.ConstRate(lambda),
+		Input:   san.Produce(q, 1),
+	})
+	b.Timed(san.TimedActivity{
+		Name:    "depart",
+		Enabled: san.HasTokens(q, 1),
+		Rate:    san.ConstRate(mu),
+		Input:   san.Consume(q, 1),
+	})
+	return b.MustBuild(), q
+}
+
+func TestSplittingMatchesExactOnMM1K(t *testing.T) {
+	// Buffer overflow of a stable queue: a genuinely rare event.
+	const k = 9
+	const lambda, mu, horizon = 1.0, 3.0, 5.0
+	m, q := buildMM1K(k, lambda, mu)
+	target := san.HasTokens(q, k)
+
+	g, err := ctmc.Explore(m, ctmc.ExploreOptions{Absorb: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := g.TransientProbability(horizon, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact <= 0 || exact > 1e-3 {
+		t.Fatalf("test setup: exact %v not in the rare regime", exact)
+	}
+
+	sp := &Splitting{
+		Model:        m,
+		MaxTime:      horizon,
+		Target:       target,
+		Level:        func(mk *san.Marking) int { return mk.Tokens(q) },
+		Thresholds:   []int{2, 4, 6, 8},
+		Effort:       2000,
+		Replications: 10,
+		Seed:         1,
+	}
+	res, err := sp.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := res.Interval
+	se := iv.HalfWidth() / 1.96
+	if se == 0 {
+		t.Fatalf("degenerate splitting interval %v", iv)
+	}
+	// Allow the CI plus a small bias allowance (fixed-effort splitting is
+	// consistent with O(1/effort) bias).
+	if math.Abs(iv.Point-exact) > 5*se+0.05*exact {
+		t.Fatalf("splitting %v vs exact %v", iv, exact)
+	}
+	// Relative precision must beat naive MC at the same budget by far.
+	if iv.RelativeHalfWidth() > 0.5 {
+		t.Fatalf("splitting interval too loose: %v", iv)
+	}
+}
+
+func TestSplittingMatchesExactOnReducedAHS(t *testing.T) {
+	p := core.DefaultParams()
+	p.N = 1
+	p.Lambda = 1e-3
+	p.JoinRate, p.LeaveRate, p.ChangeRate = 0, 0, 0
+	p.TrackOutcomes = false
+	a := core.MustBuild(p)
+
+	g, err := ctmc.Explore(a.Model, ctmc.ExploreOptions{Absorb: a.Unsafe, MaxStates: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 8.0
+	exact, err := g.TransientProbability(horizon, a.Unsafe)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sp := &Splitting{
+		Model:   a.Model,
+		MaxTime: horizon,
+		Target:  a.Unsafe,
+		Level: func(mk *san.Marking) int {
+			nA, nB, nC := a.ActiveFailures(mk)
+			return nA + nB + nC
+		},
+		Thresholds:   []int{1},
+		Effort:       3000,
+		Replications: 8,
+		Seed:         2,
+	}
+	res, err := sp.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := res.Interval
+	se := iv.HalfWidth() / 1.96
+	if math.Abs(iv.Point-exact) > 5*se+0.1*exact {
+		t.Fatalf("splitting %v vs exact %v", iv, exact)
+	}
+}
+
+func TestSplittingStageDiagnostics(t *testing.T) {
+	m, q := buildMM1K(6, 1, 2)
+	sp := &Splitting{
+		Model:        m,
+		MaxTime:      3,
+		Target:       san.HasTokens(q, 6),
+		Level:        func(mk *san.Marking) int { return mk.Tokens(q) },
+		Thresholds:   []int{2, 4},
+		Effort:       500,
+		Replications: 4,
+		Seed:         3,
+	}
+	res, err := sp.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.StageFractions) != 4 {
+		t.Fatalf("expected 4 replications of fractions, got %d", len(res.StageFractions))
+	}
+	for _, fr := range res.StageFractions {
+		if len(fr) == 0 || len(fr) > 3 {
+			t.Fatalf("unexpected stage count %d", len(fr))
+		}
+		for _, f := range fr {
+			if f < 0 || f > 1 {
+				t.Fatalf("stage fraction %v out of range", f)
+			}
+		}
+	}
+}
+
+func TestSplittingZeroHitsGiveZeroEstimate(t *testing.T) {
+	// A target that is unreachable gives exactly zero.
+	m, q := buildMM1K(4, 0.001, 100 /* effectively never fills */)
+	sp := &Splitting{
+		Model:        m,
+		MaxTime:      0.01,
+		Target:       san.HasTokens(q, 4),
+		Level:        func(mk *san.Marking) int { return mk.Tokens(q) },
+		Thresholds:   []int{2},
+		Effort:       50,
+		Replications: 3,
+		Seed:         4,
+	}
+	res, err := sp.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interval.Point != 0 {
+		t.Fatalf("expected zero estimate, got %v", res.Interval.Point)
+	}
+}
+
+func TestSplittingValidation(t *testing.T) {
+	m, q := buildMM1K(4, 1, 2)
+	level := func(mk *san.Marking) int { return mk.Tokens(q) }
+	target := san.HasTokens(q, 4)
+	cases := map[string]*Splitting{
+		"nil model":      {MaxTime: 1, Target: target, Level: level, Thresholds: []int{1}},
+		"bad time":       {Model: m, Target: target, Level: level, Thresholds: []int{1}},
+		"nil target":     {Model: m, MaxTime: 1, Level: level, Thresholds: []int{1}},
+		"nil level":      {Model: m, MaxTime: 1, Target: target, Thresholds: []int{1}},
+		"no thresholds":  {Model: m, MaxTime: 1, Target: target, Level: level},
+		"non-increasing": {Model: m, MaxTime: 1, Target: target, Level: level, Thresholds: []int{2, 2}},
+	}
+	for name, sp := range cases {
+		if _, err := sp.Estimate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ahs/internal/experiments"
+)
+
+// chartMarks are the per-series plot symbols, cycled when a figure has more
+// series than symbols.
+var chartMarks = []byte{'o', '+', 'x', '*', '#', '@'}
+
+// Chart renders a figure result as an ASCII scatter plot with a
+// logarithmic y axis — unsafety spans orders of magnitude, exactly like the
+// paper's log-scale figures. Non-positive estimates (no hits) are skipped.
+// Width and height bound the plot area in characters; values below the
+// minimum are clamped.
+func Chart(res *experiments.Result, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+
+	// Collect the plotted points.
+	xLo, xHi := math.Inf(1), math.Inf(-1)
+	yLo, yHi := math.Inf(1), math.Inf(-1)
+	type point struct {
+		x, y float64
+		mark byte
+	}
+	var points []point
+	skipped := 0
+	for si, s := range res.Series {
+		mark := chartMarks[si%len(chartMarks)]
+		for i := range s.X {
+			if s.Y[i] <= 0 {
+				skipped++
+				continue
+			}
+			points = append(points, point{x: s.X[i], y: s.Y[i], mark: mark})
+			xLo, xHi = math.Min(xLo, s.X[i]), math.Max(xHi, s.X[i])
+			yLo, yHi = math.Min(yLo, s.Y[i]), math.Max(yHi, s.Y[i])
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (log y)\n", strings.ToUpper(res.ID), res.Title)
+	if len(points) == 0 {
+		b.WriteString("  (no positive estimates to plot)\n")
+		return b.String()
+	}
+	logLo, logHi := math.Log10(yLo), math.Log10(yHi)
+	if logHi-logLo < 0.5 {
+		mid := (logHi + logLo) / 2
+		logLo, logHi = mid-0.25, mid+0.25
+	}
+	if xHi == xLo {
+		xHi = xLo + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range points {
+		col := int(float64(width-1) * (p.x - xLo) / (xHi - xLo))
+		row := int(float64(height-1) * (math.Log10(p.y) - logLo) / (logHi - logLo))
+		row = height - 1 - row // y grows upward
+		grid[row][col] = p.mark
+	}
+
+	for r := 0; r < height; r++ {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9.1e ", math.Pow(10, logHi))
+		case height - 1:
+			label = fmt.Sprintf("%9.1e ", math.Pow(10, logLo))
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 10))
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%10s %-10g%*s\n", "", xLo, width-10, fmt.Sprintf("%g (%s)", xHi, res.XLabel))
+
+	// Legend.
+	for si, s := range res.Series {
+		fmt.Fprintf(&b, "  %c %s\n", chartMarks[si%len(chartMarks)], s.Label)
+	}
+	if skipped > 0 {
+		fmt.Fprintf(&b, "  (%d zero estimates not plotted)\n", skipped)
+	}
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+
+	"ahs/internal/experiments"
+)
+
+// WriteHTML renders a set of figure results as one self-contained HTML page:
+// per figure, the inline SVG chart followed by the data table. The page has
+// no external dependencies, so it can be committed or attached to a report
+// as-is.
+func WriteHTML(w io.Writer, title string, results []*experiments.Result) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
+	b.WriteString(`<style>
+body { font-family: sans-serif; margin: 2rem auto; max-width: 860px; color: #222; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2.5rem; }
+table { border-collapse: collapse; font-size: 0.85rem; margin-top: 0.75rem; }
+th, td { border: 1px solid #ccc; padding: 0.25rem 0.6rem; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+caption { text-align: left; font-style: italic; padding-bottom: 0.3rem; }
+</style>
+</head>
+<body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(title))
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+
+	for _, res := range results {
+		header := fmt.Sprintf("<h2 id=%q>%s — %s</h2>\n",
+			res.ID, html.EscapeString(strings.ToUpper(res.ID)), html.EscapeString(res.Title))
+		if _, err := io.WriteString(w, header); err != nil {
+			return err
+		}
+		// Inline SVG chart.
+		if err := WriteSVG(w, res); err != nil {
+			return err
+		}
+		// Data table.
+		cols, rows := ResultRows(res)
+		var tb strings.Builder
+		tb.WriteString("<table>\n<tr>")
+		for _, h := range cols {
+			fmt.Fprintf(&tb, "<th>%s</th>", html.EscapeString(h))
+		}
+		tb.WriteString("</tr>\n")
+		for _, row := range rows {
+			tb.WriteString("<tr>")
+			for _, cell := range row {
+				fmt.Fprintf(&tb, "<td>%s</td>", html.EscapeString(cell))
+			}
+			tb.WriteString("</tr>\n")
+		}
+		tb.WriteString("</table>\n")
+		if _, err := io.WriteString(w, tb.String()); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "</body>\n</html>\n")
+	return err
+}

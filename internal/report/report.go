@@ -1,0 +1,121 @@
+// Package report renders experiment results as aligned ASCII tables and CSV
+// files, the two output formats of cmd/ahs-experiments and the benchmark
+// harness.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+
+	"ahs/internal/experiments"
+)
+
+// FormatProb renders a probability compactly: fixed-point for ordinary
+// magnitudes, scientific for rare-event values.
+func FormatProb(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e-3:
+		return strconv.FormatFloat(v, 'f', 6, 64)
+	default:
+		return strconv.FormatFloat(v, 'e', 3, 64)
+	}
+}
+
+// Table renders header + rows as an aligned monospace table. Column widths
+// are measured in runes so that non-ASCII labels (λ, ρ) stay aligned.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if n := utf8.RuneCountInString(cell); i < len(widths) && n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - utf8.RuneCountInString(cell); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// ResultRows flattens a figure result into a header and one row per series
+// per x-value: series label, x, estimate, CI bounds, batch count.
+func ResultRows(res *experiments.Result) (header []string, rows [][]string) {
+	header = []string{"series", res.XLabel, res.YLabel, "ci_lo", "ci_hi", "batches"}
+	for _, s := range res.Series {
+		for i := range s.X {
+			lo, hi := "", ""
+			if i < len(s.CI) {
+				lo = FormatProb(s.CI[i].Lo)
+				hi = FormatProb(s.CI[i].Hi)
+			}
+			rows = append(rows, []string{
+				s.Label,
+				strconv.FormatFloat(s.X[i], 'g', -1, 64),
+				FormatProb(s.Y[i]),
+				lo,
+				hi,
+				strconv.FormatUint(s.Batches, 10),
+			})
+		}
+	}
+	return header, rows
+}
+
+// RenderResult renders a whole figure result: title line plus table.
+func RenderResult(res *experiments.Result) string {
+	header, rows := ResultRows(res)
+	return fmt.Sprintf("%s: %s\n%s", strings.ToUpper(res.ID), res.Title, Table(header, rows))
+}
+
+// WriteCSV writes header + rows as CSV.
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("report: write csv header: %w", err)
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("report: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("report: flush csv: %w", err)
+	}
+	return nil
+}
+
+// WriteResultCSV writes one figure result as CSV.
+func WriteResultCSV(w io.Writer, res *experiments.Result) error {
+	header, rows := ResultRows(res)
+	return WriteCSV(w, header, rows)
+}

@@ -1,0 +1,236 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"ahs/internal/experiments"
+	"ahs/internal/stats"
+)
+
+func sampleResult() *experiments.Result {
+	return &experiments.Result{
+		ID:     "fig99",
+		Title:  "sample",
+		XLabel: "t",
+		YLabel: "S",
+		Series: []experiments.Series{
+			{
+				Label:   "n=8",
+				X:       []float64{2, 4},
+				Y:       []float64{1.5e-7, 0.25},
+				CI:      []stats.Interval{{Point: 1.5e-7, Lo: 1e-7, Hi: 2e-7}, {Point: 0.25, Lo: 0.2, Hi: 0.3}},
+				Batches: 1000,
+			},
+			{
+				Label:   "n=10",
+				X:       []float64{2, 4},
+				Y:       []float64{0, 3e-6},
+				CI:      []stats.Interval{{}, {Point: 3e-6, Lo: 2e-6, Hi: 4e-6}},
+				Batches: 2000,
+			},
+		},
+	}
+}
+
+func TestFormatProb(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{0.25, "0.250000"},
+		{1.5e-7, "1.500e-07"},
+		{1e-3, "0.001000"},
+		{9.99e-4, "9.990e-04"},
+	}
+	for _, c := range cases {
+		if got := FormatProb(c.in); got != c.want {
+			t.Errorf("FormatProb(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"a", "bb"}, [][]string{{"xxx", "y"}, {"z", "wwww"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+	if lines[1] != "---  ----" {
+		t.Fatalf("separator %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "xxx  y") {
+		t.Fatalf("row %q misaligned", lines[2])
+	}
+}
+
+func TestResultRows(t *testing.T) {
+	header, rows := ResultRows(sampleResult())
+	if len(header) != 6 || header[1] != "t" || header[2] != "S" {
+		t.Fatalf("header %v", header)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	if rows[0][0] != "n=8" || rows[0][1] != "2" || rows[0][2] != "1.500e-07" {
+		t.Fatalf("first row %v", rows[0])
+	}
+	if rows[3][0] != "n=10" || rows[3][5] != "2000" {
+		t.Fatalf("last row %v", rows[3])
+	}
+}
+
+func TestRenderResultContainsTitleAndData(t *testing.T) {
+	out := RenderResult(sampleResult())
+	for _, want := range []string{"FIG99", "sample", "n=8", "1.500e-07"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered result missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteResultCSV(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 5 { // header + 4 rows
+		t.Fatalf("%d csv records, want 5", len(records))
+	}
+	for i, rec := range records {
+		if len(rec) != 6 {
+			t.Fatalf("record %d has %d fields", i, len(rec))
+		}
+	}
+}
+
+func TestWriteCSVPropagatesWriterErrors(t *testing.T) {
+	w := failWriter{}
+	err := WriteCSV(w, []string{"a"}, [][]string{{"b"}})
+	if err == nil {
+		t.Fatal("expected error from failing writer")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) {
+	return 0, errWrite
+}
+
+var errWrite = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "synthetic write failure" }
+
+func TestChartRendersAllSeries(t *testing.T) {
+	out := Chart(sampleResult(), 40, 8)
+	if !strings.Contains(out, "FIG99") || !strings.Contains(out, "log y") {
+		t.Fatalf("chart header missing:\n%s", out)
+	}
+	// Legend lists both series.
+	if !strings.Contains(out, "o n=8") || !strings.Contains(out, "+ n=10") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	// Marks appear in the plot area.
+	if !strings.Contains(out, "o") || !strings.Contains(out, "+") {
+		t.Fatalf("marks missing:\n%s", out)
+	}
+	// One zero estimate is reported as skipped.
+	if !strings.Contains(out, "1 zero estimates not plotted") {
+		t.Fatalf("skip note missing:\n%s", out)
+	}
+}
+
+func TestChartHandlesEmptyAndDegenerate(t *testing.T) {
+	empty := &experiments.Result{ID: "figx", Title: "t", XLabel: "x",
+		Series: []experiments.Series{{Label: "z", X: []float64{1}, Y: []float64{0}}}}
+	out := Chart(empty, 10, 2)
+	if !strings.Contains(out, "no positive estimates") {
+		t.Fatalf("empty chart output %q", out)
+	}
+	// Single point: degenerate ranges must not panic or divide by zero.
+	single := &experiments.Result{ID: "figy", Title: "t", XLabel: "x",
+		Series: []experiments.Series{{Label: "s", X: []float64{2}, Y: []float64{1e-5}}}}
+	out = Chart(single, 10, 3)
+	if !strings.Contains(out, "o") {
+		t.Fatalf("single-point chart missing mark:\n%s", out)
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "FIG99", "n=8", "n=10", "1e-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	// Well-formedness basics: every opened circle/line closes itself.
+	if strings.Count(out, "<svg") != 1 || strings.Count(out, "</svg>") != 1 {
+		t.Fatal("svg not single-rooted")
+	}
+}
+
+func TestWriteSVGEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	empty := &experiments.Result{ID: "figz", Title: "t", XLabel: "x", YLabel: "y",
+		Series: []experiments.Series{{Label: "z", X: []float64{1}, Y: []float64{0}}}}
+	if err := WriteSVG(&buf, empty); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no positive estimates") {
+		t.Fatal("empty svg missing placeholder text")
+	}
+}
+
+func TestWriteSVGEscapesLabels(t *testing.T) {
+	res := sampleResult()
+	res.Title = `a<b & "c"`
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `a<b`) {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(buf.String(), "a&lt;b &amp; &quot;c&quot;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestWriteHTML(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, "AHS results", []*experiments.Result{sampleResult()}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<!DOCTYPE html>", "AHS results", "<svg", "<table>", "FIG99", "</html>"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("html missing %q", want)
+		}
+	}
+}
+
+func TestWriteHTMLEscapes(t *testing.T) {
+	res := sampleResult()
+	res.Title = "<script>alert(1)</script>"
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, "x & y", []*experiments.Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>") {
+		t.Fatal("html injection not escaped")
+	}
+}

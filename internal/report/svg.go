@@ -1,0 +1,145 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"ahs/internal/experiments"
+)
+
+// svgPalette holds the series stroke colors (colorblind-safe Okabe-Ito).
+var svgPalette = []string{
+	"#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9",
+}
+
+// svgLayout fixes the chart geometry.
+type svgLayout struct {
+	width, height                      int
+	marginL, marginR, marginT, marginB int
+}
+
+func defaultLayout() svgLayout {
+	return svgLayout{width: 720, height: 480, marginL: 80, marginR: 180, marginT: 48, marginB: 56}
+}
+
+// WriteSVG renders a figure result as a standalone SVG line chart with a
+// log10 y axis (matching the paper's log-scale plots) and per-point
+// confidence whiskers. Zero estimates are skipped, like in Chart.
+func WriteSVG(w io.Writer, res *experiments.Result) error {
+	l := defaultLayout()
+	plotW := float64(l.width - l.marginL - l.marginR)
+	plotH := float64(l.height - l.marginT - l.marginB)
+
+	// Data ranges over positive estimates (CI bounds clamp to the data
+	// range rather than extending it below zero).
+	xLo, xHi := math.Inf(1), math.Inf(-1)
+	yLo, yHi := math.Inf(1), math.Inf(-1)
+	for _, s := range res.Series {
+		for i := range s.X {
+			if s.Y[i] <= 0 {
+				continue
+			}
+			xLo, xHi = math.Min(xLo, s.X[i]), math.Max(xHi, s.X[i])
+			yLo, yHi = math.Min(yLo, s.Y[i]), math.Max(yHi, s.Y[i])
+			if i < len(s.CI) && s.CI[i].Hi > 0 {
+				yHi = math.Max(yHi, s.CI[i].Hi)
+			}
+		}
+	}
+	hasData := !math.IsInf(xLo, 1)
+	var logLo, logHi float64
+	if hasData {
+		logLo, logHi = math.Floor(math.Log10(yLo)), math.Ceil(math.Log10(yHi))
+		if logHi == logLo {
+			logHi++
+		}
+		if xHi == xLo {
+			xHi = xLo + 1
+		}
+	}
+	xPix := func(x float64) float64 {
+		return float64(l.marginL) + plotW*(x-xLo)/(xHi-xLo)
+	}
+	yPix := func(y float64) float64 {
+		return float64(l.marginT) + plotH*(1-(math.Log10(y)-logLo)/(logHi-logLo))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		l.width, l.height, l.width, l.height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n",
+		l.marginL, svgEscape(strings.ToUpper(res.ID)+" — "+res.Title))
+
+	if !hasData {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">no positive estimates</text>`+"\n",
+			l.marginL, l.height/2)
+		b.WriteString("</svg>\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+
+	// Axes and log gridlines (one per decade).
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#444"/>`+"\n",
+		l.marginL, l.marginT, plotW, plotH)
+	for d := logLo; d <= logHi+1e-9; d++ {
+		y := yPix(math.Pow(10, d))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			l.marginL, y, float64(l.marginL)+plotW, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">1e%.0f</text>`+"\n",
+			l.marginL-6, y+4, d)
+	}
+	// X ticks at each distinct grid value of the first series.
+	if len(res.Series) > 0 {
+		for _, x := range res.Series[0].X {
+			px := xPix(x)
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#444"/>`+"\n",
+				px, float64(l.marginT)+plotH, px, float64(l.marginT)+plotH+5)
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle">%g</text>`+"\n",
+				px, float64(l.marginT)+plotH+18, x)
+		}
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		float64(l.marginL)+plotW/2, l.height-12, svgEscape(res.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" font-family="sans-serif" font-size="12" transform="rotate(-90 16 %.1f)" text-anchor="middle">%s</text>`+"\n",
+		float64(l.marginT)+plotH/2, float64(l.marginT)+plotH/2, svgEscape(res.YLabel))
+
+	// Series: polyline over positive points, whiskers for CIs, legend.
+	for si, s := range res.Series {
+		color := svgPalette[si%len(svgPalette)]
+		var points []string
+		for i := range s.X {
+			if s.Y[i] <= 0 {
+				continue
+			}
+			px, py := xPix(s.X[i]), yPix(s.Y[i])
+			points = append(points, fmt.Sprintf("%.1f,%.1f", px, py))
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", px, py, color)
+			if i < len(s.CI) && s.CI[i].Lo > 0 && s.CI[i].Hi > s.CI[i].Lo {
+				fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+					px, yPix(s.CI[i].Lo), px, yPix(s.CI[i].Hi), color)
+			}
+		}
+		if len(points) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				strings.Join(points, " "), color)
+		}
+		// Legend entry.
+		ly := l.marginT + 16*si
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			float64(l.width-l.marginR)+12, ly, float64(l.width-l.marginR)+32, ly, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			float64(l.width-l.marginR)+38, ly+4, svgEscape(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

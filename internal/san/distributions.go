@@ -1,0 +1,168 @@
+package san
+
+import (
+	"fmt"
+	"math"
+
+	"ahs/internal/rng"
+)
+
+// Distribution is a positive firing-delay distribution for timed activities
+// that are not marking-dependent exponentials. The paper's models are fully
+// exponential (§4.1), but the SAN formalism — and the Möbius tool — support
+// general distributions; internal/sim's GeneralRunner executes them with
+// event-queue semantics.
+type Distribution interface {
+	// Sample draws one delay.
+	Sample(r *rng.Stream) float64
+	// Mean returns the expected delay.
+	Mean() float64
+	// String describes the distribution.
+	String() string
+}
+
+// Exponential is the memoryless delay distribution with the given rate.
+type Exponential struct {
+	Rate float64
+}
+
+var _ Distribution = Exponential{}
+
+// Sample implements Distribution.
+func (d Exponential) Sample(r *rng.Stream) float64 { return r.Exp(d.Rate) }
+
+// Mean implements Distribution.
+func (d Exponential) Mean() float64 { return 1 / d.Rate }
+
+// String implements Distribution.
+func (d Exponential) String() string { return fmt.Sprintf("Exp(%g)", d.Rate) }
+
+// Validate reports whether the parameters are usable.
+func (d Exponential) Validate() error {
+	if !(d.Rate > 0) {
+		return fmt.Errorf("san: Exponential rate %v must be positive", d.Rate)
+	}
+	return nil
+}
+
+// Deterministic is a fixed delay.
+type Deterministic struct {
+	Value float64
+}
+
+var _ Distribution = Deterministic{}
+
+// Sample implements Distribution.
+func (d Deterministic) Sample(*rng.Stream) float64 { return d.Value }
+
+// Mean implements Distribution.
+func (d Deterministic) Mean() float64 { return d.Value }
+
+// String implements Distribution.
+func (d Deterministic) String() string { return fmt.Sprintf("Det(%g)", d.Value) }
+
+// Validate reports whether the parameters are usable.
+func (d Deterministic) Validate() error {
+	if !(d.Value > 0) {
+		return fmt.Errorf("san: Deterministic delay %v must be positive", d.Value)
+	}
+	return nil
+}
+
+// Uniform is a delay uniform on [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+var _ Distribution = Uniform{}
+
+// Sample implements Distribution.
+func (d Uniform) Sample(r *rng.Stream) float64 { return r.Uniform(d.Lo, d.Hi) }
+
+// Mean implements Distribution.
+func (d Uniform) Mean() float64 { return (d.Lo + d.Hi) / 2 }
+
+// String implements Distribution.
+func (d Uniform) String() string { return fmt.Sprintf("U(%g,%g)", d.Lo, d.Hi) }
+
+// Validate reports whether the parameters are usable.
+func (d Uniform) Validate() error {
+	if !(d.Lo >= 0) || !(d.Hi > d.Lo) {
+		return fmt.Errorf("san: Uniform bounds [%v,%v) invalid", d.Lo, d.Hi)
+	}
+	return nil
+}
+
+// Erlang is the sum of K independent Exp(Rate) stages — the classic
+// "nearly deterministic with tunable variance" delay.
+type Erlang struct {
+	K    int
+	Rate float64
+}
+
+var _ Distribution = Erlang{}
+
+// Sample implements Distribution.
+func (d Erlang) Sample(r *rng.Stream) float64 {
+	total := 0.0
+	for i := 0; i < d.K; i++ {
+		total += r.Exp(d.Rate)
+	}
+	return total
+}
+
+// Mean implements Distribution.
+func (d Erlang) Mean() float64 { return float64(d.K) / d.Rate }
+
+// String implements Distribution.
+func (d Erlang) String() string { return fmt.Sprintf("Erlang(%d,%g)", d.K, d.Rate) }
+
+// Validate reports whether the parameters are usable.
+func (d Erlang) Validate() error {
+	if d.K < 1 {
+		return fmt.Errorf("san: Erlang needs K >= 1 stages, got %d", d.K)
+	}
+	if !(d.Rate > 0) {
+		return fmt.Errorf("san: Erlang rate %v must be positive", d.Rate)
+	}
+	return nil
+}
+
+// Weibull is the Weibull delay with the given shape and scale, sampled by
+// inversion: scale·(-ln U)^(1/shape).
+type Weibull struct {
+	Shape, Scale float64
+}
+
+var _ Distribution = Weibull{}
+
+// Sample implements Distribution.
+func (d Weibull) Sample(r *rng.Stream) float64 {
+	return d.Scale * math.Pow(-math.Log(r.Float64Open()), 1/d.Shape)
+}
+
+// Mean implements Distribution.
+func (d Weibull) Mean() float64 {
+	return d.Scale * math.Gamma(1+1/d.Shape)
+}
+
+// String implements Distribution.
+func (d Weibull) String() string { return fmt.Sprintf("Weibull(%g,%g)", d.Shape, d.Scale) }
+
+// Validate reports whether the parameters are usable.
+func (d Weibull) Validate() error {
+	if !(d.Shape > 0) || !(d.Scale > 0) {
+		return fmt.Errorf("san: Weibull shape/scale (%v,%v) must be positive", d.Shape, d.Scale)
+	}
+	return nil
+}
+
+// ValidateDistribution checks the parameters of the built-in distributions;
+// unknown implementations are accepted as-is.
+func ValidateDistribution(d Distribution) error {
+	type validator interface{ Validate() error }
+	if v, ok := d.(validator); ok {
+		return v.Validate()
+	}
+	return nil
+}

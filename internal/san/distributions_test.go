@@ -1,0 +1,126 @@
+package san
+
+import (
+	"math"
+	"testing"
+
+	"ahs/internal/rng"
+)
+
+func sampleMean(t *testing.T, d Distribution, n int) float64 {
+	t.Helper()
+	r := rng.NewStream(7)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := d.Sample(r)
+		if x < 0 {
+			t.Fatalf("%v sampled negative delay %v", d, x)
+		}
+		sum += x
+	}
+	return sum / float64(n)
+}
+
+func TestDistributionMeansMatchSamples(t *testing.T) {
+	cases := []struct {
+		d   Distribution
+		tol float64 // relative tolerance on the sample mean
+	}{
+		{Exponential{Rate: 2}, 0.02},
+		{Deterministic{Value: 3.5}, 0},
+		{Uniform{Lo: 1, Hi: 3}, 0.02},
+		{Erlang{K: 4, Rate: 2}, 0.02},
+		{Weibull{Shape: 1.5, Scale: 2}, 0.02},
+	}
+	const n = 100000
+	for _, c := range cases {
+		got := sampleMean(t, c.d, n)
+		want := c.d.Mean()
+		if math.Abs(got-want) > c.tol*want+1e-12 {
+			t.Errorf("%v: sample mean %v, analytic mean %v", c.d, got, want)
+		}
+	}
+}
+
+func TestExponentialWeibullShapeOneCoincide(t *testing.T) {
+	// Weibull(shape=1, scale=s) is Exp(1/s): means must agree exactly.
+	w := Weibull{Shape: 1, Scale: 2}
+	e := Exponential{Rate: 0.5}
+	if math.Abs(w.Mean()-e.Mean()) > 1e-12 {
+		t.Fatalf("Weibull(1,2) mean %v != Exp(0.5) mean %v", w.Mean(), e.Mean())
+	}
+}
+
+func TestDeterministicIsConstant(t *testing.T) {
+	d := Deterministic{Value: 1.25}
+	r := rng.NewStream(1)
+	for i := 0; i < 100; i++ {
+		if d.Sample(r) != 1.25 {
+			t.Fatal("Deterministic sample varied")
+		}
+	}
+}
+
+func TestUniformSamplesWithinBounds(t *testing.T) {
+	d := Uniform{Lo: 2, Hi: 5}
+	r := rng.NewStream(2)
+	for i := 0; i < 10000; i++ {
+		x := d.Sample(r)
+		if x < 2 || x >= 5 {
+			t.Fatalf("Uniform sample %v out of [2,5)", x)
+		}
+	}
+}
+
+func TestErlangVarianceBelowExponential(t *testing.T) {
+	// Erlang(k) with matched mean has variance mean^2/k < mean^2.
+	e := Erlang{K: 5, Rate: 5} // mean 1
+	r := rng.NewStream(3)
+	const n = 50000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := e.Sample(r)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	want := 1.0 / 5
+	if math.Abs(variance-want) > 0.05*want {
+		t.Fatalf("Erlang(5,5) variance %v, want %v", variance, want)
+	}
+}
+
+func TestDistributionValidation(t *testing.T) {
+	bad := []Distribution{
+		Exponential{Rate: 0},
+		Exponential{Rate: -1},
+		Deterministic{Value: 0},
+		Uniform{Lo: -1, Hi: 1},
+		Uniform{Lo: 2, Hi: 2},
+		Erlang{K: 0, Rate: 1},
+		Erlang{K: 2, Rate: 0},
+		Weibull{Shape: 0, Scale: 1},
+		Weibull{Shape: 1, Scale: 0},
+	}
+	for _, d := range bad {
+		if err := ValidateDistribution(d); err == nil {
+			t.Errorf("%v: expected validation error", d)
+		}
+	}
+	good := []Distribution{
+		Exponential{Rate: 1},
+		Deterministic{Value: 1},
+		Uniform{Lo: 0, Hi: 1},
+		Erlang{K: 3, Rate: 2},
+		Weibull{Shape: 2, Scale: 1},
+	}
+	for _, d := range good {
+		if err := ValidateDistribution(d); err != nil {
+			t.Errorf("%v: unexpected error %v", d, err)
+		}
+		if d.String() == "" {
+			t.Errorf("%v: empty String()", d)
+		}
+	}
+}

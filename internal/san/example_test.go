@@ -1,0 +1,47 @@
+package san_test
+
+import (
+	"fmt"
+
+	"ahs/internal/san"
+)
+
+// ExampleBuilder assembles a minimal SAN — an M/M/1/3 queue — and shows the
+// Rep-style scoping used by the AHS model's vehicle replicas.
+func ExampleBuilder() {
+	b := san.NewBuilder("mm1k")
+	queue := b.Place("queue", 0)
+	b.Timed(san.TimedActivity{
+		Name:    "arrive",
+		Enabled: func(m *san.Marking) bool { return m.Tokens(queue) < 3 },
+		Rate:    san.ConstRate(2.0),
+		Input:   san.Produce(queue, 1),
+	})
+	b.Timed(san.TimedActivity{
+		Name:    "depart",
+		Enabled: san.HasTokens(queue, 1),
+		Rate:    san.ConstRate(3.0),
+		Input:   san.Consume(queue, 1),
+	})
+	// Two replicated observers sharing the queue place, as the Möbius Rep
+	// operator would create them.
+	b.Rep("sensor", 2, func(rb *san.Builder, i int) {
+		seen := rb.Place("seen", 0)
+		rb.Instant(san.InstantActivity{
+			Name: "notice",
+			Enabled: func(m *san.Marking) bool {
+				return m.Tokens(queue) == 3 && m.Tokens(seen) == 0
+			},
+			Input: san.Produce(seen, 1),
+		})
+	})
+	model := b.MustBuild()
+	fmt.Printf("model %q: %d places, %d timed, %d instantaneous\n",
+		model.Name(), model.NumPlaces(), model.NumTimed(), model.NumInstant())
+	if id, ok := model.PlaceByName("sensor[1].seen"); ok {
+		fmt.Println("replica place:", model.PlaceName(id))
+	}
+	// Output:
+	// model "mm1k": 3 places, 2 timed, 2 instantaneous
+	// replica place: sensor[1].seen
+}

@@ -1,0 +1,538 @@
+// Package sim executes Stochastic Activity Network trajectories.
+//
+// All timed activities in the paper's models are exponentially distributed
+// (§4.1), so the executor uses race semantics with memoryless resampling:
+// in each marking it computes the enabled activities' rates, samples the
+// holding time from the total rate and picks the completing activity
+// proportionally to its rate. This is stochastically identical to
+// maintaining per-activity residual clocks for exponential activities, and
+// it makes importance sampling exact: biasing an activity's rate by a
+// constant factor yields a per-step likelihood ratio
+//
+//	(λ_k/λ'_k) · exp((Λ' − Λ)·τ)
+//
+// where λ_k is the completing activity's rate, Λ the total enabled rate,
+// primes denote biased quantities and τ the sampled holding time. The
+// executor accumulates the log likelihood ratio along the trajectory so
+// rare-event measures (the paper's unsafety at λ = 1e-6/hr and below) can
+// be estimated without the astronomically many batches naive simulation
+// would need.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ahs/internal/rng"
+	"ahs/internal/san"
+)
+
+// ErrLivelock is returned when instantaneous activities keep firing without
+// reaching a stable marking.
+var ErrLivelock = errors.New("sim: instantaneous activity livelock")
+
+// ErrStepLimit is returned when a trajectory exceeds Options.MaxSteps.
+var ErrStepLimit = errors.New("sim: step limit exceeded")
+
+// Observer receives trajectory events. Implementations must not retain the
+// marking across calls.
+type Observer interface {
+	// OnEvent is called after each activity completion with the simulation
+	// time, the completed activity's name and the resulting marking.
+	OnEvent(t float64, activity string, mk *san.Marking)
+}
+
+// FactorFn returns a marking-dependent bias multiplier. It must return
+// strictly positive finite values; returning 1 leaves the rate unchanged.
+type FactorFn func(mk *san.Marking) float64
+
+// Bias specifies importance-sampling rate multipliers per timed activity,
+// either constant or marking-dependent (adaptive forcing, e.g. "force
+// failures only while fewer than two are active"). The zero value (or nil
+// pointer) means no biasing.
+//
+// Marking-dependent factors are sound because the executor recomputes both
+// the original and the biased total rate in every visited marking and
+// accumulates the per-step likelihood ratio accordingly.
+type Bias struct {
+	factors map[int]float64  // timed activity index -> constant multiplier
+	fns     map[int]FactorFn // timed activity index -> adaptive multiplier
+}
+
+// NewBias returns an empty bias specification.
+func NewBias() *Bias {
+	return &Bias{factors: make(map[int]float64), fns: make(map[int]FactorFn)}
+}
+
+// SetByName sets the multiplier for the named timed activity. It returns an
+// error if the activity does not exist in the model or the factor is not
+// strictly positive and finite.
+func (b *Bias) SetByName(m *san.Model, name string, factor float64) error {
+	idx := m.TimedIndex(name)
+	if idx < 0 {
+		return fmt.Errorf("sim: no timed activity %q", name)
+	}
+	return b.Set(idx, factor)
+}
+
+// Set sets the multiplier for the timed activity with the given index.
+func (b *Bias) Set(index int, factor float64) error {
+	if !(factor > 0) || math.IsInf(factor, 1) {
+		return fmt.Errorf("sim: invalid bias factor %v", factor)
+	}
+	b.factors[index] = factor
+	delete(b.fns, index)
+	return nil
+}
+
+// SetFn installs a marking-dependent multiplier for the timed activity with
+// the given index, replacing any constant factor.
+func (b *Bias) SetFn(index int, fn FactorFn) error {
+	if fn == nil {
+		return fmt.Errorf("sim: nil bias factor function")
+	}
+	b.fns[index] = fn
+	delete(b.factors, index)
+	return nil
+}
+
+// SetFnByName installs a marking-dependent multiplier for the named timed
+// activity.
+func (b *Bias) SetFnByName(m *san.Model, name string, fn FactorFn) error {
+	idx := m.TimedIndex(name)
+	if idx < 0 {
+		return fmt.Errorf("sim: no timed activity %q", name)
+	}
+	return b.SetFn(idx, fn)
+}
+
+// Factor returns the constant multiplier for a timed activity index
+// (1 by default or when the activity uses an adaptive factor).
+func (b *Bias) Factor(index int) float64 {
+	if b == nil || b.factors == nil {
+		return 1
+	}
+	if f, ok := b.factors[index]; ok {
+		return f
+	}
+	return 1
+}
+
+// FactorIn returns the multiplier for a timed activity in a marking.
+func (b *Bias) FactorIn(index int, mk *san.Marking) (float64, error) {
+	if b == nil {
+		return 1, nil
+	}
+	if fn, ok := b.fns[index]; ok {
+		f := fn(mk)
+		if !(f > 0) || math.IsInf(f, 1) {
+			return 0, fmt.Errorf("sim: adaptive bias factor %v for activity %d", f, index)
+		}
+		return f, nil
+	}
+	if f, ok := b.factors[index]; ok {
+		return f, nil
+	}
+	return 1, nil
+}
+
+// IsNeutral reports whether the bias can be statically proven to change no
+// rates (adaptive factors are conservatively treated as non-neutral).
+func (b *Bias) IsNeutral() bool {
+	if b == nil {
+		return true
+	}
+	if len(b.fns) > 0 {
+		return false
+	}
+	for _, f := range b.factors {
+		if f != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Probe samples a marking-valued function at fixed time points along a
+// trajectory. After Run, Values[i] holds the sampled value at Times[i] and
+// Weights[i] the trajectory's likelihood ratio there (1 without biasing).
+type Probe struct {
+	// Times are the sampling instants; they must be sorted ascending and
+	// non-negative.
+	Times []float64
+	// Value evaluates the measured quantity in a marking.
+	Value func(mk *san.Marking) float64
+	// Values and Weights are outputs, (re)allocated by Run.
+	Values  []float64
+	Weights []float64
+}
+
+// Options configures trajectory execution.
+type Options struct {
+	// MaxTime ends the trajectory (required, > 0).
+	MaxTime float64
+	// MaxSteps guards against runaway models; 0 means 50 million.
+	MaxSteps uint64
+	// MaxInstantFirings guards against instantaneous livelock per event
+	// epoch; 0 means 100000.
+	MaxInstantFirings int
+	// Stop, when non-nil, ends the trajectory as soon as the predicate
+	// holds (checked after initialisation and after every completion).
+	// Probe times not yet reached are then filled with the value of the
+	// stopped marking and the likelihood ratio frozen at the stopping
+	// time; this is the standard unbiased first-passage estimator for
+	// absorbing measures.
+	Stop san.Predicate
+	// Bias applies importance sampling to timed-activity rates.
+	Bias *Bias
+	// Observer, when non-nil, receives every completion event.
+	Observer Observer
+}
+
+// Result summarises one executed trajectory.
+type Result struct {
+	// End is the time at which execution stopped (MaxTime, the stop
+	// predicate instant, or the deadlock instant).
+	End float64
+	// Steps counts timed-activity completions.
+	Steps uint64
+	// InstantFirings counts instantaneous-activity completions.
+	InstantFirings uint64
+	// Stopped reports whether the stop predicate ended the run.
+	Stopped bool
+	// StopTime is the first-passage time (valid when Stopped).
+	StopTime float64
+	// StopWeight is the likelihood ratio at StopTime (1 without biasing).
+	StopWeight float64
+	// Deadlocked reports that no timed activity was enabled before MaxTime.
+	Deadlocked bool
+}
+
+// instantEngine fires enabled instantaneous activities in priority order,
+// shared by the race-semantics Runner and the event-queue GeneralRunner.
+type instantEngine struct {
+	model      *san.Model
+	order      []int // instantaneous activity indices sorted by priority
+	maxFirings int
+	weights    []float64
+}
+
+func newInstantEngine(model *san.Model, maxFirings int) *instantEngine {
+	e := &instantEngine{model: model, maxFirings: maxFirings}
+	e.order = make([]int, model.NumInstant())
+	for i := range e.order {
+		e.order[i] = i
+	}
+	sort.SliceStable(e.order, func(a, b int) bool {
+		return model.Instant(e.order[a]).Priority < model.Instant(e.order[b]).Priority
+	})
+	return e
+}
+
+// fireAll fires enabled instantaneous activities until none is enabled.
+func (e *instantEngine) fireAll(mk *san.Marking, stream *rng.Stream, res *Result) error {
+	firings := 0
+	for {
+		fired := false
+		for _, idx := range e.order {
+			act := e.model.Instant(idx)
+			if !act.EnabledIn(mk) {
+				continue
+			}
+			caseIdx, err := e.chooseCase(act.Cases, mk, stream)
+			if err != nil {
+				return fmt.Errorf("activity %q: %w", act.Name, err)
+			}
+			san.FireInstant(act, caseIdx, mk)
+			res.InstantFirings++
+			firings++
+			if firings > e.maxFirings {
+				return fmt.Errorf("%w after %d firings (last %q)", ErrLivelock, firings, act.Name)
+			}
+			fired = true
+			break // restart the priority scan from the top
+		}
+		if !fired {
+			return nil
+		}
+	}
+}
+
+func (e *instantEngine) chooseCase(cases []san.Case, mk *san.Marking, stream *rng.Stream) (int, error) {
+	ws, err := san.CaseWeights(cases, mk, e.weights)
+	if err != nil {
+		return 0, err
+	}
+	e.weights = ws
+	if len(ws) == 1 {
+		return 0, nil
+	}
+	return stream.Choice(ws), nil
+}
+
+// Runner executes trajectories of one model. A Runner is not safe for
+// concurrent use; create one per goroutine.
+type Runner struct {
+	model    *san.Model
+	opts     Options
+	instants *instantEngine
+
+	rates   []float64
+	biased  []float64
+	enabled []int
+	marking *san.Marking
+	initial *san.Marking
+}
+
+// NewRunner validates options and returns a Runner for the model.
+func NewRunner(model *san.Model, opts Options) (*Runner, error) {
+	if !(opts.MaxTime > 0) {
+		return nil, fmt.Errorf("sim: MaxTime must be positive, got %v", opts.MaxTime)
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 50_000_000
+	}
+	if opts.MaxInstantFirings == 0 {
+		opts.MaxInstantFirings = 100_000
+	}
+	for i := 0; i < model.NumTimed(); i++ {
+		if act := model.Timed(i); !act.Exponential() {
+			return nil, fmt.Errorf("sim: activity %q has a general delay distribution; use NewGeneralRunner", act.Name)
+		}
+	}
+	r := &Runner{
+		model:    model,
+		opts:     opts,
+		initial:  model.InitialMarking(),
+		instants: newInstantEngine(model, opts.MaxInstantFirings),
+	}
+	r.marking = r.initial.Clone()
+	return r, nil
+}
+
+// Model returns the model being executed.
+func (r *Runner) Model() *san.Model { return r.model }
+
+// scanTimed fills r.enabled/r.rates/r.biased for the current marking and
+// returns the original and biased total rates.
+func (r *Runner) scanTimed() (total, biasedTotal float64, err error) {
+	r.enabled = r.enabled[:0]
+	r.rates = r.rates[:0]
+	r.biased = r.biased[:0]
+	for i := 0; i < r.model.NumTimed(); i++ {
+		act := r.model.Timed(i)
+		if !act.EnabledIn(r.marking) {
+			continue
+		}
+		rate, rerr := act.RateIn(r.marking)
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+		factor, rerr := r.opts.Bias.FactorIn(i, r.marking)
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+		b := rate * factor
+		r.enabled = append(r.enabled, i)
+		r.rates = append(r.rates, rate)
+		r.biased = append(r.biased, b)
+		total += rate
+		biasedTotal += b
+	}
+	return total, biasedTotal, nil
+}
+
+// Run executes one trajectory from the model's initial marking using the
+// given random stream, filling the probes' Values/Weights.
+func (r *Runner) Run(stream *rng.Stream, probes ...*Probe) (Result, error) {
+	return r.RunFrom(nil, 0, stream, probes...)
+}
+
+// Marking returns the runner's current marking — the final state of the
+// most recent Run/RunFrom. The returned marking aliases runner state; clone
+// it before the next run if it must be retained (rare-event splitting uses
+// this to capture level-entry states).
+func (r *Runner) Marking() *san.Marking { return r.marking }
+
+// RunFrom executes one trajectory starting from the given marking at time
+// t0 (start == nil means the model's initial marking; t0 must be in
+// [0, MaxTime)). Because every activity is exponential, restarting from a
+// captured marking is distribution-exact. Probe times earlier than t0 are
+// left at their defaults (value 0, weight 1).
+func (r *Runner) RunFrom(start *san.Marking, t0 float64, stream *rng.Stream, probes ...*Probe) (Result, error) {
+	var res Result
+	if t0 < 0 || t0 >= r.opts.MaxTime {
+		return res, fmt.Errorf("sim: start time %v outside [0, MaxTime)", t0)
+	}
+	if start == nil {
+		r.marking.CopyFrom(r.initial)
+	} else {
+		r.marking.CopyFrom(start)
+	}
+	for _, p := range probes {
+		if err := p.reset(); err != nil {
+			return res, err
+		}
+		if n := len(p.Times); n > 0 && p.Times[n-1] > r.opts.MaxTime {
+			return res, fmt.Errorf("sim: probe time %v beyond MaxTime %v", p.Times[n-1], r.opts.MaxTime)
+		}
+	}
+	next := make([]int, len(probes)) // next unfilled time index per probe
+
+	t := t0
+	logLR := 0.0
+
+	if err := r.instants.fireAll(r.marking, stream, &res); err != nil {
+		return res, err
+	}
+	if r.opts.Stop != nil && r.opts.Stop(r.marking) {
+		r.finishStopped(&res, t, logLR, probes, next)
+		return res, nil
+	}
+
+	for {
+		total, biasedTotal, err := r.scanTimed()
+		if err != nil {
+			return res, err
+		}
+		if len(r.enabled) == 0 {
+			// Deadlock: the marking no longer changes; sample all
+			// remaining probe points from it. With no enabled activities
+			// the original and biased survival probabilities both equal
+			// one, so the likelihood ratio stays frozen.
+			r.fillProbes(probes, next, r.opts.MaxTime, true, t, logLR, 0, 0)
+			res.End = t
+			res.Deadlocked = true
+			return res, nil
+		}
+
+		tau := stream.Exp(biasedTotal)
+		tNext := t + tau
+
+		if tNext >= r.opts.MaxTime {
+			// No further completion before the horizon: every remaining
+			// probe point sees the current marking, with the survival
+			// correction applied up to its own instant.
+			r.fillProbes(probes, next, r.opts.MaxTime, true, t, logLR, total, biasedTotal)
+			res.End = r.opts.MaxTime
+			return res, nil
+		}
+
+		// Record probe points passed strictly before the next completion.
+		r.fillProbes(probes, next, tNext, false, t, logLR, total, biasedTotal)
+
+		// Choose the completing activity under the biased measure.
+		k := stream.Choice(r.biased)
+		logLR += math.Log(r.rates[k]/r.biased[k]) + (biasedTotal-total)*tau
+
+		t = tNext
+		act := r.model.Timed(r.enabled[k])
+		caseIdx, err := r.instants.chooseCase(act.Cases, r.marking, stream)
+		if err != nil {
+			return res, fmt.Errorf("activity %q: %w", act.Name, err)
+		}
+		san.FireTimed(act, caseIdx, r.marking)
+		res.Steps++
+		if r.opts.Observer != nil {
+			r.opts.Observer.OnEvent(t, act.Name, r.marking)
+		}
+		if err := r.instants.fireAll(r.marking, stream, &res); err != nil {
+			return res, err
+		}
+		if r.opts.Stop != nil && r.opts.Stop(r.marking) {
+			r.finishStopped(&res, t, logLR, probes, next)
+			return res, nil
+		}
+		if res.Steps >= r.opts.MaxSteps {
+			return res, fmt.Errorf("%w (%d steps at t=%v)", ErrStepLimit, res.Steps, t)
+		}
+	}
+}
+
+// fillProbes records every unsampled probe time in [t, horizon) — or
+// [t, horizon] when inclusive — against the current marking. The weight at
+// an intermediate time is the event-sequence LR times the survival
+// correction exp((Λ'−Λ)·(tp−t)).
+func (r *Runner) fillProbes(probes []*Probe, next []int, horizon float64, inclusive bool, t, logLR, total, biasedTotal float64) {
+	for pi, p := range probes {
+		for next[pi] < len(p.Times) {
+			tp := p.Times[next[pi]]
+			if tp > horizon || (tp == horizon && !inclusive) {
+				break
+			}
+			if tp >= t {
+				w := math.Exp(logLR + (biasedTotal-total)*(tp-t))
+				p.Values[next[pi]] = p.Value(r.marking)
+				p.Weights[next[pi]] = w
+			}
+			next[pi]++
+		}
+	}
+}
+
+// finishStopped handles stop-predicate termination: freeze the likelihood
+// ratio at the stopping time and evaluate all outstanding probe points on
+// the stopped marking.
+func (r *Runner) finishStopped(res *Result, t, logLR float64, probes []*Probe, next []int) {
+	w := math.Exp(logLR)
+	res.Stopped = true
+	res.StopTime = t
+	res.StopWeight = w
+	res.End = t
+	for pi, p := range probes {
+		v := p.Value(r.marking)
+		for ; next[pi] < len(p.Times); next[pi]++ {
+			p.Values[next[pi]] = v
+			p.Weights[next[pi]] = w
+		}
+	}
+}
+
+func (p *Probe) reset() error {
+	if p.Value == nil {
+		return errors.New("sim: probe without Value function")
+	}
+	for i := 1; i < len(p.Times); i++ {
+		if p.Times[i] < p.Times[i-1] {
+			return fmt.Errorf("sim: probe times not sorted at index %d", i)
+		}
+	}
+	if len(p.Times) > 0 && p.Times[0] < 0 {
+		return errors.New("sim: negative probe time")
+	}
+	if cap(p.Values) < len(p.Times) {
+		p.Values = make([]float64, len(p.Times))
+		p.Weights = make([]float64, len(p.Times))
+	} else {
+		p.Values = p.Values[:len(p.Times)]
+		p.Weights = p.Weights[:len(p.Times)]
+	}
+	for i := range p.Values {
+		p.Values[i] = 0
+		p.Weights[i] = 1
+	}
+	return nil
+}
+
+// TraceEvent is one entry of a recorded trajectory.
+type TraceEvent struct {
+	Time     float64
+	Activity string
+}
+
+// Trace is an Observer that records every completion event.
+type Trace struct {
+	Events []TraceEvent
+}
+
+var _ Observer = (*Trace)(nil)
+
+// OnEvent implements Observer.
+func (tr *Trace) OnEvent(t float64, activity string, _ *san.Marking) {
+	tr.Events = append(tr.Events, TraceEvent{Time: t, Activity: activity})
+}
+
+// Reset clears recorded events, retaining capacity.
+func (tr *Trace) Reset() { tr.Events = tr.Events[:0] }

@@ -1,0 +1,22 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCollapseName checks the collapse is total, panic-free and idempotent.
+func FuzzCollapseName(f *testing.F) {
+	for _, seed := range []string{"one_vehicle[3].L2", "a.b.c", "", ".", "..", "x."} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		got := CollapseName(name)
+		if strings.ContainsRune(got, '.') {
+			t.Fatalf("CollapseName(%q) = %q still contains a dot", name, got)
+		}
+		if again := CollapseName(got); again != got {
+			t.Fatalf("not idempotent: %q -> %q -> %q", name, got, again)
+		}
+	})
+}

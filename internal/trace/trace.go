@@ -1,0 +1,109 @@
+// Package trace analyses recorded simulation trajectories: activity
+// frequencies, empirical firing rates, and collapsing of replica-scoped
+// activity names ("one_vehicle[3].L2" → "L2") so that per-vehicle activity
+// replicas aggregate naturally.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ahs/internal/sim"
+)
+
+// CollapseName strips scope prefixes (everything up to the last '.') and
+// replica indices from an activity name, so replicated activities aggregate
+// under one label: "one_vehicle[3].L2" → "L2", "dynamicity.join" → "join".
+func CollapseName(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+// Summary aggregates one or more trajectories.
+type Summary struct {
+	// Events is the total number of recorded completions.
+	Events uint64
+	// Duration is the total observed simulation time.
+	Duration float64
+	// Counts maps (possibly collapsed) activity labels to completions.
+	Counts map[string]uint64
+}
+
+// Summarize aggregates the events of one trajectory observed for the given
+// duration. With collapse, replica-scoped names are merged.
+func Summarize(events []sim.TraceEvent, duration float64, collapse bool) *Summary {
+	s := &Summary{Counts: make(map[string]uint64)}
+	s.Merge(events, duration, collapse)
+	return s
+}
+
+// Merge folds another trajectory into the summary.
+func (s *Summary) Merge(events []sim.TraceEvent, duration float64, collapse bool) {
+	s.Events += uint64(len(events))
+	s.Duration += duration
+	for _, ev := range events {
+		name := ev.Activity
+		if collapse {
+			name = CollapseName(name)
+		}
+		s.Counts[name]++
+	}
+}
+
+// Rate returns the empirical firing rate (completions per unit time) of a
+// label, 0 when no time was observed.
+func (s *Summary) Rate(label string) float64 {
+	if s.Duration == 0 {
+		return 0
+	}
+	return float64(s.Counts[label]) / s.Duration
+}
+
+// Row is one line of a rendered summary.
+type Row struct {
+	Label string
+	Count uint64
+	Rate  float64
+}
+
+// Rows returns the activity rows sorted by descending count (ties broken
+// alphabetically, so output is deterministic).
+func (s *Summary) Rows() []Row {
+	rows := make([]Row, 0, len(s.Counts))
+	for label, count := range s.Counts {
+		rows = append(rows, Row{Label: label, Count: count, Rate: s.Rate(label)})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Label < rows[j].Label
+	})
+	return rows
+}
+
+// String renders the summary as a compact table.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d events over %.4g time units\n", s.Events, s.Duration)
+	for _, row := range s.Rows() {
+		fmt.Fprintf(&b, "  %-24s %8d  (%.4g /unit)\n", row.Label, row.Count, row.Rate)
+	}
+	return b.String()
+}
+
+// InterEventTimes returns the gaps between consecutive events of one
+// trajectory (empty for fewer than two events).
+func InterEventTimes(events []sim.TraceEvent) []float64 {
+	if len(events) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(events)-1)
+	for i := 1; i < len(events); i++ {
+		out = append(out, events[i].Time-events[i-1].Time)
+	}
+	return out
+}

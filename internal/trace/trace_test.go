@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ahs/internal/rng"
+	"ahs/internal/san"
+	"ahs/internal/sim"
+)
+
+func TestCollapseName(t *testing.T) {
+	cases := map[string]string{
+		"one_vehicle[3].L2":       "L2",
+		"dynamicity.join":         "join",
+		"plain":                   "plain",
+		"a.b.c":                   "c",
+		"transit_exit[12].done":   "done",
+		"severity.to_KO":          "to_KO",
+		"one_vehicle[0].maneuver": "maneuver",
+	}
+	for in, want := range cases {
+		if got := CollapseName(in); got != want {
+			t.Errorf("CollapseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSummarizeCountsAndRates(t *testing.T) {
+	events := []sim.TraceEvent{
+		{Time: 0.5, Activity: "v[0].fail"},
+		{Time: 1.0, Activity: "v[1].fail"},
+		{Time: 1.5, Activity: "join"},
+	}
+	s := Summarize(events, 2.0, true)
+	if s.Events != 3 || s.Duration != 2 {
+		t.Fatalf("summary header %+v", s)
+	}
+	if s.Counts["fail"] != 2 || s.Counts["join"] != 1 {
+		t.Fatalf("counts %v", s.Counts)
+	}
+	if math.Abs(s.Rate("fail")-1.0) > 1e-12 {
+		t.Fatalf("rate %v, want 1", s.Rate("fail"))
+	}
+	if s.Rate("missing") != 0 {
+		t.Fatal("missing label must have rate 0")
+	}
+	// Without collapsing the scoped names stay distinct.
+	s2 := Summarize(events, 2.0, false)
+	if s2.Counts["v[0].fail"] != 1 || s2.Counts["v[1].fail"] != 1 {
+		t.Fatalf("uncollapsed counts %v", s2.Counts)
+	}
+}
+
+func TestMergeAccumulates(t *testing.T) {
+	s := Summarize([]sim.TraceEvent{{Time: 1, Activity: "a"}}, 1, false)
+	s.Merge([]sim.TraceEvent{{Time: 0.5, Activity: "a"}, {Time: 0.7, Activity: "b"}}, 3, false)
+	if s.Events != 3 || s.Duration != 4 || s.Counts["a"] != 2 || s.Counts["b"] != 1 {
+		t.Fatalf("merged summary %+v", s)
+	}
+}
+
+func TestRowsSortedDeterministically(t *testing.T) {
+	s := Summarize([]sim.TraceEvent{
+		{Activity: "b"}, {Activity: "a"}, {Activity: "c"}, {Activity: "c"},
+	}, 1, false)
+	rows := s.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows %v", rows)
+	}
+	if rows[0].Label != "c" || rows[1].Label != "a" || rows[2].Label != "b" {
+		t.Fatalf("row order %v", rows)
+	}
+}
+
+func TestZeroDurationRate(t *testing.T) {
+	s := Summarize([]sim.TraceEvent{{Activity: "a"}}, 0, false)
+	if s.Rate("a") != 0 {
+		t.Fatal("zero-duration rate must be 0")
+	}
+}
+
+func TestInterEventTimes(t *testing.T) {
+	events := []sim.TraceEvent{{Time: 1}, {Time: 1.5}, {Time: 3}}
+	gaps := InterEventTimes(events)
+	if len(gaps) != 2 || gaps[0] != 0.5 || gaps[1] != 1.5 {
+		t.Fatalf("gaps %v", gaps)
+	}
+	if InterEventTimes(events[:1]) != nil {
+		t.Fatal("single event must yield no gaps")
+	}
+}
+
+func TestSummaryStringRendering(t *testing.T) {
+	s := Summarize([]sim.TraceEvent{{Time: 1, Activity: "x"}}, 2, false)
+	out := s.String()
+	if !strings.Contains(out, "1 events") || !strings.Contains(out, "x") {
+		t.Fatalf("rendered summary %q", out)
+	}
+}
+
+// TestEmpiricalRateMatchesModelRate is the end-to-end check: summarising a
+// Poisson process trace recovers its rate.
+func TestEmpiricalRateMatchesModelRate(t *testing.T) {
+	b := san.NewBuilder("poisson")
+	c := b.Place("count", 0)
+	b.Timed(san.TimedActivity{
+		Name:  "arrive",
+		Rate:  san.ConstRate(3),
+		Input: san.Produce(c, 1),
+	})
+	m := b.MustBuild()
+	tr := &sim.Trace{}
+	r, err := sim.NewRunner(m, sim.Options{MaxTime: 200, Observer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Summary{Counts: make(map[string]uint64)}
+	src := rng.NewSource(4)
+	for i := 0; i < 20; i++ {
+		tr.Reset()
+		res, err := r.Run(src.Stream(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Merge(tr.Events, res.End, true)
+	}
+	if math.Abs(s.Rate("arrive")-3) > 0.1 {
+		t.Fatalf("empirical rate %v, want ~3", s.Rate("arrive"))
+	}
+}
