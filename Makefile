@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench figures figures-full docs clean
+.PHONY: all build vet test race serve bench figures figures-full docs clean
 
 all: build vet test
 
@@ -14,6 +14,14 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the concurrent packages (mirrors CI).
+race:
+	$(GO) test -race ./internal/service ./internal/mc ./internal/sim
+
+# Run the evaluation service on :8080 (see docs/api.md).
+serve:
+	$(GO) run ./cmd/ahs-serve -addr :8080
 
 # Quick-look benchmark pass: regenerates every paper figure at a reduced
 # batch budget and runs the micro/ablation benchmarks.

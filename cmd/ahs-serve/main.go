@@ -1,0 +1,117 @@
+// Command ahs-serve runs the AHS unsafety-evaluation service: an HTTP
+// JSON API over internal/service's job manager, with request
+// deduplication, an LRU result cache, backpressure and graceful shutdown.
+//
+// Start it and submit the example scenario:
+//
+//	ahs-serve -addr :8080 &
+//	curl -d @docs/scenario-example.json localhost:8080/v1/evaluate
+//	curl localhost:8080/v1/jobs/job-1
+//	curl localhost:8080/v1/results/job-1
+//
+// See docs/api.md for the endpoint reference and metrics names.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ahs/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "ahs-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and serves until ctx is cancelled; ready, when non-nil,
+// receives the bound address once the listener is up (tests bind :0).
+func run(ctx context.Context, args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("ahs-serve", flag.ContinueOnError)
+	var (
+		addr          = fs.String("addr", ":8080", "listen address")
+		workers       = fs.Int("workers", 2, "jobs evaluated concurrently")
+		workersPerJob = fs.Int("workers-per-job", 0, "simulation goroutines per job (0 = GOMAXPROCS/workers)")
+		queueSize     = fs.Int("queue", 64, "pending-job queue bound; a full queue answers 429")
+		cacheSize     = fs.Int("cache", 256, "LRU result-cache entries (negative disables)")
+		jobTimeout    = fs.Duration("job-timeout", 30*time.Minute, "per-job evaluation cap (0 = unlimited)")
+		drainTimeout  = fs.Duration("drain-timeout", time.Minute, "graceful-shutdown drain budget before in-flight jobs are cancelled")
+		readTimeout   = fs.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
+		writeTimeout  = fs.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *workers < 1 || *queueSize < 1 {
+		return fmt.Errorf("workers and queue must be positive (got %d, %d)", *workers, *queueSize)
+	}
+
+	mgr := service.NewManager(service.Config{
+		Workers:       *workers,
+		WorkersPerJob: *workersPerJob,
+		QueueSize:     *queueSize,
+		CacheSize:     *cacheSize,
+		JobTimeout:    *jobTimeout,
+	})
+	srv := &http.Server{
+		Handler:      service.NewHandler(mgr),
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("ahs-serve: listening on %s (workers=%d queue=%d cache=%d)",
+		ln.Addr(), *workers, *queueSize, *cacheSize)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections, then drain the job
+	// pool; past the drain budget, in-flight estimations are cancelled
+	// (they stop within one simulation batch).
+	log.Printf("ahs-serve: shutting down, draining jobs (budget %v)", *drainTimeout)
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := srv.Shutdown(httpCtx); err != nil {
+		srv.Close()
+	}
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancelDrain()
+	if err := mgr.Shutdown(drainCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("ahs-serve: drain budget exceeded, in-flight jobs cancelled")
+			return nil
+		}
+		return err
+	}
+	log.Printf("ahs-serve: drained cleanly")
+	return nil
+}

@@ -1,0 +1,140 @@
+// Example service demonstrates the evaluation service end to end from a
+// plain HTTP client: submit a scenario to a running ahs-serve, poll the
+// job's progress, and print the resulting S(t) curve.
+//
+// Start the server first, then run the client:
+//
+//	make serve &
+//	go run ./examples/service -addr http://localhost:8080
+//
+// Submitting the same scenario twice demonstrates the cache: the second
+// run answers instantly with "cached: true".
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+// scenario is the paper's Figure 10 base case at a light batch budget,
+// inlined so the example is self-contained. Any internal/config scenario
+// JSON works, e.g. docs/scenario-example.json.
+const scenario = `{
+	"name": "example-client",
+	"n": 4,
+	"lambdaPerHour": 1e-4,
+	"strategy": "DD",
+	"tripHours": [2, 4, 6, 8, 10],
+	"batches": 5000,
+	"seed": 1
+}`
+
+type ack struct {
+	ID        string `json:"id"`
+	Status    string `json:"status"`
+	Cached    bool   `json:"cached"`
+	StatusURL string `json:"statusUrl"`
+	ResultURL string `json:"resultUrl"`
+}
+
+type jobView struct {
+	Status   string `json:"status"`
+	Error    string `json:"error"`
+	Progress struct {
+		BatchesDone uint64 `json:"batchesDone"`
+		MaxBatches  uint64 `json:"maxBatches"`
+	} `json:"progress"`
+}
+
+type result struct {
+	Times     []float64 `json:"times"`
+	Unsafety  []float64 `json:"unsafety"`
+	CILo      []float64 `json:"ciLo"`
+	CIHi      []float64 `json:"ciHi"`
+	Batches   uint64    `json:"batches"`
+	Converged bool      `json:"converged"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "ahs-serve base URL")
+	flag.Parse()
+	if err := run(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "service example:", err)
+		os.Exit(1)
+	}
+}
+
+func run(base string) error {
+	submitted, err := submit(base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted job %s (status %s, cached %v)\n",
+		submitted.ID, submitted.Status, submitted.Cached)
+
+	for submitted.Status != "done" {
+		var job jobView
+		if err := getJSON(base+submitted.StatusURL, &job); err != nil {
+			return err
+		}
+		switch job.Status {
+		case "done":
+			submitted.Status = "done"
+		case "failed", "cancelled":
+			return fmt.Errorf("job %s %s: %s", submitted.ID, job.Status, job.Error)
+		default:
+			fmt.Printf("  %s: %d/%d batches\n",
+				job.Status, job.Progress.BatchesDone, job.Progress.MaxBatches)
+			time.Sleep(250 * time.Millisecond)
+		}
+	}
+
+	var res result
+	if err := getJSON(base+submitted.ResultURL, &res); err != nil {
+		return err
+	}
+	fmt.Printf("\nS(t), %d batches, converged=%v:\n", res.Batches, res.Converged)
+	fmt.Printf("%8s  %12s  %12s  %12s\n", "t (h)", "S(t)", "ci_lo", "ci_hi")
+	for i, t := range res.Times {
+		fmt.Printf("%8g  %12.4e  %12.4e  %12.4e\n", t, res.Unsafety[i], res.CILo[i], res.CIHi[i])
+	}
+	return nil
+}
+
+func submit(base string) (*ack, error) {
+	resp, err := http.Post(base+"/v1/evaluate", "application/json",
+		bytes.NewReader([]byte(scenario)))
+	if err != nil {
+		return nil, fmt.Errorf("is ahs-serve running? %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("evaluate: %s (%s)", resp.Status, e.Error)
+	}
+	var a ack
+	if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

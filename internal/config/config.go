@@ -7,6 +7,8 @@
 package config
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -117,6 +119,75 @@ func maneuverByName(name string) (platoon.Maneuver, error) {
 		}
 	}
 	return 0, fmt.Errorf("config: unknown maneuver %q", name)
+}
+
+// Canonical returns a deep copy of the scenario with every optional field
+// replaced by its effective value (the paper's §4.1 defaults, exactly what
+// Params and EvalOptions would use), so that two scenarios describing the
+// same evaluation — one spelling defaults out, one leaving them implicit —
+// become structurally identical. The receiver is not modified.
+//
+// Canonical scenarios are the basis of Hash, the deduplication key of the
+// evaluation service.
+func (s *Scenario) Canonical() *Scenario {
+	def := core.DefaultParams()
+	c := *s
+	if c.Lanes == 0 {
+		c.Lanes = def.Lanes
+	}
+	if c.Strategy == "" {
+		c.Strategy = def.Strategy.String()
+	} else if strat, err := platoon.ParseStrategy(c.Strategy); err == nil {
+		// Normalize case ("dd" → "DD"); invalid codes are kept verbatim
+		// and rejected later by Params.
+		c.Strategy = strat.String()
+	}
+	fill := func(p *float64, v float64) *float64 {
+		if p != nil {
+			v = *p
+		}
+		return &v
+	}
+	c.JoinRatePerHour = fill(s.JoinRatePerHour, def.JoinRate)
+	c.LeaveRatePerHour = fill(s.LeaveRatePerHour, def.LeaveRate)
+	c.ChangeRatePerHour = fill(s.ChangeRatePerHour, def.ChangeRate)
+	c.PassThroughPerHour = fill(s.PassThroughPerHour, def.PassThroughRate)
+	c.ManeuverBaseFailure = fill(s.ManeuverBaseFailure, def.ManeuverBaseFailure)
+	c.ParticipantFailure = fill(s.ParticipantFailure, def.ParticipantFailure)
+	c.DegradedPenalty = fill(s.DegradedPenalty, def.DegradedPenalty)
+	c.ManeuverRatesPerHour = make(map[string]float64, len(platoon.AllManeuvers()))
+	for _, m := range platoon.AllManeuvers() {
+		rate, ok := s.ManeuverRatesPerHour[m.String()]
+		if !ok {
+			rate = def.ManeuverRates[m]
+		}
+		c.ManeuverRatesPerHour[m.String()] = rate
+	}
+	c.TripHours = append([]float64(nil), s.TripHours...)
+	if c.Batches == 0 {
+		c.Batches = 20000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return &c
+}
+
+// Hash returns a stable hex digest identifying the evaluation the scenario
+// describes: the SHA-256 of the canonical form's JSON encoding, with the
+// purely cosmetic Name field excluded. Scenarios that differ only in
+// spelled-out defaults (or in name) hash identically, making the digest a
+// safe cache/deduplication key. Encoding is deterministic — struct fields
+// keep declaration order and Go's JSON encoder sorts map keys.
+func (s *Scenario) Hash() (string, error) {
+	c := s.Canonical()
+	c.Name = ""
+	b, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("config: hash scenario: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // Params converts the scenario into validated model parameters.

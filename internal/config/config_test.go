@@ -182,3 +182,163 @@ func TestLoadLanes(t *testing.T) {
 		t.Fatalf("default lanes %d, want 2", p2.Lanes)
 	}
 }
+
+func TestCanonicalFillsDefaultsWithoutMutating(t *testing.T) {
+	s, err := Load(strings.NewReader(`{"name":"min","n":4,"lambdaPerHour":1e-5,"tripHours":[1,2]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Canonical()
+	def := core.DefaultParams()
+	if c.Lanes != def.Lanes || c.Strategy != def.Strategy.String() {
+		t.Fatalf("canonical lanes/strategy %d/%q", c.Lanes, c.Strategy)
+	}
+	if c.JoinRatePerHour == nil || *c.JoinRatePerHour != def.JoinRate {
+		t.Fatalf("canonical join rate %v", c.JoinRatePerHour)
+	}
+	if c.DegradedPenalty == nil || *c.DegradedPenalty != def.DegradedPenalty {
+		t.Fatalf("canonical degraded penalty %v", c.DegradedPenalty)
+	}
+	if len(c.ManeuverRatesPerHour) != len(platoon.AllManeuvers()) {
+		t.Fatalf("canonical maneuver rates %v", c.ManeuverRatesPerHour)
+	}
+	for _, m := range platoon.AllManeuvers() {
+		if c.ManeuverRatesPerHour[m.String()] != def.ManeuverRates[m] {
+			t.Fatalf("canonical rate for %s = %v, want %v",
+				m, c.ManeuverRatesPerHour[m.String()], def.ManeuverRates[m])
+		}
+	}
+	if c.Batches != 20000 || c.Seed != 1 {
+		t.Fatalf("canonical batches/seed %d/%d", c.Batches, c.Seed)
+	}
+	// The receiver must be untouched.
+	if s.Lanes != 0 || s.Strategy != "" || s.JoinRatePerHour != nil || s.ManeuverRatesPerHour != nil {
+		t.Fatalf("Canonical mutated the receiver: %+v", s)
+	}
+	// Canonicalizing twice is a fixed point.
+	c2 := c.Canonical()
+	h1, err := c.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := c2.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("Canonical is not idempotent under Hash")
+	}
+}
+
+func TestCanonicalRoundTripsThroughParams(t *testing.T) {
+	// A scenario and its canonical form must configure the same model and
+	// the same evaluation.
+	s, err := Load(strings.NewReader(validScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := s.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.Canonical().Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatalf("canonical params differ:\n%+v\n%+v", p1, p2)
+	}
+}
+
+func TestHashStableAcrossSpelledOutDefaults(t *testing.T) {
+	implicit, err := Load(strings.NewReader(`{"n":4,"lambdaPerHour":1e-5,"tripHours":[1,2]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Load(strings.NewReader(`{
+		"name": "same evaluation, defaults spelled out",
+		"n": 4,
+		"lanes": 2,
+		"lambdaPerHour": 1e-5,
+		"strategy": "dd",
+		"joinRatePerHour": 12,
+		"leaveRatePerHour": 4,
+		"changeRatePerHour": 6,
+		"maneuverRatesPerHour": {"TIE-N": 30, "TIE": 25, "TIE-E": 20, "GS": 20, "CS": 30, "AS": 15},
+		"tripHours": [1, 2],
+		"batches": 20000,
+		"seed": 1
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := implicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := explicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("defaults spelled out changed the hash: %s vs %s", h1, h2)
+	}
+	if len(h1) != 64 {
+		t.Fatalf("hash %q is not a sha256 hex digest", h1)
+	}
+}
+
+func TestHashDistinguishesDifferentEvaluations(t *testing.T) {
+	base := `{"n":4,"lambdaPerHour":1e-5,"tripHours":[1,2]}`
+	variants := map[string]string{
+		"different n":        `{"n":5,"lambdaPerHour":1e-5,"tripHours":[1,2]}`,
+		"different lambda":   `{"n":4,"lambdaPerHour":2e-5,"tripHours":[1,2]}`,
+		"different grid":     `{"n":4,"lambdaPerHour":1e-5,"tripHours":[1,3]}`,
+		"different strategy": `{"n":4,"lambdaPerHour":1e-5,"strategy":"CC","tripHours":[1,2]}`,
+		"different seed":     `{"n":4,"lambdaPerHour":1e-5,"seed":2,"tripHours":[1,2]}`,
+		"no bias":            `{"n":4,"lambdaPerHour":1e-5,"disableImportanceSampling":true,"tripHours":[1,2]}`,
+	}
+	bs, err := Load(strings.NewReader(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bh, err := bs.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, raw := range variants {
+		vs, err := Load(strings.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		vh, err := vs.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vh == bh {
+			t.Errorf("%s: hash collision with base", name)
+		}
+	}
+}
+
+func TestHashIgnoresName(t *testing.T) {
+	a, err := Load(strings.NewReader(`{"name":"a","n":4,"lambdaPerHour":1e-5,"tripHours":[1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(strings.NewReader(`{"name":"b","n":4,"lambdaPerHour":1e-5,"tripHours":[1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatal("hash depends on the cosmetic name field")
+	}
+}

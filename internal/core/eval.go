@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ahs/internal/mc"
@@ -32,6 +33,12 @@ type EvalOptions struct {
 	FailureBias float64
 	// CheckEvery overrides the convergence check round size (0 = 2000).
 	CheckEvery uint64
+	// Context, when non-nil, cancels the estimation mid-run; the
+	// evaluation then returns the context's error. See mc.Job.Context.
+	Context context.Context
+	// Progress, when non-nil, receives (batchesDone, maxBatches) after
+	// every convergence round. See mc.Job.Progress.
+	Progress func(batchesDone, maxBatches uint64)
 }
 
 // SuggestedFailureBias returns a forcing factor for the failure-mode rates
@@ -107,6 +114,8 @@ func (a *AHS) UnsafetyCurve(opts EvalOptions) (*mc.Curve, error) {
 		MaxBatches: maxBatches,
 		CheckEvery: opts.CheckEvery,
 		Workers:    opts.Workers,
+		Context:    opts.Context,
+		Progress:   opts.Progress,
 	}
 	return mc.EstimateCurve(job)
 }
@@ -162,6 +171,8 @@ func (a *AHS) UnsafetyBreakdown(t float64, opts EvalOptions) (*Breakdown, error)
 		MaxBatches: maxBatches,
 		CheckEvery: opts.CheckEvery,
 		Workers:    opts.Workers,
+		Context:    opts.Context,
+		Progress:   opts.Progress,
 	}
 	main, extras, err := mc.EstimateCurveMulti(job, map[string]func(mk *san.Marking) float64{
 		"ST1": causeIndicator(platoon.ST1),

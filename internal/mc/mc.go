@@ -13,6 +13,7 @@
 package mc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -49,6 +50,17 @@ type Job struct {
 	CheckEvery uint64
 	// Workers is the parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Context, when non-nil, cancels the estimation: every worker checks
+	// it before each batch, so a cancelled job stops within one
+	// trajectory and the estimation returns ctx.Err(). Nil means run to
+	// completion.
+	Context context.Context
+	// Progress, when non-nil, is invoked after every convergence round
+	// with the number of completed batches and the batch cap. It is
+	// called from the coordinating goroutine only (never concurrently)
+	// and must be cheap; it exists so long-running estimations can report
+	// liveness to a job manager.
+	Progress func(batchesDone, maxBatches uint64)
 }
 
 // Curve is the estimated measure over the time grid.
@@ -124,6 +136,11 @@ func EstimateCurveMulti(job Job, extras map[string]func(mk *san.Marking) float64
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	ctx := job.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
 	hasRule := job.StopRule != (stats.RelativeStopRule{})
 	src := rng.NewSource(job.Seed)
 	// measures[0] is the main Value; measures[1..] the extras in name order.
@@ -162,6 +179,9 @@ func EstimateCurveMulti(job Job, extras map[string]func(mk *san.Marking) float64
 	var done uint64
 	converged := false
 	for done < job.MaxBatches && !converged {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		round := job.CheckEvery
 		if rem := job.MaxBatches - done; round > rem {
 			round = rem
@@ -177,6 +197,10 @@ func EstimateCurveMulti(job Job, extras map[string]func(mk *san.Marking) float64
 				defer wg.Done()
 				st := states[w]
 				for b := uint64(w); b < round; b += uint64(workers) {
+					if err := ctx.Err(); err != nil {
+						errs[w] = err
+						return
+					}
 					stream := src.Stream(done + b)
 					if _, err := st.runner.Run(stream, st.probes...); err != nil {
 						errs[w] = err
@@ -191,10 +215,21 @@ func EstimateCurveMulti(job Job, extras map[string]func(mk *san.Marking) float64
 			}(w)
 		}
 		wg.Wait()
+		// A context error outranks nothing but is outranked by simulation
+		// errors, which are more specific.
+		var ctxErr error
 		for _, err := range errs {
-			if err != nil {
-				return nil, nil, err
+			if err == nil {
+				continue
 			}
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				ctxErr = err
+				continue
+			}
+			return nil, nil, err
+		}
+		if ctxErr != nil {
+			return nil, nil, ctxErr
 		}
 		for w := range states {
 			for mi := range accs {
@@ -207,6 +242,9 @@ func EstimateCurveMulti(job Job, extras map[string]func(mk *san.Marking) float64
 		done += round
 		if hasRule && job.StopRule.Satisfied(&accs[0][len(job.Times)-1]) {
 			converged = true
+		}
+		if job.Progress != nil {
+			job.Progress(done, job.MaxBatches)
 		}
 	}
 

@@ -1,8 +1,11 @@
 package mc
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"ahs/internal/san"
 	"ahs/internal/sim"
@@ -279,6 +282,113 @@ func TestEstimateCurveMultiMatchesSingle(t *testing.T) {
 	}
 	if single.Mean[0] != multi.Mean[0] {
 		t.Fatalf("extras changed the main estimate: %v vs %v", single.Mean[0], multi.Mean[0])
+	}
+}
+
+func TestCancelledContextStopsEstimationEarly(t *testing.T) {
+	m, alive := buildPureDeath(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls int
+	job := Job{
+		Model:      m,
+		Sim:        sim.Options{MaxTime: 1},
+		Times:      []float64{1},
+		Value:      deadIndicator(alive),
+		Seed:       10,
+		MaxBatches: 50_000_000, // far more than could run in the test budget
+		CheckEvery: 100,
+		Context:    ctx,
+		Progress: func(done, max uint64) {
+			calls++
+			if calls == 2 {
+				cancel()
+			}
+		},
+	}
+	start := time.Now()
+	curve, err := EstimateCurve(job)
+	if curve != nil {
+		t.Fatal("cancelled estimation must not return a curve")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v, did not stop early", elapsed)
+	}
+	if calls < 2 {
+		t.Fatalf("progress called %d times before cancellation", calls)
+	}
+}
+
+func TestPreCancelledContextRunsNoBatches(t *testing.T) {
+	m, alive := buildPureDeath(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := EstimateCurve(Job{
+		Model:      m,
+		Sim:        sim.Options{MaxTime: 1},
+		Times:      []float64{1},
+		Value:      deadIndicator(alive),
+		MaxBatches: 100,
+		Context:    ctx,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDeadlineExceededPropagates(t *testing.T) {
+	m, alive := buildPureDeath(1)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	<-ctx.Done()
+	_, err := EstimateCurve(Job{
+		Model:      m,
+		Sim:        sim.Options{MaxTime: 1},
+		Times:      []float64{1},
+		Value:      deadIndicator(alive),
+		MaxBatches: 1_000_000,
+		CheckEvery: 100,
+		Context:    ctx,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestProgressReportsEveryRound(t *testing.T) {
+	m, alive := buildPureDeath(1)
+	var dones []uint64
+	curve, err := EstimateCurve(Job{
+		Model:      m,
+		Sim:        sim.Options{MaxTime: 1},
+		Times:      []float64{1},
+		Value:      deadIndicator(alive),
+		Seed:       11,
+		MaxBatches: 1000,
+		CheckEvery: 300,
+		Progress: func(done, max uint64) {
+			if max != 1000 {
+				t.Errorf("maxBatches = %d, want 1000", max)
+			}
+			dones = append(dones, done)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{300, 600, 900, 1000}
+	if len(dones) != len(want) {
+		t.Fatalf("progress calls %v, want %v", dones, want)
+	}
+	for i := range want {
+		if dones[i] != want[i] {
+			t.Fatalf("progress calls %v, want %v", dones, want)
+		}
+	}
+	if curve.Batches != 1000 {
+		t.Fatalf("batches %d", curve.Batches)
 	}
 }
 

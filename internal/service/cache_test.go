@@ -1,0 +1,81 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	c := newResultCache(2)
+	a, b, d := &Result{ScenarioHash: "a"}, &Result{ScenarioHash: "b"}, &Result{ScenarioHash: "d"}
+	c.Put("a", a)
+	c.Put("b", b)
+	if _, ok := c.Get("a"); !ok { // touch "a": "b" is now LRU
+		t.Fatal("a missing")
+	}
+	c.Put("d", d)
+	if c.Len() != 2 {
+		t.Fatalf("len %d", c.Len())
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if got, ok := c.Get("a"); !ok || got != a {
+		t.Fatal("a lost or replaced")
+	}
+	if got, ok := c.Get("d"); !ok || got != d {
+		t.Fatal("d lost or replaced")
+	}
+}
+
+func TestCacheReplaceMovesToFront(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", &Result{})
+	c.Put("b", &Result{})
+	a2 := &Result{Batches: 2}
+	c.Put("a", a2) // replace, making "b" the LRU
+	c.Put("d", &Result{})
+	if got, ok := c.Get("a"); !ok || got != a2 {
+		t.Fatal("replacement lost")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestCacheDisabledByNegativeCapacity(t *testing.T) {
+	c := newResultCache(-1)
+	c.Put("a", &Result{})
+	if c.Len() != 0 {
+		t.Fatal("disabled cache stored an entry")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	// Exercised under -race in CI: hammer the cache from several
+	// goroutines and rely on the detector for correctness.
+	c := newResultCache(8)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%16)
+				c.Put(key, &Result{ScenarioHash: key})
+				if res, ok := c.Get(key); ok && res.ScenarioHash != key {
+					t.Errorf("cache returned wrong entry for %s", key)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if c.Len() > 8 {
+		t.Fatalf("cache exceeded capacity: %d", c.Len())
+	}
+}

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+
+	"ahs/internal/config"
+)
+
+// maxScenarioBytes bounds the request body of POST /v1/evaluate; scenario
+// files are a few hundred bytes, so 1 MiB is generous.
+const maxScenarioBytes = 1 << 20
+
+// evaluateResponse acknowledges a submission.
+type evaluateResponse struct {
+	ID        string `json:"id"`
+	Status    Status `json:"status"`
+	Cached    bool   `json:"cached"`
+	StatusURL string `json:"statusUrl"`
+	ResultURL string `json:"resultUrl"`
+}
+
+// errorResponse is the uniform error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler exposes the manager over the HTTP JSON API served by
+// cmd/ahs-serve; docs/api.md documents the endpoints. The handler is safe
+// for concurrent use and carries no state beyond the manager.
+func NewHandler(m *Manager) http.Handler {
+	s := &server{m: m}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	return mux
+}
+
+type server struct {
+	m *Manager
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// handleEvaluate accepts a config.Scenario JSON body and answers 200 with
+// a done job (cache hit), 202 with a queued job, 400 on a malformed or
+// invalid scenario, 429 when the queue is full and 503 during shutdown.
+func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	sc, err := config.Load(http.MaxBytesReader(w, r.Body, maxScenarioBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	view, err := s.m.Submit(sc)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	code := http.StatusAccepted
+	if view.Status == StatusDone {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, evaluateResponse{
+		ID:        view.ID,
+		Status:    view.Status,
+		Cached:    view.Cached,
+		StatusURL: "/v1/jobs/" + view.ID,
+		ResultURL: "/v1/results/" + view.ID,
+	})
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	view, err := s.m.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	view, err := s.m.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleResult maps job states to codes: 200 done (the Result), 202 still
+// queued/running (the JobView), 410 cancelled, 500 failed, 404 unknown.
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, view, err := s.m.Result(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	switch view.Status {
+	case StatusDone:
+		writeJSON(w, http.StatusOK, res)
+	case StatusCancelled:
+		writeError(w, http.StatusGone, fmt.Errorf("service: job %s was cancelled", view.ID))
+	case StatusFailed:
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("service: job %s failed: %s", view.ID, view.Error))
+	default:
+		writeJSON(w, http.StatusAccepted, view)
+	}
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	met := s.m.Metrics()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"queueDepth": met.QueueDepth.Value(),
+		"running":    met.Running.Value(),
+	})
+}
+
+// handleVars renders the expvar format: the process-global vars published
+// through expvar (cmdline, memstats, ...) plus this manager's metrics
+// under the "ahs_serve" key. The manager's vars are deliberately not
+// Publish()ed — see Metrics — so several managers can coexist in one
+// process, each handler reporting its own.
+func (s *server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n%q: %s", "ahs_serve", s.m.Metrics().Map().String())
+	expvar.Do(func(kv expvar.KeyValue) {
+		fmt.Fprintf(w, ",\n%q: %s", kv.Key, kv.Value.String())
+	})
+	fmt.Fprint(w, "\n}\n")
+}

@@ -1,0 +1,462 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ahs/internal/config"
+)
+
+// Sentinel errors surfaced by Submit and the job accessors; the HTTP layer
+// maps them to status codes (429, 503, 404).
+var (
+	ErrQueueFull    = errors.New("service: evaluation queue is full")
+	ErrShuttingDown = errors.New("service: manager is shutting down")
+	ErrUnknownJob   = errors.New("service: unknown job id")
+)
+
+// Status is the lifecycle state of an evaluation job.
+type Status string
+
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// Config sizes the manager. The zero value gets sensible defaults.
+type Config struct {
+	// Workers is the number of jobs evaluated concurrently (default 2).
+	Workers int
+	// QueueSize bounds the number of jobs waiting for a worker; a full
+	// queue rejects submissions with ErrQueueFull (default 64).
+	QueueSize int
+	// CacheSize is the LRU result-cache capacity in entries; 0 means the
+	// default 256, negative disables caching.
+	CacheSize int
+	// WorkersPerJob bounds the simulation parallelism inside one job so
+	// concurrent jobs don't oversubscribe the machine (default
+	// GOMAXPROCS / Workers, at least 1).
+	WorkersPerJob int
+	// JobTimeout caps each job's evaluation wall-clock time; expired
+	// jobs finish as cancelled. 0 means no cap.
+	JobTimeout time.Duration
+	// HistorySize bounds how many finished job records stay pollable
+	// before the oldest are forgotten (default 1024).
+	HistorySize int
+	// Eval runs one scenario; nil means the production Evaluate. Tests
+	// inject fakes to script slow, failing or blocking jobs.
+	Eval EvalFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.WorkersPerJob <= 0 {
+		c.WorkersPerJob = runtime.GOMAXPROCS(0) / c.Workers
+		if c.WorkersPerJob < 1 {
+			c.WorkersPerJob = 1
+		}
+	}
+	if c.HistorySize <= 0 {
+		c.HistorySize = 1024
+	}
+	if c.Eval == nil {
+		c.Eval = Evaluate
+	}
+	return c
+}
+
+// job is the mutable server-side record of one submission.
+type job struct {
+	id       string
+	hash     string
+	scenario *config.Scenario
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	// done closes exactly once, when the job reaches a terminal status.
+	done chan struct{}
+
+	// batchesDone/maxBatches are updated from the estimator's progress
+	// hook and read by pollers without locking.
+	batchesDone atomic.Uint64
+	maxBatches  atomic.Uint64
+
+	mu        sync.Mutex
+	status    Status
+	cached    bool
+	result    *Result
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// Progress is a point-in-time view of a job's batch counter.
+type Progress struct {
+	BatchesDone uint64 `json:"batchesDone"`
+	MaxBatches  uint64 `json:"maxBatches"`
+}
+
+// JobView is an immutable snapshot of a job for API responses.
+type JobView struct {
+	ID           string   `json:"id"`
+	ScenarioHash string   `json:"scenarioHash"`
+	Status       Status   `json:"status"`
+	Cached       bool     `json:"cached"`
+	Progress     Progress `json:"progress"`
+	Error        string   `json:"error,omitempty"`
+	SubmittedAt  string   `json:"submittedAt,omitempty"`
+	StartedAt    string   `json:"startedAt,omitempty"`
+	FinishedAt   string   `json:"finishedAt,omitempty"`
+}
+
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:           j.id,
+		ScenarioHash: j.hash,
+		Status:       j.status,
+		Cached:       j.cached,
+		Progress: Progress{
+			BatchesDone: j.batchesDone.Load(),
+			MaxBatches:  j.maxBatches.Load(),
+		},
+		Error: j.errMsg,
+	}
+	stamp := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	v.SubmittedAt = stamp(j.submitted)
+	v.StartedAt = stamp(j.started)
+	v.FinishedAt = stamp(j.finished)
+	return v
+}
+
+// Manager owns the worker pool, the deduplication table and the result
+// cache. Create with NewManager, stop with Shutdown.
+type Manager struct {
+	cfg     Config
+	metrics Metrics
+	cache   *resultCache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *job
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	nextID   uint64
+	jobs     map[string]*job
+	byHash   map[string]*job // queued or running jobs, for deduplication
+	finished []string        // terminal job ids, oldest first, for pruning
+}
+
+// NewManager starts cfg.Workers worker goroutines and returns the manager.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		cache:      newResultCache(cfg.CacheSize),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *job, cfg.QueueSize),
+		jobs:       make(map[string]*job),
+		byHash:     make(map[string]*job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit registers a scenario for evaluation and returns a snapshot of the
+// job that answers it. Identical scenarios (by canonical hash) coalesce:
+// a cached result yields an immediately-done job, an in-flight twin is
+// returned as-is. A full queue fails with ErrQueueFull; any scenario error
+// (unparseable parameters) fails before enqueueing.
+func (m *Manager) Submit(sc *config.Scenario) (JobView, error) {
+	hash, err := sc.Hash()
+	if err != nil {
+		return JobView{}, err
+	}
+	// Validate up front so malformed scenarios never occupy a queue slot
+	// and errors surface synchronously.
+	if _, err := sc.Params(); err != nil {
+		return JobView{}, fmt.Errorf("service: invalid scenario: %w", err)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return JobView{}, ErrShuttingDown
+	}
+	m.metrics.Submitted.Add(1)
+
+	if twin, ok := m.byHash[hash]; ok {
+		m.metrics.DedupHits.Add(1)
+		return twin.view(), nil
+	}
+	if res, ok := m.cache.Get(hash); ok {
+		m.metrics.CacheHits.Add(1)
+		j := m.newJobLocked(sc, hash)
+		j.cached = true
+		j.result = res
+		j.status = StatusDone
+		j.finished = j.submitted
+		j.batchesDone.Store(res.Batches)
+		j.maxBatches.Store(res.Batches)
+		close(j.done)
+		m.jobs[j.id] = j
+		m.rememberFinishedLocked(j.id)
+		return j.view(), nil
+	}
+
+	m.metrics.CacheMisses.Add(1)
+	j := m.newJobLocked(sc, hash)
+	select {
+	case m.queue <- j:
+	default:
+		m.metrics.QueueRejects.Add(1)
+		j.cancel()
+		return JobView{}, ErrQueueFull
+	}
+	m.metrics.QueueDepth.Add(1)
+	m.jobs[j.id] = j
+	m.byHash[hash] = j
+	return j.view(), nil
+}
+
+// newJobLocked allocates a job record; m.mu must be held.
+func (m *Manager) newJobLocked(sc *config.Scenario, hash string) *job {
+	m.nextID++
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	return &job{
+		id:        fmt.Sprintf("job-%d", m.nextID),
+		hash:      hash,
+		scenario:  sc,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		status:    StatusQueued,
+		submitted: time.Now(),
+	}
+}
+
+// Job returns a snapshot of the job, or ErrUnknownJob.
+func (m *Manager) Job(id string) (JobView, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return JobView{}, err
+	}
+	return j.view(), nil
+}
+
+// Result returns the job's result once it is done. The view carries the
+// authoritative status; result is nil unless Status == StatusDone.
+func (m *Manager) Result(id string) (*Result, JobView, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return nil, JobView{}, err
+	}
+	j.mu.Lock()
+	res := j.result
+	j.mu.Unlock()
+	return res, j.view(), nil
+}
+
+// Cancel requests cancellation of a queued or running job. Queued jobs
+// settle immediately; running jobs stop within one simulation batch. It is
+// a no-op on terminal jobs.
+func (m *Manager) Cancel(id string) (JobView, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return JobView{}, err
+	}
+	j.cancel()
+	// A queued job has no worker to notice the cancelled context; settle
+	// it here so pollers see the terminal state right away. The worker
+	// that eventually drains it skips non-queued jobs.
+	m.finishIf(j, StatusQueued, StatusCancelled, nil, context.Canceled)
+	return j.view(), nil
+}
+
+// Wait blocks until the job reaches a terminal status or ctx expires.
+func (m *Manager) Wait(ctx context.Context, id string) (JobView, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return JobView{}, err
+	}
+	select {
+	case <-j.done:
+		return j.view(), nil
+	case <-ctx.Done():
+		return JobView{}, ctx.Err()
+	}
+}
+
+// Metrics exposes the manager's live counters.
+func (m *Manager) Metrics() *Metrics { return &m.metrics }
+
+// CacheLen reports the number of cached results.
+func (m *Manager) CacheLen() int { return m.cache.Len() }
+
+func (m *Manager) lookup(id string) (*job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return j, nil
+}
+
+// Shutdown stops accepting submissions, lets workers drain every queued
+// and in-flight job, and returns when they are all terminal. If ctx
+// expires first, all remaining jobs are cancelled (they stop within one
+// batch) and ctx.Err() is returned after the pool exits.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	alreadyClosed := m.closed
+	m.closed = true
+	m.mu.Unlock()
+	if !alreadyClosed {
+		close(m.queue)
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.metrics.QueueDepth.Add(-1)
+		m.runJob(j)
+	}
+}
+
+func (m *Manager) runJob(j *job) {
+	j.mu.Lock()
+	if j.status != StatusQueued {
+		// Cancelled while queued and already settled.
+		j.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	m.metrics.Running.Add(1)
+	defer m.metrics.Running.Add(-1)
+
+	ctx := j.ctx
+	if m.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, m.cfg.JobTimeout)
+		defer cancel()
+	}
+	progress := func(done, max uint64) {
+		j.batchesDone.Store(done)
+		j.maxBatches.Store(max)
+	}
+
+	start := time.Now()
+	res, err := m.cfg.Eval(ctx, j.scenario, m.cfg.WorkersPerJob, progress)
+	elapsed := time.Since(start)
+
+	switch {
+	case err == nil:
+		m.cache.Put(j.hash, res)
+		m.metrics.EvalMillis.Add(elapsed.Milliseconds())
+		m.metrics.BatchesSimulated.Add(int64(res.Batches))
+		m.finishIf(j, StatusRunning, StatusDone, res, nil)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		m.finishIf(j, StatusRunning, StatusCancelled, nil, err)
+	default:
+		m.finishIf(j, StatusRunning, StatusFailed, nil, err)
+	}
+}
+
+// finishIf atomically moves the job from one status to a terminal one; it
+// is the only place jobs reach terminal states, so done closes exactly
+// once and the outcome counters stay consistent.
+func (m *Manager) finishIf(j *job, from, to Status, res *Result, err error) {
+	j.mu.Lock()
+	if j.status != from {
+		j.mu.Unlock()
+		return
+	}
+	j.status = to
+	j.result = res
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+	j.finished = time.Now()
+	close(j.done)
+	j.mu.Unlock()
+
+	switch to {
+	case StatusDone:
+		m.metrics.Completed.Add(1)
+	case StatusFailed:
+		m.metrics.Failed.Add(1)
+	case StatusCancelled:
+		m.metrics.Cancelled.Add(1)
+	}
+
+	m.mu.Lock()
+	if m.byHash[j.hash] == j {
+		delete(m.byHash, j.hash)
+	}
+	m.rememberFinishedLocked(j.id)
+	m.mu.Unlock()
+}
+
+// rememberFinishedLocked records a terminal job for history pruning;
+// m.mu must be held.
+func (m *Manager) rememberFinishedLocked(id string) {
+	m.finished = append(m.finished, id)
+	for len(m.finished) > m.cfg.HistorySize {
+		delete(m.jobs, m.finished[0])
+		m.finished = m.finished[1:]
+	}
+}

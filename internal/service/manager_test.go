@@ -1,0 +1,451 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ahs/internal/config"
+)
+
+// testScenario builds a tiny valid scenario; vary seed to vary the hash.
+func testScenario(seed uint64) *config.Scenario {
+	return &config.Scenario{
+		N:             2,
+		LambdaPerHour: 0.01,
+		TripHours:     []float64{0.5, 1},
+		Batches:       200,
+		Seed:          seed,
+	}
+}
+
+// scriptedEval is a controllable fake evaluation: it announces each start
+// and blocks until released or cancelled.
+type scriptedEval struct {
+	started  chan string
+	release  chan struct{}
+	invoked  atomic.Int64
+	failWith error
+}
+
+func newScriptedEval() *scriptedEval {
+	return &scriptedEval{
+		started: make(chan string, 16),
+		release: make(chan struct{}),
+	}
+}
+
+func (e *scriptedEval) fn(ctx context.Context, sc *config.Scenario, workers int, progress func(done, max uint64)) (*Result, error) {
+	e.invoked.Add(1)
+	hash, _ := sc.Hash()
+	e.started <- hash
+	if progress != nil {
+		progress(1, 2)
+	}
+	select {
+	case <-e.release:
+		if e.failWith != nil {
+			return nil, e.failWith
+		}
+		if progress != nil {
+			progress(2, 2)
+		}
+		return &Result{ScenarioHash: hash, Times: sc.TripHours, Batches: sc.Batches}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (e *scriptedEval) waitStarted(t *testing.T) string {
+	t.Helper()
+	select {
+	case h := <-e.started:
+		return h
+	case <-time.After(10 * time.Second):
+		t.Fatal("evaluation never started")
+		return ""
+	}
+}
+
+func waitCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestSubmitEvaluatesThenServesFromCache(t *testing.T) {
+	eval := newScriptedEval()
+	close(eval.release) // never block
+	m := NewManager(Config{Workers: 1, Eval: eval.fn})
+	defer m.Shutdown(context.Background())
+
+	first, err := m.Submit(testScenario(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := m.Wait(waitCtx(t), first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != StatusDone || view.Cached {
+		t.Fatalf("first run view %+v", view)
+	}
+	res, _, err := m.Result(first.ID)
+	if err != nil || res == nil || res.Batches != 200 {
+		t.Fatalf("result %+v err %v", res, err)
+	}
+
+	second, err := m.Submit(testScenario(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ID == first.ID {
+		t.Fatal("cache hit must mint a fresh job record")
+	}
+	if second.Status != StatusDone || !second.Cached {
+		t.Fatalf("cache hit view %+v", second)
+	}
+	cachedRes, _, err := m.Result(second.ID)
+	if err != nil || cachedRes != res {
+		t.Fatalf("cached result not shared: %p vs %p (%v)", cachedRes, res, err)
+	}
+	if got := eval.invoked.Load(); got != 1 {
+		t.Fatalf("eval invoked %d times, want 1", got)
+	}
+	met := m.Metrics()
+	if met.CacheHits.Value() != 1 || met.CacheMisses.Value() != 1 || met.Completed.Value() != 1 {
+		t.Fatalf("metrics hits=%d misses=%d completed=%d",
+			met.CacheHits.Value(), met.CacheMisses.Value(), met.Completed.Value())
+	}
+}
+
+func TestSubmitDeduplicatesInFlightTwin(t *testing.T) {
+	eval := newScriptedEval()
+	m := NewManager(Config{Workers: 1, Eval: eval.fn})
+	defer m.Shutdown(context.Background())
+
+	a, err := m.Submit(testScenario(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval.waitStarted(t)
+	b, err := m.Submit(testScenario(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID != a.ID {
+		t.Fatalf("in-flight twin got a new job: %s vs %s", b.ID, a.ID)
+	}
+	if m.Metrics().DedupHits.Value() != 1 {
+		t.Fatalf("dedupHits %d", m.Metrics().DedupHits.Value())
+	}
+	close(eval.release)
+	if _, err := m.Wait(waitCtx(t), a.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubmitRejectsWhenQueueFull(t *testing.T) {
+	eval := newScriptedEval()
+	m := NewManager(Config{Workers: 1, QueueSize: 1, Eval: eval.fn})
+	defer func() {
+		close(eval.release)
+		m.Shutdown(context.Background())
+	}()
+
+	if _, err := m.Submit(testScenario(3)); err != nil {
+		t.Fatal(err)
+	}
+	eval.waitStarted(t) // worker busy; next submission occupies the queue
+	if _, err := m.Submit(testScenario(4)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Submit(testScenario(5))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if m.Metrics().QueueRejects.Value() != 1 {
+		t.Fatalf("queueRejects %d", m.Metrics().QueueRejects.Value())
+	}
+}
+
+func TestCancelRunningJobStopsIt(t *testing.T) {
+	eval := newScriptedEval()
+	m := NewManager(Config{Workers: 1, Eval: eval.fn})
+	defer m.Shutdown(context.Background())
+
+	v, err := m.Submit(testScenario(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval.waitStarted(t)
+	if _, err := m.Cancel(v.ID); err != nil {
+		t.Fatal(err)
+	}
+	view, err := m.Wait(waitCtx(t), v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != StatusCancelled || view.Error == "" {
+		t.Fatalf("view %+v", view)
+	}
+	if res, _, _ := m.Result(v.ID); res != nil {
+		t.Fatal("cancelled job has a result")
+	}
+	if m.Metrics().Cancelled.Value() != 1 {
+		t.Fatalf("cancelled metric %d", m.Metrics().Cancelled.Value())
+	}
+}
+
+func TestCancelQueuedJobSettlesImmediately(t *testing.T) {
+	eval := newScriptedEval()
+	m := NewManager(Config{Workers: 1, Eval: eval.fn})
+
+	running, err := m.Submit(testScenario(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval.waitStarted(t)
+	queued, err := m.Submit(testScenario(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := m.Cancel(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != StatusCancelled {
+		t.Fatalf("queued job not settled on cancel: %+v", view)
+	}
+	close(eval.release)
+	if _, err := m.Wait(waitCtx(t), running.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The worker drained the cancelled job without evaluating it.
+	if got := eval.invoked.Load(); got != 1 {
+		t.Fatalf("eval invoked %d times, want 1", got)
+	}
+}
+
+func TestFailedJobReportsError(t *testing.T) {
+	eval := newScriptedEval()
+	eval.failWith = errors.New("model exploded")
+	close(eval.release)
+	m := NewManager(Config{Workers: 1, Eval: eval.fn})
+	defer m.Shutdown(context.Background())
+
+	v, err := m.Submit(testScenario(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := m.Wait(waitCtx(t), v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != StatusFailed || view.Error != "model exploded" {
+		t.Fatalf("view %+v", view)
+	}
+	if m.Metrics().Failed.Value() != 1 {
+		t.Fatalf("failed metric %d", m.Metrics().Failed.Value())
+	}
+	// A failed evaluation must not poison the cache.
+	if m.CacheLen() != 0 {
+		t.Fatalf("cache len %d after failure", m.CacheLen())
+	}
+}
+
+func TestSubmitRejectsInvalidScenario(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Shutdown(context.Background())
+	bad := testScenario(1)
+	bad.N = 0 // fails core validation
+	if _, err := m.Submit(bad); err == nil {
+		t.Fatal("expected validation error")
+	}
+	if m.Metrics().CacheMisses.Value() != 0 {
+		t.Fatal("invalid scenario counted as a miss")
+	}
+}
+
+func TestShutdownDrainsQueuedJobs(t *testing.T) {
+	eval := newScriptedEval()
+	close(eval.release)
+	m := NewManager(Config{Workers: 2, Eval: eval.fn})
+
+	views := make([]JobView, 0, 4)
+	for seed := uint64(10); seed < 14; seed++ {
+		v, err := m.Submit(testScenario(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		views = append(views, v)
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range views {
+		view, err := m.Job(v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.Status != StatusDone {
+			t.Fatalf("job %s not drained: %+v", v.ID, view)
+		}
+	}
+	if _, err := m.Submit(testScenario(99)); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("err = %v, want ErrShuttingDown", err)
+	}
+}
+
+func TestShutdownDeadlineCancelsInFlight(t *testing.T) {
+	eval := newScriptedEval() // never released: job blocks until cancelled
+	m := NewManager(Config{Workers: 1, Eval: eval.fn})
+
+	v, err := m.Submit(testScenario(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval.waitStarted(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := m.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	view, err := m.Job(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != StatusCancelled {
+		t.Fatalf("in-flight job after forced shutdown: %+v", view)
+	}
+}
+
+func TestJobTimeoutCancelsEvaluation(t *testing.T) {
+	eval := newScriptedEval() // never released: only the timeout can end it
+	m := NewManager(Config{Workers: 1, JobTimeout: 50 * time.Millisecond, Eval: eval.fn})
+	defer m.Shutdown(context.Background())
+
+	v, err := m.Submit(testScenario(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := m.Wait(waitCtx(t), v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != StatusCancelled {
+		t.Fatalf("timed-out job %+v", view)
+	}
+}
+
+func TestUnknownJobErrors(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Shutdown(context.Background())
+	if _, err := m.Job("job-404"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("Job err = %v", err)
+	}
+	if _, _, err := m.Result("job-404"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("Result err = %v", err)
+	}
+	if _, err := m.Cancel("job-404"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("Cancel err = %v", err)
+	}
+	if _, err := m.Wait(waitCtx(t), "job-404"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("Wait err = %v", err)
+	}
+}
+
+func TestFinishedJobHistoryIsPruned(t *testing.T) {
+	eval := newScriptedEval()
+	close(eval.release)
+	m := NewManager(Config{Workers: 1, HistorySize: 2, Eval: eval.fn})
+	defer m.Shutdown(context.Background())
+
+	ids := make([]string, 0, 3)
+	for seed := uint64(20); seed < 23; seed++ {
+		v, err := m.Submit(testScenario(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Wait(waitCtx(t), v.ID); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	if _, err := m.Job(ids[0]); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("oldest job not pruned: %v", err)
+	}
+	for _, id := range ids[1:] {
+		if _, err := m.Job(id); err != nil {
+			t.Fatalf("recent job %s pruned: %v", id, err)
+		}
+	}
+}
+
+func TestProgressVisibleWhileRunning(t *testing.T) {
+	eval := newScriptedEval()
+	m := NewManager(Config{Workers: 1, Eval: eval.fn})
+	defer func() {
+		close(eval.release)
+		m.Shutdown(context.Background())
+	}()
+
+	v, err := m.Submit(testScenario(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval.waitStarted(t)
+	view, err := m.Job(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != StatusRunning {
+		t.Fatalf("status %s", view.Status)
+	}
+	if view.Progress.BatchesDone != 1 || view.Progress.MaxBatches != 2 {
+		t.Fatalf("progress %+v", view.Progress)
+	}
+}
+
+func TestManagerRunsRealEvaluation(t *testing.T) {
+	// The production EvalFunc end to end on a tiny scenario: high λ so
+	// unsafety is visible at 200 batches.
+	m := NewManager(Config{Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	v, err := m.Submit(testScenario(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := m.Wait(waitCtx(t), v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != StatusDone {
+		t.Fatalf("view %+v", view)
+	}
+	res, _, err := m.Result(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches != 200 || len(res.Unsafety) != 2 || res.ScenarioHash != view.ScenarioHash {
+		t.Fatalf("result %+v", res)
+	}
+	for i, s := range res.Unsafety {
+		if s < 0 || s > 1 {
+			t.Fatalf("unsafety[%d] = %v out of [0,1]", i, s)
+		}
+		if res.CILo[i] > s || s > res.CIHi[i] {
+			t.Fatalf("interval [%v,%v] does not cover %v", res.CILo[i], res.CIHi[i], s)
+		}
+	}
+	if view.Progress.BatchesDone != 200 {
+		t.Fatalf("final progress %+v", view.Progress)
+	}
+}

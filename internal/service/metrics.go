@@ -1,0 +1,72 @@
+package service
+
+import "expvar"
+
+// Metrics are the manager's operational counters and gauges, held as
+// expvar types so they serialize in the standard /debug/vars format. They
+// are intentionally not Publish()ed globally — expvar.Publish panics on
+// duplicate names, which would forbid more than one Manager per process
+// (tests run many). The HTTP layer merges Map() into its /debug/vars view
+// under the "ahs_serve" key instead.
+//
+// Counters are monotonic; queueDepth and running are gauges.
+type Metrics struct {
+	// Submitted counts accepted evaluation requests, including ones
+	// answered from cache or deduplicated onto an in-flight job.
+	Submitted expvar.Int
+	// Completed / Failed / Cancelled count finished jobs by outcome.
+	Completed expvar.Int
+	Failed    expvar.Int
+	Cancelled expvar.Int
+	// CacheHits counts submissions answered from the result cache;
+	// CacheMisses counts submissions that had to enqueue work.
+	CacheHits   expvar.Int
+	CacheMisses expvar.Int
+	// DedupHits counts submissions coalesced onto an already queued or
+	// running job with the same canonical hash.
+	DedupHits expvar.Int
+	// QueueRejects counts submissions bounced with a full queue (the
+	// HTTP layer's 429s).
+	QueueRejects expvar.Int
+	// QueueDepth is the current number of queued-but-not-running jobs;
+	// Running the number of jobs being evaluated right now.
+	QueueDepth expvar.Int
+	Running    expvar.Int
+	// EvalMillis accumulates wall-clock evaluation time across finished
+	// jobs; BatchesSimulated the trajectories they simulated. Their
+	// ratio is the service's cost per batch.
+	EvalMillis       expvar.Int
+	BatchesSimulated expvar.Int
+}
+
+// metricNames fixes the exported key order and spelling; docs/api.md
+// documents these names.
+var metricNames = []string{
+	"submitted", "completed", "failed", "cancelled",
+	"cacheHits", "cacheMisses", "dedupHits", "queueRejects",
+	"queueDepth", "running", "evalMillis", "batchesSimulated",
+}
+
+// Map assembles a fresh expvar.Map view over the live counters. The map
+// shares the underlying vars, so it always reflects current values.
+func (m *Metrics) Map() *expvar.Map {
+	vars := map[string]expvar.Var{
+		"submitted":        &m.Submitted,
+		"completed":        &m.Completed,
+		"failed":           &m.Failed,
+		"cancelled":        &m.Cancelled,
+		"cacheHits":        &m.CacheHits,
+		"cacheMisses":      &m.CacheMisses,
+		"dedupHits":        &m.DedupHits,
+		"queueRejects":     &m.QueueRejects,
+		"queueDepth":       &m.QueueDepth,
+		"running":          &m.Running,
+		"evalMillis":       &m.EvalMillis,
+		"batchesSimulated": &m.BatchesSimulated,
+	}
+	out := new(expvar.Map).Init()
+	for _, name := range metricNames {
+		out.Set(name, vars[name])
+	}
+	return out
+}
