@@ -1,10 +1,11 @@
 # Convenience targets for the AHS safety reproduction.
 
 GO ?= go
+BIN := bin
 
-.PHONY: all build vet test race serve bench figures figures-full docs clean
+.PHONY: all build vet test race lint tools sanlint serve bench figures figures-full docs clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -15,9 +16,32 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent packages (mirrors CI).
+# Race-detector pass over the whole module (mirrors CI). -short skips the
+# heavy Monte-Carlo statistical cross-checks, which would exceed the package
+# test timeout under race instrumentation; every concurrent code path still
+# runs.
 race:
-	$(GO) test -race ./internal/service ./internal/mc ./internal/sim
+	$(GO) test -race -short ./...
+
+# Build the repo's own verification tools.
+tools:
+	$(GO) build -o $(BIN)/ahs-vet ./cmd/ahs-vet
+	$(GO) build -o $(BIN)/ahs-lint ./cmd/ahs-lint
+
+# Lint the models: structural checks (SAN001..SAN011, docs/linting.md) over
+# every coordination strategy.
+sanlint: tools
+	$(BIN)/ahs-lint
+
+# Full static pass: formatting, standard vet, the repo's custom analyzers
+# (ahsrand, ctxloop, floateq) via the vettool protocol, staticcheck when
+# installed, and the SAN model linter.
+lint: tools
+	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then echo "gofmt needed:"; echo "$$fmtout"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(CURDIR)/$(BIN)/ahs-vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
+	$(BIN)/ahs-lint
 
 # Run the evaluation service on :8080 (see docs/api.md).
 serve:
@@ -42,3 +66,4 @@ docs: figures-full
 
 clean:
 	$(GO) clean ./...
+	rm -rf $(BIN)

@@ -85,6 +85,13 @@ func DefaultParams() Params { return core.DefaultParams() }
 // New validates the parameters and builds the composed SAN model.
 func New(p Params) (*System, error) { return core.Build(p) }
 
+// NewVariants builds one System per strategy from a shared base parameter
+// set, e.g. to compare the four Table 3 scenarios. Every variant goes
+// through the same audited build path as New.
+func NewVariants(base Params, strategies []Strategy) ([]*System, error) {
+	return core.BuildVariants(base, strategies)
+}
+
 // PaperStopRule returns the convergence criterion of the paper's §4.1:
 // 95% confidence, 0.1 relative half-width, at least 10000 batches.
 func PaperStopRule() stats.RelativeStopRule { return stats.PaperStopRule() }

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ahs"
+	"ahs/internal/core"
+	"ahs/internal/sanlint"
+)
+
+// TestPaperModelsLintClean is the acceptance gate of the static
+// verification layer: every coordination strategy of Table 3, built through
+// the single audited core.Build path, produces zero findings — errors or
+// warnings — on the reduced configuration the exact solver uses.
+func TestPaperModelsLintClean(t *testing.T) {
+	base := core.DefaultParams().WithPlatoonSize(1)
+	base.TrackOutcomes = false
+	systems, err := core.BuildVariants(base, ahs.AllStrategies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range systems {
+		rep, err := sanlint.Run(sys.Model, sanlint.Config{
+			MaxStates: 50_000,
+			Observed:  sys.ObservablePlaces(),
+			Goals:     sys.GoalPlaces(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Truncated {
+			t.Fatalf("%s: exploration truncated; raise MaxStates", rep.Model)
+		}
+		if !rep.Clean() {
+			t.Errorf("%s: expected zero findings, got:\n%s", rep.Model, rep.Text())
+		}
+	}
+}
+
+// TestPhasedVariantLintsClean covers the phased-maneuver model variant,
+// which adds the coordination activity and phase place usage.
+func TestPhasedVariantLintsClean(t *testing.T) {
+	if err := run([]string{"-strategy", "CC", "-phased"}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllStrategiesText(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, code := range []string{"DD", "DC", "CD", "CC"} {
+		if !strings.Contains(text, "strategy="+code) {
+			t.Errorf("output missing strategy %s:\n%s", code, text)
+		}
+	}
+	if !strings.Contains(text, ": ok") {
+		t.Errorf("expected clean reports, got:\n%s", text)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-strategy", "DD", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var reports []sanlint.Report
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatalf("invalid JSON output: %v\n%s", err, out.String())
+	}
+	if len(reports) != 1 || len(reports[0].Diagnostics) != 0 {
+		t.Fatalf("expected one clean report, got %+v", reports)
+	}
+}
+
+func TestRunChecksCatalogue(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-checks"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range sanlint.Catalog() {
+		if !strings.Contains(out.String(), string(c.ID)) {
+			t.Errorf("catalogue output missing %s", c.ID)
+		}
+	}
+}
+
+func TestRunRejectsBadStrategy(t *testing.T) {
+	if err := run([]string{"-strategy", "QQ"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected strategy parse error")
+	}
+}
+
+// TestTruncationExitsZeroWithoutStrict asserts a truncated exploration (a
+// warning, not an error) does not fail the lint run unless -strict.
+func TestTruncationExitsZeroWithoutStrict(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-strategy", "DD", "-max-states", "50"}, &out); err != nil {
+		t.Fatalf("warnings should not fail without -strict: %v", err)
+	}
+	if err := run([]string{"-strategy", "DD", "-max-states", "50", "-strict"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-strict should fail on warnings")
+	}
+}

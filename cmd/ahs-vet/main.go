@@ -1,0 +1,19 @@
+// Command ahs-vet is a `go vet` vettool carrying this repository's custom
+// analyzers: ahsrand (math/rand outside internal/rng), ctxloop (loops that
+// ignore an in-scope context.Context) and floateq (==/!= between computed
+// floats). See docs/linting.md for the check catalogue.
+//
+// It speaks the vet unit-checker protocol, so it is not run directly:
+//
+//	go build -o bin/ahs-vet ./cmd/ahs-vet
+//	go vet -vettool=$(pwd)/bin/ahs-vet ./...
+//
+// Individual checks can be selected the usual way, e.g.
+// `go vet -vettool=... -floateq=false ./...`.
+package main
+
+import "ahs/internal/analysis"
+
+func main() {
+	analysis.VetMain(analysis.Analyzers()...)
+}

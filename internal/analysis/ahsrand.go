@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// AHSRandAnalyzer flags use of math/rand (v1 or v2) outside internal/rng.
+//
+// Every estimate in this repository must be reproducible from a seed, and the
+// Monte Carlo engine hands each trajectory its own partitioned stream. The
+// math/rand package-level functions draw from a mutex-guarded global source,
+// which silently couples concurrent trajectories and breaks replayability;
+// even locally constructed rand.Rand values bypass the stream partitioning.
+// Only internal/rng, which wraps the generator behind per-trajectory streams,
+// may import it.
+var AHSRandAnalyzer = &Analyzer{
+	Name: "ahsrand",
+	Doc:  "flag math/rand use outside internal/rng (randomness must flow through seeded per-trajectory streams)",
+	Run:  runAHSRand,
+}
+
+func runAHSRand(pass *Pass) error {
+	if strings.HasSuffix(pass.PkgPath, "internal/rng") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s outside internal/rng: use internal/rng streams so results stay reproducible", path)
+			}
+		}
+	}
+	return nil
+}
+
+// importName returns the local name a file binds to the given import path, or
+// "" if the file does not import it. Shared by analyzers that need to resolve
+// qualified identifiers without type information.
+func importName(file *ast.File, path string) string {
+	for _, imp := range file.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}

@@ -1,0 +1,120 @@
+// Package analysis is a project-specific static-analysis suite for the AHS
+// codebase, modelled on the golang.org/x/tools/go/analysis API but built
+// entirely on the standard library's go/ast and go/types (this module is
+// dependency-free by policy).
+//
+// Three analyzers encode correctness rules the simulator's statistical
+// guarantees depend on:
+//
+//   - ahsrand: math/rand's global source is non-deterministic under
+//     parallelism; all randomness must flow through internal/rng streams.
+//   - ctxloop: trajectory/batch loops must consult their context, or
+//     cancellation requests stall for an entire estimation round.
+//   - floateq: ==/!= on computed probabilities is almost always a latent
+//     bug; comparisons must use an epsilon or exact bit patterns.
+//
+// The suite runs under the standard toolchain as
+//
+//	go vet -vettool=$(command -v ahs-vet) ./...
+//
+// via the unitchecker wire protocol implemented in unitchecker.go.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check, mirroring the x/tools shape so the
+// analyzers port trivially if the dependency policy ever changes.
+type Analyzer struct {
+	// Name is the vet flag and diagnostic prefix for this analyzer.
+	Name string
+	// Doc is the one-paragraph description shown by -flags help.
+	Doc string
+	// Run executes the analyzer on one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	// Fset maps token positions to file locations.
+	Fset *token.FileSet
+	// Files holds the package's parsed syntax trees.
+	Files []*ast.File
+	// PkgPath is the package's import path.
+	PkgPath string
+	// TypesInfo holds type-checker results. It is always non-nil but may be
+	// sparsely populated when type checking partially failed; analyzers
+	// must degrade gracefully on missing entries.
+	TypesInfo *types.Info
+	// Report delivers a diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, positioned within the package's file set.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{AHSRandAnalyzer, CtxLoopAnalyzer, FloatEqAnalyzer}
+}
+
+// isTestFile reports whether the file is a _test.go file. ctxloop and
+// floateq skip tests: deadline-bounded polling loops and exact-propagation
+// assertions are legitimate there.
+func isTestFile(fset *token.FileSet, file *ast.File) bool {
+	return strings.HasSuffix(fset.Position(file.Pos()).Filename, "_test.go")
+}
+
+// suppressKey identifies one (file line, analyzer) pair silenced by an
+// ahsvet:ignore comment.
+type suppressKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// suppressions scans comments of the form
+//
+//	//ahsvet:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// and returns the set of (line, analyzer) pairs they silence. A directive
+// applies to findings on its own line (end-of-line placement) and on the
+// following line (placement above the flagged statement). The reason text is
+// free-form but expected: a suppression without one invites deletion.
+func suppressions(fset *token.FileSet, files []*ast.File) map[suppressKey]bool {
+	out := make(map[suppressKey]bool)
+	for _, file := range files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "ahsvet:ignore") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "ahsvet:ignore"))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					out[suppressKey{pos.Filename, pos.Line, name}] = true
+					out[suppressKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	return out
+}

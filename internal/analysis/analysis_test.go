@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// runSrc type-checks one source file (named fname so test-file exemptions
+// can be exercised) and runs a single analyzer over it, returning the
+// diagnostics as "line: message" strings.
+func runSrc(t *testing.T, a *Analyzer, pkgPath, fname, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, fname, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check(pkgPath, fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	var got []string
+	pass := &Pass{
+		Fset:      fset,
+		Files:     []*ast.File{file},
+		PkgPath:   pkgPath,
+		TypesInfo: info,
+		Report: func(d Diagnostic) {
+			got = append(got, fmt.Sprintf("%d: %s", fset.Position(d.Pos).Line, d.Message))
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func wantN(t *testing.T, diags []string, n int, substr string) {
+	t.Helper()
+	if len(diags) != n {
+		t.Fatalf("want %d diagnostics, got %d: %v", n, len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d, substr) {
+			t.Errorf("diagnostic %q missing %q", d, substr)
+		}
+	}
+}
+
+func TestAHSRand(t *testing.T) {
+	src := `package p
+import "math/rand"
+func f() int { return rand.Intn(6) }
+`
+	wantN(t, runSrc(t, AHSRandAnalyzer, "ahs/internal/mc", "p.go", src), 1, "math/rand")
+
+	// The one package allowed to wrap it.
+	if got := runSrc(t, AHSRandAnalyzer, "ahs/internal/rng", "p.go", src); len(got) != 0 {
+		t.Errorf("internal/rng should be exempt, got %v", got)
+	}
+
+	v2 := `package p
+import mrand "math/rand/v2"
+func f() int { return mrand.IntN(6) }
+`
+	wantN(t, runSrc(t, AHSRandAnalyzer, "ahs/internal/sim", "p.go", v2), 1, "math/rand/v2")
+}
+
+const ctxLoopBad = `package p
+import "context"
+func f(ctx context.Context, work func()) {
+	for i := 0; i < 1000000; i++ {
+		work()
+	}
+}
+`
+
+func TestCtxLoop(t *testing.T) {
+	wantN(t, runSrc(t, CtxLoopAnalyzer, "ahs/internal/mc", "p.go", ctxLoopBad), 1, "never consults the context")
+
+	// Same loop in a test file: exempt.
+	if got := runSrc(t, CtxLoopAnalyzer, "ahs/internal/mc", "p_test.go", ctxLoopBad); len(got) != 0 {
+		t.Errorf("test files should be exempt, got %v", got)
+	}
+
+	for name, src := range map[string]string{
+		"checks ctx.Err": `package p
+import "context"
+func f(ctx context.Context, work func()) {
+	for i := 0; i < 1000000; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		work()
+	}
+}
+`,
+		"forwards ctx": `package p
+import "context"
+func f(ctx context.Context, work func(context.Context)) {
+	for i := 0; i < 1000000; i++ {
+		work(ctx)
+	}
+}
+`,
+		"local ctx variable consulted": `package p
+import "context"
+func f(work func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		work()
+	}
+}
+`,
+		"spawn loop": `package p
+import "context"
+func f(ctx context.Context, work func()) {
+	for i := 0; i < 8; i++ {
+		go work()
+	}
+	<-ctx.Done()
+}
+`,
+		"select loop": `package p
+import "context"
+func f(ctx context.Context, tick chan int, work func()) {
+	done := ctx.Done()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick:
+			work()
+		}
+	}
+}
+`,
+		"no context in scope": `package p
+func f(work func()) {
+	for i := 0; i < 1000000; i++ {
+		work()
+	}
+}
+`,
+		"pure arithmetic loop": `package p
+import "context"
+func f(ctx context.Context, xs []float64) float64 {
+	_ = ctx
+	s := 0.0
+	for i := 0; i < len(xs); i++ {
+		s += xs[i]
+	}
+	return s
+}
+`,
+	} {
+		if got := runSrc(t, CtxLoopAnalyzer, "ahs/internal/mc", "p.go", src); len(got) != 0 {
+			t.Errorf("%s: want clean, got %v", name, got)
+		}
+	}
+
+	// A local ctx that exists but is never consulted by the hot loop is
+	// still a finding.
+	local := `package p
+import "context"
+func f(work func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	_ = cancel
+	_ = ctx
+	for i := 0; i < 1000000; i++ {
+		work()
+	}
+}
+`
+	wantN(t, runSrc(t, CtxLoopAnalyzer, "ahs/internal/mc", "p.go", local), 1, "never consults")
+}
+
+func TestFloatEq(t *testing.T) {
+	bad := `package p
+func f(a, b float64) bool { return a == b }
+`
+	wantN(t, runSrc(t, FloatEqAnalyzer, "ahs/internal/san", "p.go", bad), 1, "floating-point ==")
+
+	for name, src := range map[string]string{
+		"constant comparand": `package p
+func f(p float64) bool { return p == 0 }
+`,
+		"named constant": `package p
+const tol = 1e-9
+func f(p float64) bool { return p != tol }
+`,
+		"NaN idiom": `package p
+func f(x float64) bool { return x != x }
+`,
+		"integers": `package p
+func f(a, b int) bool { return a == b }
+`,
+		"comparator tiebreak": `package p
+type ev struct{ t float64; seq int }
+func less(a, b ev) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+`,
+		"bits comparison": `package p
+import "math"
+func f(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+`,
+	} {
+		if got := runSrc(t, FloatEqAnalyzer, "ahs/internal/san", "p.go", src); len(got) != 0 {
+			t.Errorf("%s: want clean, got %v", name, got)
+		}
+	}
+
+	// Test files assert exact propagation on purpose.
+	if got := runSrc(t, FloatEqAnalyzer, "ahs/internal/san", "p_test.go", bad); len(got) != 0 {
+		t.Errorf("test files should be exempt, got %v", got)
+	}
+}
+
+func TestSuppressions(t *testing.T) {
+	src := `package p
+func f(a, b float64) bool {
+	return a == b //ahsvet:ignore floateq exactness is intended here
+}
+//ahsvet:ignore floateq,ctxloop next line carries both suppressions
+var _ = 0
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := suppressions(fset, []*ast.File{file})
+	for _, want := range []suppressKey{
+		{"p.go", 3, "floateq"},
+		{"p.go", 5, "floateq"},
+		{"p.go", 6, "floateq"},
+		{"p.go", 6, "ctxloop"},
+	} {
+		if !sup[want] {
+			t.Errorf("missing suppression %+v in %v", want, sup)
+		}
+	}
+	if sup[suppressKey{"p.go", 2, "floateq"}] {
+		t.Error("suppression must not extend upward")
+	}
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLoopAnalyzer flags for-loops that ignore an in-scope context.Context.
+//
+// The estimators run batches of tens of thousands of trajectories; the
+// evaluation service relies on ctx cancellation to abort superseded runs
+// promptly. A loop inside a context-bearing function that never consults the
+// context — neither checking ctx.Err()/ctx.Done() nor passing ctx onward —
+// keeps burning its whole budget after the caller has given up.
+//
+// A loop is exempt when it references any context-typed variable of the
+// enclosing function (including forwarding it to a callee), contains a select
+// statement (channel-driven loops are cancellable through their channels),
+// spawns goroutines (the loop itself finishes immediately; cancellation is
+// the goroutines' concern), or is a range loop (bounded by its operand).
+// Test files are skipped: deadline-bounded polling loops are fine there.
+var CtxLoopAnalyzer = &Analyzer{
+	Name: "ctxloop",
+	Doc:  "flag for-loops in context-bearing functions that never consult the context (cancellation would stall)",
+	Run:  runCtxLoop,
+}
+
+func runCtxLoop(pass *Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file) {
+			continue
+		}
+		ctxPkgName := importName(file, "context")
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkCtxLoops(pass, fn, ctxPkgName)
+			}
+		}
+	}
+	return nil
+}
+
+func checkCtxLoops(pass *Pass, fn *ast.FuncDecl, ctxPkgName string) {
+	ctxNames := contextVarNames(pass, fn, ctxPkgName)
+	if len(ctxNames) == 0 {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		if !loopDoesWork(loop) || subtreeMentions(loop, ctxNames) || containsSelect(loop) || containsGoStmt(loop) {
+			return true
+		}
+		pass.Reportf(loop.For, "loop never consults the context (%s in scope): check ctx.Err()/ctx.Done() or pass the context on, or cancellation stalls", anyKey(ctxNames))
+		return true
+	})
+}
+
+// contextVarNames collects the names of identifiers within fn whose type is
+// context.Context: parameters, locals, and captured variables alike. With
+// sparse type information it falls back to scanning the parameter list for
+// types spelled context.Context.
+func contextVarNames(pass *Pass, fn *ast.FuncDecl, ctxPkgName string) map[string]bool {
+	names := make(map[string]bool)
+	ast.Inspect(fn, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); isVar && isContextType(obj.Type()) {
+			names[id.Name] = true
+		}
+		return true
+	})
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			sel, ok := field.Type.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Context" {
+				continue
+			}
+			if x, ok := sel.X.(*ast.Ident); ok && x.Name == ctxPkgName && ctxPkgName != "" {
+				for _, name := range field.Names {
+					names[name.Name] = true
+				}
+			}
+		}
+	}
+	return names
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// loopDoesWork reports whether the loop plausibly runs long enough for
+// cancellation to matter: it is unbounded, or its body makes function calls.
+// Pure index arithmetic over in-memory data is left alone.
+func loopDoesWork(loop *ast.ForStmt) bool {
+	if loop.Cond == nil {
+		return true
+	}
+	found := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func subtreeMentions(n ast.Node, names map[string]bool) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && names[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func containsSelect(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.SelectStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func containsGoStmt(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func anyKey(m map[string]bool) string {
+	best := ""
+	for k := range m {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqAnalyzer flags == and != between two computed floating-point values.
+//
+// Probabilities, rates and case weights in this codebase are accumulated
+// floats; exact equality between two computed values is almost never what the
+// model means (sums of weights land near 1, not at 1). Comparisons must use
+// an epsilon or math.Float64bits.
+//
+// Comparisons against a compile-time constant (p == 0, w != 1) are exempt:
+// they express "was this ever assigned" guards that are exact by
+// construction and idiomatic throughout the solvers. Also exempt: the x != x
+// NaN test, the comparator tiebreak idiom
+// `if a != b { return a < b }`, and test files, where asserting exact
+// propagation of a parsed or copied value is the point of the test.
+var FloatEqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between two computed floating-point values (use an epsilon or math.Float64bits)",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file) {
+			continue
+		}
+		tiebreaks := comparatorTiebreaks(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatExpr(pass, cmp.X) && !isFloatExpr(pass, cmp.Y) {
+				return true
+			}
+			if isConstExpr(pass, cmp.X) || isConstExpr(pass, cmp.Y) {
+				return true
+			}
+			if exprString(pass.Fset, cmp.X) == exprString(pass.Fset, cmp.Y) {
+				return true // x != x is the NaN test
+			}
+			if tiebreaks[cmp] {
+				return true
+			}
+			pass.Reportf(cmp.OpPos, "floating-point %s between two computed values: compare with an epsilon or math.Float64bits", cmp.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// comparatorTiebreaks returns the `a != b` conditions of the sort-comparator
+// idiom `if a != b { return a < b }`: the inequality only dispatches to an
+// exact float ordering of the same operands, so it is not an equality bug.
+func comparatorTiebreaks(fset *token.FileSet, file *ast.File) map[*ast.BinaryExpr]bool {
+	out := make(map[*ast.BinaryExpr]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cond, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.NEQ {
+			return true
+		}
+		for _, stmt := range ifs.Body.List {
+			ret, ok := stmt.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				continue
+			}
+			ord, ok := ret.Results[0].(*ast.BinaryExpr)
+			if !ok {
+				continue
+			}
+			switch ord.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+			default:
+				continue
+			}
+			cx, cy := exprString(fset, cond.X), exprString(fset, cond.Y)
+			ox, oy := exprString(fset, ord.X), exprString(fset, ord.Y)
+			if (cx == ox && cy == oy) || (cx == oy && cy == ox) {
+				out[cond] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isFloatExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

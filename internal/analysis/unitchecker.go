@@ -1,0 +1,286 @@
+package analysis
+
+// This file implements the vet "unitchecker" wire protocol on the standard
+// library, so cmd/ahs-vet can be passed to `go vet -vettool=...`. The
+// protocol (defined by cmd/go/internal/work and mirrored from
+// golang.org/x/tools/go/analysis/unitchecker, which we cannot depend on):
+//
+//  1. `tool -V=full` prints a version line used as the tool's build ID.
+//  2. `tool -flags` prints a JSON array describing the tool's flags, which
+//     cmd/go uses to split `go vet` arguments into flags and packages.
+//  3. `tool [flags] <unit>.cfg` analyzes one package unit. The cfg file is a
+//     JSON description of the unit: its Go files, the mapping from import
+//     paths to export-data files produced by the compiler, and where to
+//     write the (for us, empty) facts file.
+//
+// Diagnostics go to stderr as "file:line:col: analyzer: message" and the
+// process exits 2, which is what makes `go vet` fail the build; with -json
+// they go to stdout as JSON and the exit status is 0.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// unitConfig mirrors the JSON structure cmd/go writes to <unit>.cfg. Field
+// names are part of the protocol.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetMain is the entry point for cmd/ahs-vet. It parses the protocol flags,
+// dispatches the requested action, and exits; it never returns.
+func VetMain(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	progname = strings.TrimSuffix(progname, ".exe")
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	versionFlag := fs.String("V", "", "print version and exit (-V=full includes a build ID)")
+	flagsFlag := fs.Bool("flags", false, "print the tool's flags as JSON and exit")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON on stdout instead of text on stderr")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" check: "+a.Doc)
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(1)
+	}
+
+	if *versionFlag != "" {
+		// cmd/go derives the vet tool's content ID from this exact shape.
+		fmt.Printf("%s version devel comments-go-here buildID=gibberish\n", progname)
+		os.Exit(0)
+	}
+	if *flagsFlag {
+		printFlagDefs(fs)
+		os.Exit(0)
+	}
+
+	args := fs.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr, "%s: this tool implements the `go vet` unit-checker protocol and expects a single *.cfg argument.\n", progname)
+		fmt.Fprintf(os.Stderr, "Run it as: go vet -vettool=$(command -v %s) ./...\n", progname)
+		os.Exit(1)
+	}
+
+	active := analyzers[:0:0]
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	diags, err := runUnit(args[0], active)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	os.Exit(emit(os.Stdout, os.Stderr, diags, *jsonFlag))
+}
+
+// printFlagDefs writes the -flags JSON that cmd/go uses to recognise which
+// command-line arguments belong to the vet tool.
+func printFlagDefs(fs *flag.FlagSet) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var defs []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		isBool := false
+		if b, ok := f.Value.(interface{ IsBoolFlag() bool }); ok {
+			isBool = b.IsBoolFlag()
+		}
+		defs = append(defs, jsonFlag{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	data, err := json.Marshal(defs)
+	if err != nil {
+		panic(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// unitDiagnostic pairs a finding with its analyzer and resolved position.
+type unitDiagnostic struct {
+	Analyzer string
+	Posn     token.Position
+	Message  string
+}
+
+// errTypecheckSucceed signals that type checking failed but the cfg asked for
+// silent success (cmd/go sets SucceedOnTypecheckFailure when the compiler
+// will report the same errors itself).
+var errTypecheckSucceed = fmt.Errorf("typecheck failed, exiting 0 per cfg")
+
+func runUnit(cfgPath string, analyzers []*Analyzer) ([]unitDiagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+
+	// The facts file must exist even though this suite exports no facts:
+	// cmd/go records it as a build output.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency units are analyzed only for facts; we have none.
+		return nil, nil
+	}
+
+	diags, err := analyzeUnit(cfg, analyzers)
+	if err == errTypecheckSucceed {
+		return nil, nil
+	}
+	return diags, err
+}
+
+func analyzeUnit(cfg *unitConfig, analyzers []*Analyzer) ([]unitDiagnostic, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, errTypecheckSucceed
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path has already been resolved through ImportMap.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tconf := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			if mapped, ok := cfg.ImportMap[importPath]; ok {
+				importPath = mapped // resolve vendoring and test variants
+			}
+			return compilerImporter.Import(importPath)
+		}),
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		Error:     func(error) {}, // collect as many results as possible
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	if _, err := tconf.Check(cfg.ImportPath, fset, files, info); err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, errTypecheckSucceed
+		}
+		return nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	suppressed := suppressions(fset, files)
+	var diags []unitDiagnostic
+	for _, a := range analyzers {
+		a := a
+		pass := &Pass{
+			Fset:      fset,
+			Files:     files,
+			PkgPath:   cfg.ImportPath,
+			TypesInfo: info,
+			Report: func(d Diagnostic) {
+				posn := fset.Position(d.Pos)
+				if suppressed[suppressKey{posn.Filename, posn.Line, a.Name}] {
+					return
+				}
+				diags = append(diags, unitDiagnostic{
+					Analyzer: a.Name,
+					Posn:     posn,
+					Message:  d.Message,
+				})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := diags[i].Posn, diags[j].Posn
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+	return diags, nil
+}
+
+// emit writes diagnostics in the requested format and returns the process
+// exit code: `go vet` interprets a non-zero exit as "findings or failure",
+// while JSON consumers expect 0 with the findings on stdout.
+func emit(stdout, stderr io.Writer, diags []unitDiagnostic, asJSON bool) int {
+	if asJSON {
+		// Shape: {"<analyzer>": [{"posn": "...", "message": "..."}]}, matching
+		// the per-package objects `go vet -json` aggregates.
+		grouped := make(map[string][]map[string]string)
+		for _, d := range diags {
+			grouped[d.Analyzer] = append(grouped[d.Analyzer], map[string]string{
+				"posn":    d.Posn.String(),
+				"message": d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		enc.Encode(grouped)
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s: %s\n", d.Posn, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

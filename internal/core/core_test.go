@@ -304,6 +304,9 @@ func TestUnsafetyIncreasesWithN(t *testing.T) {
 }
 
 func TestCentralizedCoordinationLessSafe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy Monte-Carlo statistical check; skipped under -short (race CI)")
+	}
 	// Amplified regime: any degraded participant dooms a maneuver.
 	run := func(s platoon.Strategy) float64 {
 		p := DefaultParams()
@@ -325,6 +328,9 @@ func TestCentralizedCoordinationLessSafe(t *testing.T) {
 }
 
 func TestImportanceSamplingAgreesWithNaive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy Monte-Carlo statistical check; skipped under -short (race CI)")
+	}
 	p := DefaultParams()
 	p.Lambda = 1e-3
 	a := MustBuild(p)
@@ -663,6 +669,9 @@ func TestUnsafetyBreakdownPartitionsTotal(t *testing.T) {
 }
 
 func TestAblationEscalationDisabledIsSafer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy Monte-Carlo statistical check; skipped under -short (race CI)")
+	}
 	// Without the Figure 2 degradation chain, class B/C failures can never
 	// turn into class A, so the unsafety must drop.
 	run := func(disable bool) float64 {
@@ -816,6 +825,9 @@ func TestPhasedExactCTMCCrossCheck(t *testing.T) {
 }
 
 func TestPhasedSlowerCoordinationIsLessSafe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy Monte-Carlo statistical check; skipped under -short (race CI)")
+	}
 	// Slower coordination keeps failures active longer, so unsafety rises.
 	run := func(coordRate float64) float64 {
 		p := DefaultParams()

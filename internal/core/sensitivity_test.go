@@ -57,6 +57,9 @@ func TestOccupancyCurveValidation(t *testing.T) {
 }
 
 func TestSensitivityTableLambdaElasticity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy Monte-Carlo statistical check; skipped under -short (race CI)")
+	}
 	// With two-failure catastrophes dominating, S ∝ λ², so the lambda
 	// elasticity must be close to 2.
 	p := DefaultParams()

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"ahs/internal/platoon"
+)
+
+// WithStrategy returns a copy of p with the coordination strategy replaced.
+// It is the canonical way to derive the four Table 3 scenarios from one base
+// parameter set: every strategy variant then flows through the single
+// audited Build path (and is what the model linter runs against).
+func (p Params) WithStrategy(s platoon.Strategy) Params {
+	p.Strategy = s
+	return p
+}
+
+// WithPlatoonSize returns a copy of p with the maximum platoon size replaced.
+func (p Params) WithPlatoonSize(n int) Params {
+	p.N = n
+	return p
+}
+
+// BuildVariants builds one system per strategy from a shared base parameter
+// set. Results are in the order of strategies.
+func BuildVariants(base Params, strategies []platoon.Strategy) ([]*AHS, error) {
+	out := make([]*AHS, 0, len(strategies))
+	for _, s := range strategies {
+		a, err := Build(base.WithStrategy(s))
+		if err != nil {
+			return nil, fmt.Errorf("core: building %s variant: %w", s, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// GoalPlaces returns the names of the places whose reachability defines the
+// model's measures: the absorbing KO_total place behind S(t). Model linting
+// asserts these are reachable.
+func (a *AHS) GoalPlaces() []string {
+	return []string{a.Model.PlaceName(a.koTotal)}
+}
+
+// ObservablePlaces returns the names of the places that exist only to be
+// read by external measures (never by the model's own gates): the KO cause
+// code and, when tracked, the cumulative outcome counters. Model linting
+// exempts these from the dead-place check.
+func (a *AHS) ObservablePlaces() []string {
+	names := []string{a.Model.PlaceName(a.koCause)}
+	if a.Params.TrackOutcomes {
+		names = append(names, a.Model.PlaceName(a.vOK), a.Model.PlaceName(a.vKO))
+	}
+	return names
+}

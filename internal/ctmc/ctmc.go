@@ -89,9 +89,9 @@ func Explore(model *san.Model, opts ExploreOptions) (*Graph, error) {
 			if err != nil {
 				return nil, err
 			}
-			ws, err := san.CaseWeights(act.Cases, mk, nil)
+			ws, err := san.CaseWeightsFor(act.Name, act.Cases, mk, nil)
 			if err != nil {
-				return nil, fmt.Errorf("activity %q: %w", act.Name, err)
+				return nil, err
 			}
 			total := 0.0
 			for _, w := range ws {
@@ -160,9 +160,9 @@ func (e *explorer) stabilize(mk *san.Marking) ([]weightedMarking, error) {
 			return nil
 		}
 		act := e.model.Instant(best)
-		ws, err := san.CaseWeights(act.Cases, m, nil)
+		ws, err := san.CaseWeightsFor(act.Name, act.Cases, m, nil)
 		if err != nil {
-			return fmt.Errorf("activity %q: %w", act.Name, err)
+			return err
 		}
 		total := 0.0
 		for _, w := range ws {
@@ -203,7 +203,7 @@ func (e *explorer) stabilize(mk *san.Marking) ([]weightedMarking, error) {
 
 // intern returns the state index for a marking, adding it when new.
 func (e *explorer) intern(mk *san.Marking, g *Graph) (int, bool) {
-	key := markingKey(mk)
+	key := MarkingKey(mk)
 	if idx, ok := e.index[key]; ok {
 		return idx, false
 	}
@@ -214,7 +214,10 @@ func (e *explorer) intern(mk *san.Marking, g *Graph) (int, bool) {
 	return idx, true
 }
 
-func markingKey(mk *san.Marking) string {
+// MarkingKey serialises a marking into a canonical interning key. It is the
+// state identity used by reachability exploration, shared with the model
+// linter (internal/sanlint), which walks the same bounded marking graph.
+func MarkingKey(mk *san.Marking) string {
 	buf := make([]byte, 0, 64)
 	model := mk.Model()
 	for p := 0; p < model.NumPlaces(); p++ {

@@ -97,7 +97,10 @@ func IDs() []string {
 // figures.
 var tripGrid = []float64{2, 4, 6, 8, 10}
 
-// estimateCurve runs one S(t) curve for the given parameters.
+// estimateCurve runs one S(t) curve for the given parameters. It is the
+// single estimation path of this package: every figure — curve or point —
+// builds its model through the one audited core.Build and evaluates it with
+// identical options, so a bias or seeding fix lands everywhere at once.
 func estimateCurve(p core.Params, label string, times []float64, cfg Config) (Series, error) {
 	a, err := core.Build(p)
 	if err != nil {
@@ -126,27 +129,13 @@ func estimateCurve(p core.Params, label string, times []float64, cfg Config) (Se
 	}, nil
 }
 
-// estimatePoint runs a single S(t) estimation.
-func estimatePoint(p core.Params, t float64, cfg Config) (stats.Interval, uint64, error) {
-	a, err := core.Build(p)
+// estimatePoint runs a single S(t) estimation through estimateCurve.
+func estimatePoint(p core.Params, label string, t float64, cfg Config) (stats.Interval, uint64, error) {
+	s, err := estimateCurve(p, label, []float64{t}, cfg)
 	if err != nil {
 		return stats.Interval{}, 0, err
 	}
-	opts := core.EvalOptions{
-		Times:      []float64{t},
-		Seed:       cfg.Seed,
-		StopRule:   cfg.StopRule,
-		MaxBatches: cfg.MaxBatches,
-		Workers:    cfg.Workers,
-	}
-	if !cfg.NoBias {
-		opts.FailureBias = a.SuggestedFailureBias(t)
-	}
-	curve, err := a.UnsafetyCurve(opts)
-	if err != nil {
-		return stats.Interval{}, 0, err
-	}
-	return curve.Intervals[0], curve.Batches, nil
+	return s.CI[0], s.Batches, nil
 }
 
 // Fig10 reproduces Figure 10: S(t) versus trip duration for platoon sizes
@@ -160,8 +149,7 @@ func Fig10(cfg Config) (*Result, error) {
 		YLabel: "unsafety S(t)",
 	}
 	for _, n := range []int{8, 10, 12, 14} {
-		p := core.DefaultParams()
-		p.N = n
+		p := core.DefaultParams().WithPlatoonSize(n)
 		s, err := estimateCurve(p, fmt.Sprintf("n=%d", n), tripGrid, cfg)
 		if err != nil {
 			return nil, err
@@ -207,10 +195,9 @@ func Fig12(cfg Config) (*Result, error) {
 	for _, lambda := range []float64{1e-6, 1e-5, 1e-4} {
 		s := Series{Label: fmt.Sprintf("λ=%.0e/hr", lambda)}
 		for _, n := range ns {
-			p := core.DefaultParams()
-			p.N = n
+			p := core.DefaultParams().WithPlatoonSize(n)
 			p.Lambda = lambda
-			iv, batches, err := estimatePoint(p, 6, cfg)
+			iv, batches, err := estimatePoint(p, s.Label, 6, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -240,8 +227,7 @@ func Fig13(cfg Config) (*Result, error) {
 		{8, 4}, {16, 8}, {24, 12}, // ρ = 2
 	}
 	for _, pair := range pairs {
-		p := core.DefaultParams()
-		p.N = 8
+		p := core.DefaultParams().WithPlatoonSize(8)
 		p.JoinRate = pair.join
 		p.LeaveRate = pair.leave
 		label := fmt.Sprintf("ρ=%g (join=%g, leave=%g)", pair.join/pair.leave, pair.join, pair.leave)
@@ -265,8 +251,7 @@ func Fig14(cfg Config) (*Result, error) {
 		YLabel: "unsafety S(t)",
 	}
 	for _, strategy := range platoon.AllStrategies() {
-		p := core.DefaultParams()
-		p.Strategy = strategy
+		p := core.DefaultParams().WithStrategy(strategy)
 		s, err := estimateCurve(p, strategy.String(), tripGrid, cfg)
 		if err != nil {
 			return nil, err
@@ -290,10 +275,8 @@ func Fig15(cfg Config) (*Result, error) {
 	for _, strategy := range platoon.AllStrategies() {
 		s := Series{Label: strategy.String()}
 		for _, n := range ns {
-			p := core.DefaultParams()
-			p.N = n
-			p.Strategy = strategy
-			iv, batches, err := estimatePoint(p, 6, cfg)
+			p := core.DefaultParams().WithStrategy(strategy).WithPlatoonSize(n)
+			iv, batches, err := estimatePoint(p, s.Label, 6, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -321,8 +304,7 @@ func LanesExtension(cfg Config) (*Result, error) {
 		YLabel: "unsafety S(t)",
 	}
 	for _, lanes := range []int{2, 3, 4} {
-		p := core.DefaultParams()
-		p.N = 8
+		p := core.DefaultParams().WithPlatoonSize(8)
 		p.Lanes = lanes
 		s, err := estimateCurve(p, fmt.Sprintf("lanes=%d", lanes), tripGrid, cfg)
 		if err != nil {

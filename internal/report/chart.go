@@ -57,7 +57,7 @@ func Chart(res *experiments.Result, width, height int) string {
 		mid := (logHi + logLo) / 2
 		logLo, logHi = mid-0.25, mid+0.25
 	}
-	if xHi == xLo {
+	if xHi == xLo { //ahsvet:ignore floateq equality IS the degenerate axis range being widened
 		xHi = xLo + 1
 	}
 

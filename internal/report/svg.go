@@ -52,10 +52,10 @@ func WriteSVG(w io.Writer, res *experiments.Result) error {
 	var logLo, logHi float64
 	if hasData {
 		logLo, logHi = math.Floor(math.Log10(yLo)), math.Ceil(math.Log10(yHi))
-		if logHi == logLo {
+		if logHi == logLo { //ahsvet:ignore floateq Floor/Ceil results are integral; equality IS the degenerate decade
 			logHi++
 		}
-		if xHi == xLo {
+		if xHi == xLo { //ahsvet:ignore floateq equality IS the degenerate axis range being widened
 			xHi = xLo + 1
 		}
 	}

@@ -176,6 +176,15 @@ func sortStrings(xs []string) {
 
 // Build finalises and validates the model. The builder must not be reused
 // afterwards.
+//
+// Beyond the incremental checks recorded while building (duplicate or
+// invalid names, negative initial markings, missing rates), Build probes
+// every enabling predicate against the initial marking: a gate that
+// references an unknown place — a stale or out-of-range PlaceID, typically
+// captured from another model — is rejected here at build time instead of
+// panicking deep inside a simulation run. Predicates are read-only by
+// contract, so probing them is safe; effects are deliberately not probed
+// (firing a disabled activity's effect may legitimately panic).
 func (b *Builder) Build() (*Model, error) {
 	st := b.root
 	if st.finished {
@@ -188,7 +197,38 @@ func (b *Builder) Build() (*Model, error) {
 	if len(st.model.timed)+len(st.model.instants) == 0 {
 		return nil, fmt.Errorf("san: model %q has no activities", st.name)
 	}
+	init := st.model.InitialMarking()
+	for i := range st.model.timed {
+		a := &st.model.timed[i]
+		if err := probePredicate("timed activity", a.Name, a.Enabled, init); err != nil {
+			st.errs = append(st.errs, err)
+		}
+	}
+	for i := range st.model.instants {
+		a := &st.model.instants[i]
+		if err := probePredicate("instantaneous activity", a.Name, a.Enabled, init); err != nil {
+			st.errs = append(st.errs, err)
+		}
+	}
+	if len(st.errs) > 0 {
+		return nil, errors.Join(st.errs...)
+	}
 	return &st.model, nil
+}
+
+// probePredicate evaluates pred on mk, converting a panic (out-of-range or
+// foreign place id, unguarded extended-place index) into a build error.
+func probePredicate(kind, name string, pred Predicate, mk *Marking) (err error) {
+	if pred == nil {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("san: %s %q: enabling predicate failed on the initial marking (gate referencing an unknown place?): %v", kind, name, r)
+		}
+	}()
+	pred(mk)
+	return nil
 }
 
 // MustBuild is Build for static models known to be valid; it panics on error.

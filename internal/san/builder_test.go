@@ -1,0 +1,105 @@
+package san
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// These tests pin down the build-time rejection paths: a model whose gate
+// predicates cannot even evaluate the initial marking must fail at Build,
+// with a diagnostic naming the offending activity, rather than panicking
+// thousands of trajectories later.
+
+func TestBuildRejectsTimedPredicateOnUnknownPlace(t *testing.T) {
+	b := NewBuilder("badgate")
+	b.Place("p", 1)
+	b.Timed(TimedActivity{
+		Name: "move",
+		Rate: ConstRate(1),
+		// References a PlaceID the model does not have, as happens when a
+		// gate closure captures a place of a different (sub)model.
+		Enabled: func(mk *Marking) bool { return mk.Tokens(PlaceID(99)) > 0 },
+	})
+	_, err := b.Build()
+	if err == nil {
+		t.Fatal("expected build-time probe failure")
+	}
+	for _, want := range []string{`"move"`, "initial marking", "unknown place"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestBuildRejectsInstantPredicateOnUnknownExtPlace(t *testing.T) {
+	b := NewBuilder("badinstant")
+	b.Place("p", 1)
+	b.Timed(TimedActivity{Name: "tick", Rate: ConstRate(1)})
+	b.Instant(InstantActivity{
+		Name:    "resolve",
+		Enabled: func(mk *Marking) bool { return mk.ExtLen(ExtPlaceID(7)) > 0 },
+	})
+	_, err := b.Build()
+	if err == nil {
+		t.Fatal("expected build-time probe failure")
+	}
+	if !strings.Contains(err.Error(), `"resolve"`) {
+		t.Errorf("error %q does not name the activity", err)
+	}
+}
+
+// TestBuildDoesNotProbeEffects: effects may legitimately assume their
+// predicate held (e.g. unguarded token consumption), so Build must not
+// evaluate them against the initial marking.
+func TestBuildDoesNotProbeEffects(t *testing.T) {
+	b := NewBuilder("effects")
+	p := b.Place("p", 0)
+	b.Timed(TimedActivity{
+		Name:    "consume",
+		Rate:    ConstRate(1),
+		Enabled: func(mk *Marking) bool { return mk.Tokens(p) > 0 },
+		// Would panic in the initial marking (p would go negative).
+		Input: func(mk *Marking) { mk.Add(p, -1) },
+	})
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("effects must not be probed at build time: %v", err)
+	}
+}
+
+func TestCaseWeightErrorNamesActivityAndMarking(t *testing.T) {
+	b := NewBuilder("weights")
+	b.Place("q", 2)
+	b.Timed(TimedActivity{Name: "a", Rate: ConstRate(1)})
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := m.InitialMarking()
+
+	_, err = CaseWeightsFor("collide", []Case{{Weight: ConstWeight(-0.5)}}, mk, nil)
+	var cwe *CaseWeightError
+	if !errors.As(err, &cwe) {
+		t.Fatalf("want *CaseWeightError, got %T: %v", err, err)
+	}
+	if cwe.Activity != "collide" || cwe.Case != 0 || cwe.Weight != -0.5 {
+		t.Fatalf("diagnostic fields %+v", cwe)
+	}
+	if !strings.Contains(cwe.Marking, "q=2") {
+		t.Fatalf("marking summary %q missing place state", cwe.Marking)
+	}
+	for _, want := range []string{`"collide"`, "case 0", "q=2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("message %q missing %q", err, want)
+		}
+	}
+
+	// A zero total is attributed to the whole case set, not one index.
+	_, err = CaseWeightsFor("collide", []Case{{Weight: ConstWeight(0)}, {Weight: ConstWeight(0)}}, mk, nil)
+	if !errors.As(err, &cwe) || cwe.Case != -1 {
+		t.Fatalf("want total-weight diagnostic with Case=-1, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "sum to 0") {
+		t.Errorf("message %q should report the zero total", err)
+	}
+}

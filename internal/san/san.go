@@ -23,6 +23,7 @@ package san
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // PlaceID identifies a simple (integer-marked) place within a Model.
@@ -167,6 +168,14 @@ func (m *Model) PlaceName(p PlaceID) string { return m.places[p].name }
 // ExtPlaceName returns the name of an extended place.
 func (m *Model) ExtPlaceName(p ExtPlaceID) string { return m.extPlaces[p].name }
 
+// PlaceInitial returns the initial token count of a simple place.
+func (m *Model) PlaceInitial(p PlaceID) int { return m.places[p].initial }
+
+// ExtPlaceInitial returns a copy of an extended place's initial contents.
+func (m *Model) ExtPlaceInitial(p ExtPlaceID) []int {
+	return append([]int(nil), m.extPlaces[p].initial...)
+}
+
 // InitialMarking returns a fresh marking holding every place's initial value.
 func (m *Model) InitialMarking() *Marking {
 	mk := &Marking{
@@ -183,6 +192,21 @@ func (m *Model) InitialMarking() *Marking {
 	return mk
 }
 
+// AccessObserver receives a notification for every place-level read and
+// write performed through a Marking's accessor methods. It is the
+// introspection hook behind static model analysis: internal/sanlint uses it
+// to discover which places each predicate, rate, weight and effect actually
+// touches, without parsing any code. Simulation leaves the observer nil,
+// which costs one predictable branch per access.
+//
+// Observer callbacks must not mutate the marking.
+type AccessObserver interface {
+	ReadPlace(p PlaceID)
+	WritePlace(p PlaceID)
+	ReadExtPlace(p ExtPlaceID)
+	WriteExtPlace(p ExtPlaceID)
+}
+
 // Marking is the complete state of a SAN: token counts for simple places and
 // ordered arrays for extended places. Markings are mutated in place by
 // activity effects; Clone produces independent copies for parallel batches.
@@ -190,17 +214,24 @@ type Marking struct {
 	model  *Model
 	tokens []int
 	ext    [][]int
+	obs    AccessObserver
 }
 
 // Model returns the model this marking belongs to.
 func (mk *Marking) Model() *Model { return mk.model }
 
-// Clone returns a deep copy of the marking.
+// SetObserver attaches (or with nil detaches) an access observer. The
+// observer is inherited by Clone so that analysis code sees accesses on
+// derived markings too.
+func (mk *Marking) SetObserver(o AccessObserver) { mk.obs = o }
+
+// Clone returns a deep copy of the marking (sharing the observer, if any).
 func (mk *Marking) Clone() *Marking {
 	cp := &Marking{
 		model:  mk.model,
 		tokens: append([]int(nil), mk.tokens...),
 		ext:    make([][]int, len(mk.ext)),
+		obs:    mk.obs,
 	}
 	for i, e := range mk.ext {
 		cp.ext[i] = append([]int(nil), e...)
@@ -244,12 +275,20 @@ func (mk *Marking) Equal(o *Marking) bool {
 }
 
 // Tokens returns the token count of a simple place.
-func (mk *Marking) Tokens(p PlaceID) int { return mk.tokens[p] }
+func (mk *Marking) Tokens(p PlaceID) int {
+	if mk.obs != nil {
+		mk.obs.ReadPlace(p)
+	}
+	return mk.tokens[p]
+}
 
 // SetTokens sets the token count of a simple place. Negative counts panic:
 // they indicate a modeling error (an effect firing while its predicate is
 // false).
 func (mk *Marking) SetTokens(p PlaceID, n int) {
+	if mk.obs != nil {
+		mk.obs.WritePlace(p)
+	}
 	if n < 0 {
 		panic(fmt.Sprintf("san: negative marking %d for place %q", n, mk.model.places[p].name))
 	}
@@ -259,36 +298,65 @@ func (mk *Marking) SetTokens(p PlaceID, n int) {
 // Add adjusts the token count of a simple place by delta (panics if the
 // result would be negative).
 func (mk *Marking) Add(p PlaceID, delta int) {
-	mk.SetTokens(p, mk.tokens[p]+delta)
+	mk.SetTokens(p, mk.Tokens(p)+delta)
 }
 
 // Ext returns the contents of an extended place. The returned slice aliases
 // the marking; callers must not retain it across effects.
-func (mk *Marking) Ext(p ExtPlaceID) []int { return mk.ext[p] }
+func (mk *Marking) Ext(p ExtPlaceID) []int {
+	if mk.obs != nil {
+		mk.obs.ReadExtPlace(p)
+	}
+	return mk.ext[p]
+}
 
 // ExtLen returns the length of an extended place's array.
-func (mk *Marking) ExtLen(p ExtPlaceID) int { return len(mk.ext[p]) }
+func (mk *Marking) ExtLen(p ExtPlaceID) int {
+	if mk.obs != nil {
+		mk.obs.ReadExtPlace(p)
+	}
+	return len(mk.ext[p])
+}
 
 // ExtAppend appends v to an extended place's array.
 func (mk *Marking) ExtAppend(p ExtPlaceID, v int) {
+	if mk.obs != nil {
+		mk.obs.WriteExtPlace(p)
+	}
 	mk.ext[p] = append(mk.ext[p], v)
 }
 
 // ExtAt returns element i of an extended place's array.
-func (mk *Marking) ExtAt(p ExtPlaceID, i int) int { return mk.ext[p][i] }
+func (mk *Marking) ExtAt(p ExtPlaceID, i int) int {
+	if mk.obs != nil {
+		mk.obs.ReadExtPlace(p)
+	}
+	return mk.ext[p][i]
+}
 
 // ExtSet sets element i of an extended place's array.
-func (mk *Marking) ExtSet(p ExtPlaceID, i, v int) { mk.ext[p][i] = v }
+func (mk *Marking) ExtSet(p ExtPlaceID, i, v int) {
+	if mk.obs != nil {
+		mk.obs.WriteExtPlace(p)
+	}
+	mk.ext[p][i] = v
+}
 
 // ExtRemoveAt removes element i, preserving the order of the remainder
 // (platoon positions are ordered, so removal must not reshuffle).
 func (mk *Marking) ExtRemoveAt(p ExtPlaceID, i int) {
+	if mk.obs != nil {
+		mk.obs.WriteExtPlace(p)
+	}
 	arr := mk.ext[p]
 	mk.ext[p] = append(arr[:i], arr[i+1:]...)
 }
 
 // ExtIndexOf returns the first index of v in the extended place, or -1.
 func (mk *Marking) ExtIndexOf(p ExtPlaceID, v int) int {
+	if mk.obs != nil {
+		mk.obs.ReadExtPlace(p)
+	}
 	for i, x := range mk.ext[p] {
 		if x == v {
 			return i
@@ -298,15 +366,58 @@ func (mk *Marking) ExtIndexOf(p ExtPlaceID, v int) int {
 }
 
 // ExtClear empties an extended place.
-func (mk *Marking) ExtClear(p ExtPlaceID) { mk.ext[p] = mk.ext[p][:0] }
+func (mk *Marking) ExtClear(p ExtPlaceID) {
+	if mk.obs != nil {
+		mk.obs.WriteExtPlace(p)
+	}
+	mk.ext[p] = mk.ext[p][:0]
+}
 
 // ExtInsertAt inserts v at position i (0 <= i <= len).
 func (mk *Marking) ExtInsertAt(p ExtPlaceID, i, v int) {
+	if mk.obs != nil {
+		mk.obs.WriteExtPlace(p)
+	}
 	arr := mk.ext[p]
 	arr = append(arr, 0)
 	copy(arr[i+1:], arr[i:])
 	arr[i] = v
 	mk.ext[p] = arr
+}
+
+// Summary returns a compact human-readable description of the marking:
+// every non-zero simple place and non-empty extended place, in model order.
+// It reads the marking directly (no observer notifications), so diagnostics
+// never pollute access traces.
+func (mk *Marking) Summary() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	sep := func() {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+	}
+	for i, n := range mk.tokens {
+		if n == 0 {
+			continue
+		}
+		sep()
+		fmt.Fprintf(&b, "%s=%d", mk.model.places[i].name, n)
+	}
+	for i, e := range mk.ext {
+		if len(e) == 0 {
+			continue
+		}
+		sep()
+		fmt.Fprintf(&b, "%s=%v", mk.model.extPlaces[i].name, e)
+	}
+	if first {
+		b.WriteString("empty")
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // enabled reports whether a timed activity is enabled (nil predicate =>
@@ -354,28 +465,67 @@ func FireInstant(a *InstantActivity, caseIdx int, mk *Marking) {
 	fire(a.Input, a.Cases, caseIdx, mk)
 }
 
+// CaseWeightError reports an invalid case-weight evaluation. It names the
+// activity and describes the marking it was evaluated in, so both the
+// simulator and the model linter (internal/sanlint) can surface actionable
+// diagnostics instead of a bare "invalid weight" string.
+type CaseWeightError struct {
+	// Activity is the offending activity's qualified name (empty when the
+	// caller did not know it).
+	Activity string
+	// Case is the index of the offending case, or -1 when the total over
+	// all cases is at fault.
+	Case int
+	// Weight is the offending weight value (the total when Case == -1).
+	Weight float64
+	// Marking is the compact summary (Marking.Summary) of the marking the
+	// weights were evaluated in.
+	Marking string
+}
+
+func (e *CaseWeightError) Error() string {
+	who := "case weights"
+	if e.Activity != "" {
+		who = fmt.Sprintf("activity %q", e.Activity)
+	}
+	if e.Case >= 0 {
+		return fmt.Sprintf("san: %s: invalid weight %v for case %d in marking %s",
+			who, e.Weight, e.Case, e.Marking)
+	}
+	return fmt.Sprintf("san: %s: case weights sum to %v in marking %s",
+		who, e.Weight, e.Marking)
+}
+
 // CaseWeights fills weights with each case's weight in mk. A nil or empty
-// case list yields the single implicit unit case. It returns an error if the
-// total weight is not positive.
+// case list yields the single implicit unit case. It returns a
+// *CaseWeightError if any weight is negative or NaN, or the total weight is
+// not positive. Callers that know the activity should prefer CaseWeightsFor,
+// which produces a named diagnostic.
 func CaseWeights(cases []Case, mk *Marking, weights []float64) ([]float64, error) {
+	return CaseWeightsFor("", cases, mk, weights)
+}
+
+// CaseWeightsFor is CaseWeights with the owning activity's name attached to
+// any error (see CaseWeightError).
+func CaseWeightsFor(activity string, cases []Case, mk *Marking, weights []float64) ([]float64, error) {
 	if len(cases) == 0 {
 		return append(weights[:0], 1), nil
 	}
 	weights = weights[:0]
 	total := 0.0
-	for _, c := range cases {
+	for i, c := range cases {
 		w := 1.0
 		if c.Weight != nil {
 			w = c.Weight(mk)
 		}
 		if w < 0 || math.IsNaN(w) {
-			return nil, fmt.Errorf("san: invalid case weight %v", w)
+			return nil, &CaseWeightError{Activity: activity, Case: i, Weight: w, Marking: mk.Summary()}
 		}
 		total += w
 		weights = append(weights, w)
 	}
 	if total <= 0 {
-		return nil, fmt.Errorf("san: case weights sum to %v", total)
+		return nil, &CaseWeightError{Activity: activity, Case: -1, Weight: total, Marking: mk.Summary()}
 	}
 	return weights, nil
 }

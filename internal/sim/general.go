@@ -150,9 +150,9 @@ func (g *GeneralRunner) Run(stream *rng.Stream, probes ...*Probe) (Result, error
 		}
 		g.scheduled[idx] = nil
 		act := g.model.Timed(idx)
-		caseIdx, err := g.instants.chooseCase(act.Cases, g.marking, stream)
+		caseIdx, err := g.instants.chooseCase(act.Name, act.Cases, g.marking, stream)
 		if err != nil {
-			return res, fmt.Errorf("activity %q: %w", act.Name, err)
+			return res, err
 		}
 		san.FireTimed(act, caseIdx, g.marking)
 		res.Steps++
@@ -178,7 +178,7 @@ func (g *GeneralRunner) fillUpTo(probes []*Probe, next []int, horizon float64, i
 	for pi, p := range probes {
 		for next[pi] < len(p.Times) {
 			tp := p.Times[next[pi]]
-			if tp > horizon || (tp == horizon && !inclusive) {
+			if tp > horizon || (tp == horizon && !inclusive) { //ahsvet:ignore floateq probe grid deliberately matches the horizon bit-for-bit
 				break
 			}
 			p.Values[next[pi]] = p.Value(g.marking)

@@ -241,9 +241,9 @@ func (e *instantEngine) fireAll(mk *san.Marking, stream *rng.Stream, res *Result
 			if !act.EnabledIn(mk) {
 				continue
 			}
-			caseIdx, err := e.chooseCase(act.Cases, mk, stream)
+			caseIdx, err := e.chooseCase(act.Name, act.Cases, mk, stream)
 			if err != nil {
-				return fmt.Errorf("activity %q: %w", act.Name, err)
+				return err
 			}
 			san.FireInstant(act, caseIdx, mk)
 			res.InstantFirings++
@@ -260,8 +260,8 @@ func (e *instantEngine) fireAll(mk *san.Marking, stream *rng.Stream, res *Result
 	}
 }
 
-func (e *instantEngine) chooseCase(cases []san.Case, mk *san.Marking, stream *rng.Stream) (int, error) {
-	ws, err := san.CaseWeights(cases, mk, e.weights)
+func (e *instantEngine) chooseCase(activity string, cases []san.Case, mk *san.Marking, stream *rng.Stream) (int, error) {
+	ws, err := san.CaseWeightsFor(activity, cases, mk, e.weights)
 	if err != nil {
 		return 0, err
 	}
@@ -429,9 +429,9 @@ func (r *Runner) RunFrom(start *san.Marking, t0 float64, stream *rng.Stream, pro
 
 		t = tNext
 		act := r.model.Timed(r.enabled[k])
-		caseIdx, err := r.instants.chooseCase(act.Cases, r.marking, stream)
+		caseIdx, err := r.instants.chooseCase(act.Name, act.Cases, r.marking, stream)
 		if err != nil {
-			return res, fmt.Errorf("activity %q: %w", act.Name, err)
+			return res, err
 		}
 		san.FireTimed(act, caseIdx, r.marking)
 		res.Steps++
@@ -459,7 +459,7 @@ func (r *Runner) fillProbes(probes []*Probe, next []int, horizon float64, inclus
 	for pi, p := range probes {
 		for next[pi] < len(p.Times) {
 			tp := p.Times[next[pi]]
-			if tp > horizon || (tp == horizon && !inclusive) {
+			if tp > horizon || (tp == horizon && !inclusive) { //ahsvet:ignore floateq probe grid deliberately matches the horizon bit-for-bit
 				break
 			}
 			if tp >= t {
