@@ -3,7 +3,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build vet test race lint tools sanlint serve bench figures figures-full docs clean
+.PHONY: all build vet test race lint tools sanlint serve bench profile figures figures-full docs clean
 
 all: build lint test
 
@@ -51,6 +51,18 @@ serve:
 # batch budget and runs the micro/ablation benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Profile a representative estimation run (CPU + heap + runtime trace;
+# see docs/observability.md). Inspect with:
+#   go tool pprof $(BIN)/cpu.prof
+#   go tool pprof $(BIN)/mem.prof
+#   go tool trace $(BIN)/runtime.trace
+profile:
+	@mkdir -p $(BIN)
+	$(GO) run ./cmd/ahs-sim -n 10 -lambda 1e-5 -horizon 10 -points 5 -batches 4000 \
+		-cpuprofile $(BIN)/cpu.prof -memprofile $(BIN)/mem.prof \
+		-runtimetrace $(BIN)/runtime.trace
+	@echo "profiles written to $(BIN)/: cpu.prof mem.prof runtime.trace"
 
 # Quick figures (about a minute).
 figures:

@@ -19,6 +19,7 @@ import (
 
 	"ahs"
 	"ahs/internal/experiments"
+	"ahs/internal/profiling"
 	"ahs/internal/report"
 )
 
@@ -29,7 +30,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("ahs-experiments", flag.ContinueOnError)
 	var (
 		fig      = fs.String("fig", "all", `figure to reproduce: "10".."15", "fig10".."fig15" or "all"`)
@@ -43,8 +44,20 @@ func run(args []string) error {
 		noBias   = fs.Bool("no-bias", false, "disable rare-event importance sampling (only sane for large λ)")
 		converge = fs.Bool("converge", false, "apply the paper's §4.1 convergence rule per curve")
 	)
+	prof := profiling.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if prof.Enabled() {
+		stopProf, perr := prof.Start()
+		if perr != nil {
+			return perr
+		}
+		defer func() {
+			if perr := stopProf(); perr != nil && err == nil {
+				err = perr
+			}
+		}()
 	}
 
 	cfg := experiments.Config{

@@ -20,6 +20,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,6 +52,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		drainTimeout  = fs.Duration("drain-timeout", time.Minute, "graceful-shutdown drain budget before in-flight jobs are cancelled")
 		readTimeout   = fs.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout  = fs.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
+		debug         = fs.Bool("debug", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,8 +71,22 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		CacheSize:     *cacheSize,
 		JobTimeout:    *jobTimeout,
 	})
+	handler := service.NewHandler(mgr)
+	if *debug {
+		// Profiling endpoints are opt-in: they expose goroutine dumps and
+		// CPU profiles, which production deployments may not want public.
+		// GET /metrics is always on (see service.NewHandler).
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 	srv := &http.Server{
-		Handler:      service.NewHandler(mgr),
+		Handler:      handler,
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
 	}

@@ -3,10 +3,13 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"strings"
 	"testing"
 	"time"
+
+	"ahs/internal/telemetry"
 )
 
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -37,7 +40,7 @@ func TestServeEndToEnd(t *testing.T) {
 	ready := make(chan string, 1)
 	runErr := make(chan error, 1)
 	go func() {
-		runErr <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1"}, ready)
+		runErr <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1", "-debug"}, ready)
 	}()
 	var base string
 	select {
@@ -140,7 +143,47 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("cacheHits = %d, want 1", vars.AhsServe.CacheHits)
 	}
 
-	// 3. A job far too big to finish is cancelled mid-estimation.
+	// 3. Scrape /metrics: the exposition must be valid Prometheus text and
+	// carry the simulation's per-strategy first-passage histogram, the
+	// per-endpoint latency histograms and the migrated service counters.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", mresp.StatusCode)
+	}
+	if ct := mresp.Header.Get("Content-Type"); ct != telemetry.ContentType {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	exposition := string(metricsBody)
+	if err := telemetry.ValidateText(strings.NewReader(exposition)); err != nil {
+		t.Fatalf("metrics exposition invalid: %v\n%s", err, exposition)
+	}
+	for _, want := range []string{
+		`ahs_sim_time_to_ko_hours_bucket{strategy="DD",le="+Inf"}`,
+		`ahs_sim_trajectories_total{strategy="DD"} 200`,
+		`ahs_http_request_duration_seconds_bucket{endpoint="POST /v1/evaluate",le="+Inf"}`,
+		`ahs_http_request_duration_seconds_bucket{endpoint="GET /v1/jobs/{id}",le="+Inf"}`,
+		"ahs_service_completed_total 1",
+		"ahs_service_cache_hits_total 1",
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, exposition)
+		}
+	}
+
+	// 4. -debug mounts the pprof endpoints.
+	if code := get("/debug/pprof/cmdline", nil); code != http.StatusOK {
+		t.Fatalf("pprof cmdline status %d, want 200 under -debug", code)
+	}
+
+	// 5. A job far too big to finish is cancelled mid-estimation.
 	big := `{"n":6,"lambdaPerHour":1e-5,"tripHours":[5,10],"batches":50000000,"seed":4}`
 	if code, ack = post(big); code != http.StatusAccepted {
 		t.Fatalf("big evaluate status %d", code)

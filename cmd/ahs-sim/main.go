@@ -16,7 +16,9 @@ import (
 	"ahs/internal/config"
 	"ahs/internal/core"
 	"ahs/internal/platoon"
+	"ahs/internal/profiling"
 	"ahs/internal/report"
+	"ahs/internal/trace"
 )
 
 func main() {
@@ -26,7 +28,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("ahs-sim", flag.ContinueOnError)
 	var (
 		configPath = fs.String("config", "", "JSON scenario file (overrides all model flags; see internal/config)")
@@ -45,9 +47,23 @@ func run(args []string) error {
 		noBias    = fs.Bool("no-bias", false, "disable rare-event importance sampling")
 		converge  = fs.Bool("converge", false, "stop early with the paper's §4.1 rule (95% CI, 0.1 relative)")
 		breakdown = fs.Bool("breakdown", false, "decompose S(horizon) by catastrophic situation (Table 2)")
+
+		chromeTrace = fs.String("chrome-trace", "", "simulate ONE trajectory and write it as Chrome trace-event JSON to this file (open in ui.perfetto.dev), instead of estimating S(t)")
 	)
+	prof := profiling.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if prof.Enabled() {
+		stopProf, perr := prof.Start()
+		if perr != nil {
+			return perr
+		}
+		defer func() {
+			if perr := stopProf(); perr != nil && err == nil {
+				err = perr
+			}
+		}()
 	}
 	if *configPath != "" {
 		return runScenario(*configPath)
@@ -75,6 +91,14 @@ func run(args []string) error {
 	sys, err := ahs.New(p)
 	if err != nil {
 		return err
+	}
+
+	if *chromeTrace != "" {
+		bias := 1.0
+		if !*noBias {
+			bias = sys.SuggestedFailureBias(*horizon)
+		}
+		return exportChromeTrace(sys, *chromeTrace, *horizon, *seed, bias)
 	}
 
 	times := make([]float64, *points)
@@ -136,6 +160,35 @@ func run(args []string) error {
 		}
 		fmt.Print(report.Table([]string{"situation", "contribution", "share"}, brows))
 	}
+	return nil
+}
+
+// exportChromeTrace records one trajectory and writes it in the Chrome
+// trace-event JSON format, one Perfetto timeline row per collapsed activity.
+func exportChromeTrace(sys *ahs.System, path string, horizon float64, seed uint64, bias float64) error {
+	events, res, err := sys.RecordTrajectory(horizon, seed, bias)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeTrace(f, events, trace.ChromeTraceOptions{Collapse: true}); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	outcome := fmt.Sprintf("survived to %gh", res.End)
+	if res.Stopped {
+		outcome = fmt.Sprintf("KO_total at %.4gh", res.StopTime)
+	}
+	if bias > 1 {
+		outcome += fmt.Sprintf(" (failures forced x%.1f)", bias)
+	}
+	fmt.Printf("wrote %s: %d events, %s — open in ui.perfetto.dev\n", path, len(events), outcome)
 	return nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"ahs/internal/trace"
 )
 
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -64,6 +66,48 @@ func TestRunWithBreakdown(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWithProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	rt := filepath.Join(dir, "rt.out")
+	err := run([]string{
+		"-n", "2", "-lambda", "0.01", "-horizon", "1",
+		"-points", "1", "-batches", "50",
+		"-cpuprofile", cpu, "-memprofile", mem, "-runtimetrace", rt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem, rt} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty (%v)", p, err)
+		}
+	}
+	if err := run([]string{"-batches", "10", "-cpuprofile", dir}); err == nil {
+		t.Error("expected error for unwritable cpuprofile path")
+	}
+}
+
+func TestRunChromeTraceExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traj.json")
+	err := run([]string{
+		"-n", "2", "-lambda", "0.05", "-horizon", "5", "-seed", "7",
+		"-chrome-trace", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.ValidateChromeTrace(f); err != nil {
+		t.Fatalf("exported trajectory invalid: %v", err)
 	}
 }
 

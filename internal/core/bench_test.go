@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"ahs/internal/telemetry"
+	"ahs/internal/trace"
+)
+
+// benchCurve estimates a small unsafety curve on the full composed model —
+// the realistic workload behind BenchmarkMCBaseline/Instrumented's
+// worst-case micro-model. The failure rate is large so trajectories hit
+// maneuvers and catastrophes (exercising every instrumented path) within
+// the short horizon.
+func benchCurve(b *testing.B, sink telemetry.Sink) {
+	p := DefaultParams()
+	p.N = 4
+	p.Lambda = 0.02
+	a, err := Build(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Instrument(nil)
+	opts := EvalOptions{
+		Times:      []float64{1, 2},
+		Seed:       42,
+		MaxBatches: 100,
+		Workers:    1,
+		Telemetry:  sink,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.UnsafetyCurve(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnsafetyCurveBaseline is the disabled-telemetry path: the hooks
+// compile in but every one is a nil-check branch.
+func BenchmarkUnsafetyCurveBaseline(b *testing.B) {
+	benchCurve(b, nil)
+}
+
+// BenchmarkUnsafetyCurveInstrumented runs the same estimation with a full
+// SimCollector attached.
+func BenchmarkUnsafetyCurveInstrumented(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	benchCurve(b, telemetry.NewSimCollector(reg, "DD", trace.CollapseName))
+}

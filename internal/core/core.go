@@ -14,9 +14,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"ahs/internal/platoon"
 	"ahs/internal/san"
+	"ahs/internal/telemetry"
 )
 
 // Params collects every model parameter of §4.1. The zero value is not
@@ -206,6 +208,38 @@ type AHS struct {
 	// failureActivities names the L1..L6 activities of every replica, for
 	// importance-sampling bias construction.
 	failureActivities []string
+
+	// sink is the installed telemetry sink (see Instrument). The maneuver
+	// activities consult it through an atomic load on every attempt, so it
+	// can be installed or cleared while simulations run.
+	sink atomic.Pointer[sinkCell]
+}
+
+// sinkCell boxes a telemetry.Sink so atomic.Pointer can hold interface
+// values of any concrete type.
+type sinkCell struct{ s telemetry.Sink }
+
+// Instrument installs a telemetry sink on the model: every maneuver
+// execution reports an attempt — and, when the failure case fires, a
+// failure — under the recovery type's Table 1 abbreviation (AS, CS, GS,
+// TIE, TIE-E, TIE-N). Passing nil uninstruments the model. The sink must
+// be safe for concurrent use; simulation workers report from their own
+// goroutines. Evaluations running at the same time on the same AHS share
+// whichever sink is installed last.
+func (a *AHS) Instrument(s telemetry.Sink) {
+	if s == nil {
+		a.sink.Store(nil)
+		return
+	}
+	a.sink.Store(&sinkCell{s: s})
+}
+
+// tsink returns the installed sink, or nil.
+func (a *AHS) tsink() telemetry.Sink {
+	if c := a.sink.Load(); c != nil {
+		return c.s
+	}
+	return nil
 }
 
 // Slots returns the number of vehicle slots (Lanes·N).

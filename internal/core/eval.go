@@ -6,9 +6,11 @@ import (
 
 	"ahs/internal/mc"
 	"ahs/internal/platoon"
+	"ahs/internal/rng"
 	"ahs/internal/san"
 	"ahs/internal/sim"
 	"ahs/internal/stats"
+	"ahs/internal/telemetry"
 )
 
 // EvalOptions configures the Monte-Carlo estimation of the unsafety curve.
@@ -39,6 +41,16 @@ type EvalOptions struct {
 	// Progress, when non-nil, receives (batchesDone, maxBatches) after
 	// every convergence round. See mc.Job.Progress.
 	Progress func(batchesDone, maxBatches uint64)
+	// Telemetry, when non-nil, receives the full event stream of the
+	// evaluation: activity firings, trajectory counts/lengths,
+	// first-passage times to KO_total, catastrophic causes (ST1/ST2/ST3)
+	// and maneuver attempts/failures per recovery type. Pass a
+	// telemetry.SimCollector (with the strategy label and
+	// trace.CollapseName) to expose them as Prometheus families. The sink
+	// is installed on the AHS via Instrument for the duration of the
+	// process; it must be safe for concurrent use. Nil disables all
+	// instrumentation at the cost of one predictable branch per event.
+	Telemetry telemetry.Sink
 }
 
 // SuggestedFailureBias returns a forcing factor for the failure-mode rates
@@ -117,7 +129,49 @@ func (a *AHS) UnsafetyCurve(opts EvalOptions) (*mc.Curve, error) {
 		Context:    opts.Context,
 		Progress:   opts.Progress,
 	}
+	a.instrumentJob(&job, opts.Telemetry)
 	return mc.EstimateCurve(job)
+}
+
+// instrumentJob wires the evaluation's telemetry sink into both the model
+// (maneuver attempts/failures, via Instrument) and the Monte-Carlo job
+// (trajectory counts, step/first-passage histograms, catastrophe causes —
+// and activity firings through mc's Sim.Sink propagation).
+func (a *AHS) instrumentJob(job *mc.Job, sink telemetry.Sink) {
+	if sink == nil {
+		return
+	}
+	a.Instrument(sink)
+	job.Telemetry = sink
+	job.Cause = func(mk *san.Marking) string { return a.Cause(mk).String() }
+}
+
+// RecordTrajectory simulates one trajectory over the given horizon and
+// returns its full event stream, for export with trace.Summarize or
+// trace.WriteChromeTrace. The trajectory uses stream 0 of the seed's family
+// and the same stopping rule as the estimators (absorb on KO_total);
+// failureBias > 1 forces failures exactly like EvalOptions.FailureBias, which
+// makes single-trajectory visualisations of rare-event regimes non-empty.
+func (a *AHS) RecordTrajectory(horizon float64, seed uint64, failureBias float64) ([]sim.TraceEvent, sim.Result, error) {
+	bias, err := a.failureBiasSpec(failureBias)
+	if err != nil {
+		return nil, sim.Result{}, err
+	}
+	tr := &sim.Trace{}
+	r, err := sim.NewRunner(a.Model, sim.Options{
+		MaxTime:  horizon,
+		Stop:     a.Unsafe,
+		Bias:     bias,
+		Observer: tr,
+	})
+	if err != nil {
+		return nil, sim.Result{}, err
+	}
+	res, err := r.Run(rng.NewSource(seed).Stream(0))
+	if err != nil {
+		return nil, sim.Result{}, err
+	}
+	return tr.Events, res, nil
 }
 
 // Unsafety estimates S(t) at a single trip duration.
@@ -174,6 +228,7 @@ func (a *AHS) UnsafetyBreakdown(t float64, opts EvalOptions) (*Breakdown, error)
 		Context:    opts.Context,
 		Progress:   opts.Progress,
 	}
+	a.instrumentJob(&job, opts.Telemetry)
 	main, extras, err := mc.EstimateCurveMulti(job, map[string]func(mk *san.Marking) float64{
 		"ST1": causeIndicator(platoon.ST1),
 		"ST2": causeIndicator(platoon.ST2),

@@ -6,6 +6,7 @@ import (
 
 	"ahs/internal/platoon"
 	"ahs/internal/san"
+	"ahs/internal/telemetry"
 )
 
 // Build constructs the composed SAN model of Figure 9: Lanes·N replicas of
@@ -165,6 +166,11 @@ func (a *AHS) buildOneVehicleReplicas(b *san.Builder) {
 				{ // success: the vehicle exits the highway safely (v_OK)
 					Weight: func(mk *san.Marking) float64 { return a.maneuverSuccessProb(mk, i) },
 					Output: func(mk *san.Marking) {
+						// Read the maneuver before removeVehicle clears it.
+						if s := a.tsink(); s != nil {
+							s.Count(telemetry.MetricManeuverAttempts,
+								platoon.Maneuver(mk.Tokens(a.man[i])).String())
+						}
 						if a.Params.TrackOutcomes {
 							mk.Add(a.vOK, 1)
 						}
@@ -173,7 +179,14 @@ func (a *AHS) buildOneVehicleReplicas(b *san.Builder) {
 				},
 				{ // failure: escalate along the chain of Figure 2
 					Weight: func(mk *san.Marking) float64 { return 1 - a.maneuverSuccessProb(mk, i) },
-					Output: func(mk *san.Marking) { a.escalateAfterFailure(mk, i) },
+					Output: func(mk *san.Marking) {
+						if s := a.tsink(); s != nil {
+							m := platoon.Maneuver(mk.Tokens(a.man[i])).String()
+							s.Count(telemetry.MetricManeuverAttempts, m)
+							s.Count(telemetry.MetricManeuverFailures, m)
+						}
+						a.escalateAfterFailure(mk, i)
+					},
 				},
 			},
 		})

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ahs/internal/telemetry"
+)
+
+// TestUnsafetyCurveTelemetry runs a small, failure-heavy evaluation with a
+// SimCollector attached and checks the full event stream lands in the
+// registry: trajectories, activity firings, maneuver attempts per recovery
+// type, and a scrapeable exposition.
+func TestUnsafetyCurveTelemetry(t *testing.T) {
+	p := DefaultParams()
+	p.N = 2
+	p.Lambda = 0.05 // frequent failures → maneuvers fire within the horizon
+	a, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	col := telemetry.NewSimCollector(reg, p.Strategy.String(), nil)
+	const batches = 200
+	if _, err := a.UnsafetyCurve(EvalOptions{
+		Times:      []float64{5, 10},
+		Seed:       1,
+		MaxBatches: batches,
+		Workers:    2,
+		Telemetry:  col,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Instrument(nil)
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := telemetry.ValidateText(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	wantBatches := `ahs_sim_trajectories_total{strategy="DD"} 200`
+	if !strings.Contains(out, wantBatches) {
+		t.Errorf("exposition missing %q", wantBatches)
+	}
+	for _, fam := range []string{
+		"ahs_sim_activity_firings_total",
+		"ahs_sim_maneuver_attempts_total",
+		"ahs_sim_time_to_ko_hours_bucket",
+		"ahs_sim_trajectory_steps_count",
+	} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("exposition missing family %s:\n%s", fam, out)
+		}
+	}
+	// At λ=0.05/hr over 10h with 4 vehicles, essentially every trajectory
+	// sees failures, so recovery maneuvers must have been attempted and
+	// counted under a Table 1 abbreviation.
+	if !strings.Contains(out, `ahs_sim_maneuver_attempts_total{strategy="DD",maneuver=`) {
+		t.Errorf("no maneuver attempts recorded:\n%s", out)
+	}
+}

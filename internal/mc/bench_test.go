@@ -1,0 +1,70 @@
+package mc
+
+import (
+	"testing"
+
+	"ahs/internal/san"
+	"ahs/internal/sim"
+	"ahs/internal/telemetry"
+)
+
+// buildFlipFlop returns a two-state repairable model whose trajectories
+// alternate failures and repairs, so each benchmark batch exercises the
+// per-step telemetry hook many times (~15 completions per trajectory).
+func buildFlipFlop() (*san.Model, san.PlaceID) {
+	b := san.NewBuilder("flipflop")
+	up := b.Place("up", 1)
+	down := b.Place("down", 0)
+	b.Timed(san.TimedActivity{
+		Name:    "fail",
+		Enabled: san.HasTokens(up, 1),
+		Rate:    san.ConstRate(0.5),
+		Input:   san.Move(up, down, 1),
+	})
+	b.Timed(san.TimedActivity{
+		Name:    "repair",
+		Enabled: san.HasTokens(down, 1),
+		Rate:    san.ConstRate(1),
+		Input:   san.Move(down, up, 1),
+	})
+	return b.MustBuild(), down
+}
+
+// benchEstimate runs one fixed-size estimation per iteration. Workers is
+// pinned to 1 so baseline and instrumented runs schedule identically and
+// the comparison isolates the telemetry branch.
+func benchEstimate(b *testing.B, sink telemetry.Sink) {
+	m, down := buildFlipFlop()
+	job := Job{
+		Model:      m,
+		Sim:        sim.Options{MaxTime: 10},
+		Times:      []float64{1, 5, 10},
+		Value:      func(mk *san.Marking) float64 { return float64(mk.Tokens(down)) },
+		Seed:       42,
+		MaxBatches: 500,
+		Workers:    1,
+		Telemetry:  sink,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateCurve(job); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMCBaseline is the disabled-telemetry path: Job.Telemetry nil, so
+// every hook reduces to one predictable nil-check branch. The ISSUE's
+// acceptance criterion compares this against BenchmarkMCInstrumented.
+func BenchmarkMCBaseline(b *testing.B) {
+	benchEstimate(b, nil)
+}
+
+// BenchmarkMCInstrumented runs the same estimation with a live SimCollector
+// recording activity firings, trajectory counts/lengths and first-passage
+// observations into registry families.
+func BenchmarkMCInstrumented(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	benchEstimate(b, telemetry.NewSimCollector(reg, "DD", nil))
+}

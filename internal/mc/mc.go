@@ -24,6 +24,7 @@ import (
 	"ahs/internal/san"
 	"ahs/internal/sim"
 	"ahs/internal/stats"
+	"ahs/internal/telemetry"
 )
 
 // Job describes one curve estimation.
@@ -61,6 +62,19 @@ type Job struct {
 	// and must be cheap; it exists so long-running estimations can report
 	// liveness to a job manager.
 	Progress func(batchesDone, maxBatches uint64)
+	// Telemetry, when non-nil, receives per-trajectory events: a
+	// trajectories count, a trajectory-steps observation, and — for
+	// trajectories ended by the stop predicate — a time-to-absorption
+	// observation plus a catastrophic-cause count classified by Cause.
+	// It also becomes Sim.Sink (activity firings) unless one is already
+	// set. Implementations must be safe for concurrent use; workers
+	// record from their own goroutines.
+	Telemetry telemetry.Sink
+	// Cause classifies the final marking of a stopped trajectory (e.g.
+	// core's ST1/ST2/ST3 catastrophic situations) for the Telemetry
+	// catastrophe counter. Ignored when Telemetry is nil; when Cause is
+	// nil no cause counts are recorded.
+	Cause func(mk *san.Marking) string
 }
 
 // Curve is the estimated measure over the time grid.
@@ -135,6 +149,9 @@ func EstimateCurveMulti(job Job, extras map[string]func(mk *san.Marking) float64
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if job.Telemetry != nil && job.Sim.Sink == nil {
+		job.Sim.Sink = job.Telemetry
+	}
 
 	ctx := job.Context
 	if ctx == nil {
@@ -202,9 +219,13 @@ func EstimateCurveMulti(job Job, extras map[string]func(mk *san.Marking) float64
 						return
 					}
 					stream := src.Stream(done + b)
-					if _, err := st.runner.Run(stream, st.probes...); err != nil {
+					res, err := st.runner.Run(stream, st.probes...)
+					if err != nil {
 						errs[w] = err
 						return
+					}
+					if job.Telemetry != nil {
+						recordTrajectory(&job, st.runner, res)
 					}
 					for mi, probe := range st.probes {
 						for i := range probe.Values {
@@ -275,6 +296,24 @@ func EstimateCurveMulti(job Job, extras map[string]func(mk *san.Marking) float64
 		}
 	}
 	return main, extraCurves, nil
+}
+
+// recordTrajectory publishes one finished trajectory to the job's telemetry
+// sink. Called from worker goroutines; the sink contract requires
+// concurrency safety.
+func recordTrajectory(job *Job, runner *sim.Runner, res sim.Result) {
+	t := job.Telemetry
+	t.Count(telemetry.MetricTrajectories, "")
+	t.Observe(telemetry.MetricTrajectorySteps, "", float64(res.Steps))
+	if !res.Stopped {
+		return
+	}
+	t.Observe(telemetry.MetricTimeToKO, "", res.StopTime)
+	if job.Cause != nil {
+		// The runner's marking still holds the absorbing state here; the
+		// worker only reuses it for the next batch after recording.
+		t.Count(telemetry.MetricCatastrophes, job.Cause(runner.Marking()))
+	}
 }
 
 // EstimateAt is a convenience wrapper estimating the measure at a single

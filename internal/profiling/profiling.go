@@ -1,0 +1,128 @@
+// Package profiling provides the shared -cpuprofile / -memprofile /
+// -runtimetrace plumbing of the CLI commands: register the flags on a
+// FlagSet, call Start once flags are parsed, and defer the returned stop
+// function. The written files are loadable with `go tool pprof` and
+// `go tool trace`.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the destinations of the three profile kinds. Empty fields
+// disable the corresponding profile.
+type Flags struct {
+	// CPU is the CPU profile destination (-cpuprofile).
+	CPU string
+	// Mem is the heap profile destination (-memprofile), written on stop.
+	Mem string
+	// Trace is the runtime execution trace destination (-runtimetrace).
+	Trace string
+}
+
+// Register declares the standard profiling flags on fs, storing the
+// destinations in the returned Flags.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
+	fs.StringVar(&f.Trace, "runtimetrace", "", "write a runtime execution trace to this file (go tool trace)")
+	return f
+}
+
+// Enabled reports whether any profile destination is set.
+func (f *Flags) Enabled() bool {
+	return f.CPU != "" || f.Mem != "" || f.Trace != ""
+}
+
+// Start begins the requested profiles and returns the function that stops
+// them and writes the deferred ones. The caller must invoke stop (typically
+// via defer) before exiting, or the profiles are truncated or empty; stop
+// returns the first error encountered while finishing them. Start cleans up
+// after itself on error, so a failed Start needs no stop call.
+func (f *Flags) Start() (stop func() error, err error) {
+	var (
+		cpuFile   *os.File
+		traceFile *os.File
+	)
+	fail := func(err error) (func() error, error) {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+		return nil, err
+	}
+
+	if f.CPU != "" {
+		cpuFile, err = os.Create(f.CPU)
+		if err != nil {
+			return fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			cpuFile = nil
+			return fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+	}
+	if f.Trace != "" {
+		traceFile, err = os.Create(f.Trace)
+		if err != nil {
+			return fail(fmt.Errorf("runtimetrace: %w", err))
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			return fail(fmt.Errorf("runtimetrace: %w", err))
+		}
+	}
+
+	memPath := f.Mem
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("runtimetrace: %w", err)
+			}
+		}
+		if memPath != "" {
+			if err := writeHeapProfile(memPath); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}
+
+// writeHeapProfile garbage-collects (so the profile reflects live memory,
+// matching the net/http/pprof heap endpoint) and writes the heap profile.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}

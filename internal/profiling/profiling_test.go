@@ -1,0 +1,94 @@
+package profiling
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRegisterDeclaresFlags(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := Register(fs)
+	if f.Enabled() {
+		t.Fatal("fresh flags must be disabled")
+	}
+	dir := t.TempDir()
+	err := fs.Parse([]string{
+		"-cpuprofile", filepath.Join(dir, "cpu.out"),
+		"-memprofile", filepath.Join(dir, "mem.out"),
+		"-runtimetrace", filepath.Join(dir, "trace.out"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Enabled() || f.CPU == "" || f.Mem == "" || f.Trace == "" {
+		t.Fatalf("parsed flags %+v", f)
+	}
+}
+
+func TestStartWritesAllProfiles(t *testing.T) {
+	dir := t.TempDir()
+	f := &Flags{
+		CPU:   filepath.Join(dir, "cpu.out"),
+		Mem:   filepath.Join(dir, "mem.out"),
+		Trace: filepath.Join(dir, "trace.out"),
+	}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to flush.
+	x := 0.0
+	for i := 0; i < 1e6; i++ {
+		x += float64(i)
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{f.CPU, f.Mem, f.Trace} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile missing: %v", err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestStartNoopWhenDisabled(t *testing.T) {
+	stop, err := (&Flags{}).Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartRejectsBadPaths(t *testing.T) {
+	for name, f := range map[string]*Flags{
+		"cpu":   {CPU: "/definitely/not/a/dir/cpu.out"},
+		"mem":   {Mem: "/definitely/not/a/dir/mem.out"},
+		"trace": {Trace: "/definitely/not/a/dir/trace.out"},
+	} {
+		switch name {
+		case "mem":
+			// Mem is written on stop, so the failure surfaces there.
+			stop, err := f.Start()
+			if err != nil {
+				t.Fatalf("%s: start failed early: %v", name, err)
+			}
+			if err := stop(); err == nil {
+				t.Errorf("%s: stop accepted unwritable path", name)
+			}
+		default:
+			if _, err := f.Start(); err == nil {
+				t.Errorf("%s: Start accepted unwritable path", name)
+			}
+		}
+	}
+}

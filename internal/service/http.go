@@ -6,8 +6,10 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"time"
 
 	"ahs/internal/config"
+	"ahs/internal/telemetry"
 )
 
 // maxScenarioBytes bounds the request body of POST /v1/evaluate; scenario
@@ -28,18 +30,40 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// RequestDurationBuckets is the latency layout of
+// ahs_http_request_duration_seconds: sub-millisecond to ~half a minute.
+var RequestDurationBuckets = telemetry.ExponentialBuckets(0.0005, 4, 9)
+
 // NewHandler exposes the manager over the HTTP JSON API served by
-// cmd/ahs-serve; docs/api.md documents the endpoints. The handler is safe
-// for concurrent use and carries no state beyond the manager.
+// cmd/ahs-serve; docs/api.md documents the endpoints. Every API route is
+// wrapped in a per-endpoint latency histogram on the manager's registry,
+// which is itself served at GET /metrics in the Prometheus text format.
+// The handler is safe for concurrent use and carries no state beyond the
+// manager.
 func NewHandler(m *Manager) http.Handler {
 	s := &server{m: m}
+	reg := m.Registry()
+	latency := reg.HistogramVec(telemetry.Opts{
+		Name:    "ahs_http_request_duration_seconds",
+		Help:    "API request latency by route pattern.",
+		Buckets: RequestDurationBuckets,
+	}, "endpoint")
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	handle := func(pattern string, h http.HandlerFunc) {
+		hist := latency.With(pattern) // eager: the series exists before traffic
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			h(w, r)
+			hist.Observe(time.Since(start).Seconds())
+		})
+	}
+	handle("POST /v1/evaluate", s.handleEvaluate)
+	handle("GET /v1/jobs/{id}", s.handleJob)
+	handle("DELETE /v1/jobs/{id}", s.handleCancel)
+	handle("GET /v1/results/{id}", s.handleResult)
+	handle("GET /healthz", s.handleHealth)
+	handle("GET /debug/vars", s.handleVars)
+	mux.Handle("GET /metrics", reg.Handler())
 	return mux
 }
 

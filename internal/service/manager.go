@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ahs/internal/config"
+	"ahs/internal/telemetry"
 )
 
 // Sentinel errors surfaced by Submit and the job accessors; the HTTP layer
@@ -56,9 +57,15 @@ type Config struct {
 	// HistorySize bounds how many finished job records stay pollable
 	// before the oldest are forgotten (default 1024).
 	HistorySize int
-	// Eval runs one scenario; nil means the production Evaluate. Tests
+	// Eval runs one scenario; nil means the production evaluation wired
+	// to the manager's telemetry registry (see EvaluateInto). Tests
 	// inject fakes to script slow, failing or blocking jobs.
 	Eval EvalFunc
+	// Telemetry is the registry the manager's operational metrics — and,
+	// with the default Eval, the simulation's — are registered on. Nil
+	// means a fresh private registry, exposed by Manager.Registry and
+	// served at GET /metrics by the HTTP handler.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -80,8 +87,11 @@ func (c Config) withDefaults() Config {
 	if c.HistorySize <= 0 {
 		c.HistorySize = 1024
 	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.NewRegistry()
+	}
 	if c.Eval == nil {
-		c.Eval = Evaluate
+		c.Eval = EvaluateInto(c.Telemetry)
 	}
 	return c
 }
@@ -183,6 +193,7 @@ func NewManager(cfg Config) *Manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:        cfg,
+		metrics:    newMetrics(cfg.Telemetry, cfg.Workers),
 		cache:      newResultCache(cfg.CacheSize),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -325,6 +336,11 @@ func (m *Manager) Wait(ctx context.Context, id string) (JobView, error) {
 // Metrics exposes the manager's live counters.
 func (m *Manager) Metrics() *Metrics { return &m.metrics }
 
+// Registry exposes the telemetry registry the manager's metrics (and, with
+// the default evaluation, the simulation engine's) are registered on. The
+// HTTP layer serves it at GET /metrics.
+func (m *Manager) Registry() *telemetry.Registry { return m.cfg.Telemetry }
+
 // CacheLen reports the number of cached results.
 func (m *Manager) CacheLen() int { return m.cache.Len() }
 
@@ -406,8 +422,8 @@ func (m *Manager) runJob(j *job) {
 	switch {
 	case err == nil:
 		m.cache.Put(j.hash, res)
-		m.metrics.EvalMillis.Add(elapsed.Milliseconds())
-		m.metrics.BatchesSimulated.Add(int64(res.Batches))
+		m.metrics.EvalMillis.Add(uint64(elapsed.Milliseconds()))
+		m.metrics.BatchesSimulated.Add(res.Batches)
 		m.finishIf(j, StatusRunning, StatusDone, res, nil)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		m.finishIf(j, StatusRunning, StatusCancelled, nil, err)

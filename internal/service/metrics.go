@@ -1,68 +1,122 @@
 package service
 
-import "expvar"
+import (
+	"expvar"
 
-// Metrics are the manager's operational counters and gauges, held as
-// expvar types so they serialize in the standard /debug/vars format. They
-// are intentionally not Publish()ed globally — expvar.Publish panics on
-// duplicate names, which would forbid more than one Manager per process
-// (tests run many). The HTTP layer merges Map() into its /debug/vars view
-// under the "ahs_serve" key instead.
+	"ahs/internal/telemetry"
+)
+
+// Metrics are the manager's operational counters and gauges. They live as
+// families in a telemetry.Registry (scraped at GET /metrics in Prometheus
+// text format) and are re-exported under the historical expvar names
+// through Map(), so the /debug/vars surface documented in docs/api.md is
+// unchanged. They are intentionally not expvar.Publish()ed globally —
+// Publish panics on duplicate names, which would forbid more than one
+// Manager per process (tests run many).
 //
-// Counters are monotonic; queueDepth and running are gauges.
+// Counters are monotonic; QueueDepth and Running are gauges.
 type Metrics struct {
 	// Submitted counts accepted evaluation requests, including ones
 	// answered from cache or deduplicated onto an in-flight job.
-	Submitted expvar.Int
+	Submitted *telemetry.Counter
 	// Completed / Failed / Cancelled count finished jobs by outcome.
-	Completed expvar.Int
-	Failed    expvar.Int
-	Cancelled expvar.Int
+	Completed *telemetry.Counter
+	Failed    *telemetry.Counter
+	Cancelled *telemetry.Counter
 	// CacheHits counts submissions answered from the result cache;
 	// CacheMisses counts submissions that had to enqueue work.
-	CacheHits   expvar.Int
-	CacheMisses expvar.Int
+	CacheHits   *telemetry.Counter
+	CacheMisses *telemetry.Counter
 	// DedupHits counts submissions coalesced onto an already queued or
 	// running job with the same canonical hash.
-	DedupHits expvar.Int
+	DedupHits *telemetry.Counter
 	// QueueRejects counts submissions bounced with a full queue (the
 	// HTTP layer's 429s).
-	QueueRejects expvar.Int
+	QueueRejects *telemetry.Counter
 	// QueueDepth is the current number of queued-but-not-running jobs;
 	// Running the number of jobs being evaluated right now.
-	QueueDepth expvar.Int
-	Running    expvar.Int
+	QueueDepth *telemetry.Gauge
+	Running    *telemetry.Gauge
 	// EvalMillis accumulates wall-clock evaluation time across finished
 	// jobs; BatchesSimulated the trajectories they simulated. Their
 	// ratio is the service's cost per batch.
-	EvalMillis       expvar.Int
-	BatchesSimulated expvar.Int
+	EvalMillis       *telemetry.Counter
+	BatchesSimulated *telemetry.Counter
+}
+
+// newMetrics registers the service families on reg. workers sizes the
+// derived worker-utilization gauge.
+func newMetrics(reg *telemetry.Registry, workers int) Metrics {
+	counter := func(name, help string) *telemetry.Counter {
+		return reg.Counter(telemetry.Opts{Name: name, Help: help})
+	}
+	m := Metrics{
+		Submitted:        counter("ahs_service_submitted_total", "Accepted evaluation requests (cache and dedup hits included)."),
+		Completed:        counter("ahs_service_completed_total", "Jobs finished successfully."),
+		Failed:           counter("ahs_service_failed_total", "Jobs finished with an evaluation error."),
+		Cancelled:        counter("ahs_service_cancelled_total", "Jobs cancelled by request, timeout or shutdown."),
+		CacheHits:        counter("ahs_service_cache_hits_total", "Submissions answered from the result cache."),
+		CacheMisses:      counter("ahs_service_cache_misses_total", "Submissions that enqueued evaluation work."),
+		DedupHits:        counter("ahs_service_dedup_hits_total", "Submissions coalesced onto an in-flight twin job."),
+		QueueRejects:     counter("ahs_service_queue_rejects_total", "Submissions bounced with a full queue."),
+		QueueDepth:       reg.Gauge(telemetry.Opts{Name: "ahs_service_queue_depth", Help: "Jobs queued but not yet running."}),
+		Running:          reg.Gauge(telemetry.Opts{Name: "ahs_service_running", Help: "Jobs being evaluated right now."}),
+		EvalMillis:       counter("ahs_service_eval_milliseconds_total", "Wall-clock evaluation time across finished jobs."),
+		BatchesSimulated: counter("ahs_service_batches_simulated_total", "Monte-Carlo trajectories simulated by finished jobs."),
+	}
+	reg.GaugeFunc(telemetry.Opts{
+		Name: "ahs_service_cache_hit_ratio",
+		Help: "Cache hits over cache-deciding submissions (0 before any).",
+	}, func() float64 {
+		hits, misses := m.CacheHits.Value(), m.CacheMisses.Value()
+		if hits+misses == 0 {
+			return 0
+		}
+		return float64(hits) / float64(hits+misses)
+	})
+	reg.GaugeFunc(telemetry.Opts{
+		Name: "ahs_service_worker_utilization",
+		Help: "Fraction of the worker pool evaluating a job.",
+	}, func() float64 {
+		if workers <= 0 {
+			return 0
+		}
+		return float64(m.Running.Value()) / float64(workers)
+	})
+	return m
 }
 
 // metricNames fixes the exported key order and spelling; docs/api.md
-// documents these names.
+// documents these names, and TestMetricsMapKeepsExpvarNames pins them.
 var metricNames = []string{
 	"submitted", "completed", "failed", "cancelled",
 	"cacheHits", "cacheMisses", "dedupHits", "queueRejects",
 	"queueDepth", "running", "evalMillis", "batchesSimulated",
 }
 
-// Map assembles a fresh expvar.Map view over the live counters. The map
-// shares the underlying vars, so it always reflects current values.
+// Map assembles a fresh expvar.Map view over the live counters, keeping the
+// pre-registry expvar names. The map holds expvar.Func readers over the
+// registry-backed values, so it always reflects current values.
 func (m *Metrics) Map() *expvar.Map {
+	counter := func(c *telemetry.Counter) expvar.Var {
+		return expvar.Func(func() any { return c.Value() })
+	}
+	gauge := func(g *telemetry.Gauge) expvar.Var {
+		return expvar.Func(func() any { return g.Value() })
+	}
 	vars := map[string]expvar.Var{
-		"submitted":        &m.Submitted,
-		"completed":        &m.Completed,
-		"failed":           &m.Failed,
-		"cancelled":        &m.Cancelled,
-		"cacheHits":        &m.CacheHits,
-		"cacheMisses":      &m.CacheMisses,
-		"dedupHits":        &m.DedupHits,
-		"queueRejects":     &m.QueueRejects,
-		"queueDepth":       &m.QueueDepth,
-		"running":          &m.Running,
-		"evalMillis":       &m.EvalMillis,
-		"batchesSimulated": &m.BatchesSimulated,
+		"submitted":        counter(m.Submitted),
+		"completed":        counter(m.Completed),
+		"failed":           counter(m.Failed),
+		"cancelled":        counter(m.Cancelled),
+		"cacheHits":        counter(m.CacheHits),
+		"cacheMisses":      counter(m.CacheMisses),
+		"dedupHits":        counter(m.DedupHits),
+		"queueRejects":     counter(m.QueueRejects),
+		"queueDepth":       gauge(m.QueueDepth),
+		"running":          gauge(m.Running),
+		"evalMillis":       counter(m.EvalMillis),
+		"batchesSimulated": counter(m.BatchesSimulated),
 	}
 	out := new(expvar.Map).Init()
 	for _, name := range metricNames {

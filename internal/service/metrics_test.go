@@ -1,0 +1,74 @@
+package service
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ahs/internal/telemetry"
+)
+
+// TestMetricsMapKeepsExpvarNames pins the /debug/vars compatibility
+// contract: after the migration onto the telemetry registry, Map() must
+// keep exactly the historical expvar keys, with live numeric values.
+func TestMetricsMapKeepsExpvarNames(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := newMetrics(reg, 2)
+	m.Submitted.Add(3)
+	m.CacheHits.Inc()
+	m.QueueDepth.Set(5)
+	m.Running.Add(1)
+	m.EvalMillis.Add(1234)
+	m.BatchesSimulated.Add(99)
+
+	var got map[string]int64
+	if err := json.Unmarshal([]byte(m.Map().String()), &got); err != nil {
+		t.Fatalf("Map output is not a JSON object: %v", err)
+	}
+	if len(got) != len(metricNames) {
+		t.Fatalf("Map has %d keys, want %d: %v", len(got), len(metricNames), got)
+	}
+	for _, name := range metricNames {
+		if _, ok := got[name]; !ok {
+			t.Errorf("Map missing historical expvar key %q", name)
+		}
+	}
+	want := map[string]int64{
+		"submitted": 3, "cacheHits": 1, "queueDepth": 5, "running": 1,
+		"evalMillis": 1234, "batchesSimulated": 99, "completed": 0,
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %d, want %d", name, got[name], v)
+		}
+	}
+}
+
+// TestMetricsRegistryFamilies checks the same counters surface as
+// Prometheus families, including the derived ratio gauges.
+func TestMetricsRegistryFamilies(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := newMetrics(reg, 4)
+	m.CacheHits.Add(3)
+	m.CacheMisses.Add(1)
+	m.Running.Set(1)
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := telemetry.ValidateText(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	for _, want := range []string{
+		"ahs_service_cache_hits_total 3",
+		"ahs_service_cache_hit_ratio 0.75",
+		"ahs_service_worker_utilization 0.25",
+		"ahs_service_queue_depth 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -20,6 +20,8 @@ import (
 
 	"ahs/internal/config"
 	"ahs/internal/core"
+	"ahs/internal/telemetry"
+	"ahs/internal/trace"
 )
 
 // Result is the JSON-serializable outcome of one evaluation job: the
@@ -54,8 +56,34 @@ type EvalFunc func(ctx context.Context, sc *config.Scenario, workers int, progre
 
 // Evaluate is the production EvalFunc: it builds the composed SAN for the
 // scenario and estimates the unsafety curve with the scenario's evaluation
-// settings (importance-sampling calibration included).
+// settings (importance-sampling calibration included). It records no
+// telemetry; see EvaluateInto.
 func Evaluate(ctx context.Context, sc *config.Scenario, workers int, progress func(done, max uint64)) (*Result, error) {
+	return evaluate(ctx, sc, workers, progress, nil)
+}
+
+// EvaluateInto returns the production EvalFunc with simulation telemetry
+// enabled: each evaluation feeds a strategy-labeled SimCollector on reg
+// (activity firings collapsed across replicas via trace.CollapseName,
+// maneuver attempts/failures, catastrophic causes, trajectory and
+// first-passage histograms). A nil registry yields plain Evaluate. This is
+// Manager's default Eval, sharing the registry served at GET /metrics.
+func EvaluateInto(reg *telemetry.Registry) EvalFunc {
+	if reg == nil {
+		return Evaluate
+	}
+	return func(ctx context.Context, sc *config.Scenario, workers int, progress func(done, max uint64)) (*Result, error) {
+		var sink telemetry.Sink
+		if p, err := sc.Params(); err == nil {
+			// Family registration is idempotent and the collector's label
+			// caches are cheap, so a fresh collector per job is fine.
+			sink = telemetry.NewSimCollector(reg, p.Strategy.String(), trace.CollapseName)
+		}
+		return evaluate(ctx, sc, workers, progress, sink)
+	}
+}
+
+func evaluate(ctx context.Context, sc *config.Scenario, workers int, progress func(done, max uint64), sink telemetry.Sink) (*Result, error) {
 	hash, err := sc.Hash()
 	if err != nil {
 		return nil, err
@@ -72,6 +100,7 @@ func Evaluate(ctx context.Context, sc *config.Scenario, workers int, progress fu
 	opts.Context = ctx
 	opts.Workers = workers
 	opts.Progress = progress
+	opts.Telemetry = sink
 	curve, err := sys.UnsafetyCurve(opts)
 	if err != nil {
 		return nil, err

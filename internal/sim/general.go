@@ -6,6 +6,7 @@ import (
 	"ahs/internal/des"
 	"ahs/internal/rng"
 	"ahs/internal/san"
+	"ahs/internal/telemetry"
 )
 
 // GeneralRunner executes SAN trajectories with event-queue semantics,
@@ -156,6 +157,9 @@ func (g *GeneralRunner) Run(stream *rng.Stream, probes ...*Probe) (Result, error
 		}
 		san.FireTimed(act, caseIdx, g.marking)
 		res.Steps++
+		if g.opts.Sink != nil {
+			g.opts.Sink.Count(telemetry.MetricActivityFirings, act.Name)
+		}
 		if g.opts.Observer != nil {
 			g.opts.Observer.OnEvent(clock.Now(), act.Name, g.marking)
 		}

@@ -27,6 +27,7 @@ import (
 
 	"ahs/internal/rng"
 	"ahs/internal/san"
+	"ahs/internal/telemetry"
 )
 
 // ErrLivelock is returned when instantaneous activities keep firing without
@@ -189,6 +190,11 @@ type Options struct {
 	Bias *Bias
 	// Observer, when non-nil, receives every completion event.
 	Observer Observer
+	// Sink, when non-nil, counts every timed-activity completion under
+	// telemetry.MetricActivityFirings. Unlike Observer it sees only the
+	// activity name, which keeps the disabled path to a single nil check
+	// and the enabled path allocation-free.
+	Sink telemetry.Sink
 }
 
 // Result summarises one executed trajectory.
@@ -435,6 +441,9 @@ func (r *Runner) RunFrom(start *san.Marking, t0 float64, stream *rng.Stream, pro
 		}
 		san.FireTimed(act, caseIdx, r.marking)
 		res.Steps++
+		if r.opts.Sink != nil {
+			r.opts.Sink.Count(telemetry.MetricActivityFirings, act.Name)
+		}
 		if r.opts.Observer != nil {
 			r.opts.Observer.OnEvent(t, act.Name, r.marking)
 		}

@@ -1,0 +1,329 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text-format content type served by Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders the registry in the Prometheus text exposition format
+// (version 0.0.4): a # HELP and # TYPE header per family followed by its
+// samples, families sorted by name and samples by label values. Histograms
+// render the usual cumulative _bucket series plus _sum and _count.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.Gather() {
+		if fam.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam.Name, fam.Kind)
+		for _, s := range fam.Samples {
+			if s.Hist == nil {
+				fmt.Fprintf(bw, "%s%s %s\n", fam.Name, renderLabels(s.Labels, "", ""), formatValue(s.Value))
+				continue
+			}
+			cum := uint64(0)
+			for i, n := range s.Hist.Buckets {
+				cum += n
+				le := "+Inf"
+				if i < len(s.Hist.Upper) {
+					le = formatValue(s.Hist.Upper[i])
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", fam.Name, renderLabels(s.Labels, "le", le), cum)
+			}
+			fmt.Fprintf(bw, "%s_sum%s %s\n", fam.Name, renderLabels(s.Labels, "", ""), formatValue(s.Hist.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", fam.Name, renderLabels(s.Labels, "", ""), s.Hist.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves GET /metrics scrapes of the registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WriteText(w)
+	})
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// renderLabels renders {a="x",b="y"}, appending the extra pair when set;
+// it returns "" for no labels at all.
+func renderLabels(labels []LabelPair, extraName, extraValue string) string {
+	if len(labels) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	writePair := func(name, value string) {
+		b.WriteString(name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		writePair(l.Name, l.Value)
+	}
+	if extraName != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		writePair(extraName, extraValue)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ValidateText checks that the input is well-formed Prometheus text format:
+// every sample line parses (name, optional labels, float value, optional
+// timestamp), every sample belongs to a family declared by a preceding
+// # TYPE line of a known type, and histogram _bucket samples carry an le
+// label. It returns the first violation found. The service end-to-end tests
+// scrape /metrics through this validator.
+func ValidateText(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	types := make(map[string]string)
+	lineNo := 0
+	sawSample := false
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				continue // free-form comment
+			}
+			switch fields[1] {
+			case "TYPE":
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE comment %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !validName(name) {
+					return fmt.Errorf("line %d: invalid family name %q", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				types[name] = typ
+			case "HELP":
+				if len(fields) < 3 || !validName(fields[2]) {
+					return fmt.Errorf("line %d: malformed HELP comment %q", lineNo, line)
+				}
+			}
+			continue
+		}
+		name, labels, err := parseSampleLine(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		sawSample = true
+		base, suffix := baseFamily(name, types)
+		typ, ok := types[base]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		if typ == "histogram" && suffix == "_bucket" {
+			if _, ok := labels["le"]; !ok {
+				return fmt.Errorf("line %d: histogram bucket %q without le label", lineNo, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawSample {
+		return fmt.Errorf("telemetry: no samples in exposition")
+	}
+	return nil
+}
+
+// baseFamily resolves a sample name to its declared family, stripping the
+// histogram/summary series suffixes when the base is the declared name.
+func baseFamily(name string, types map[string]string) (base, suffix string) {
+	if _, ok := types[name]; ok {
+		return name, ""
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if b, ok := strings.CutSuffix(name, suf); ok {
+			if _, declared := types[b]; declared {
+				return b, suf
+			}
+		}
+	}
+	return name, ""
+}
+
+// parseSampleLine parses `name{labels} value [timestamp]`.
+func parseSampleLine(line string) (string, map[string]string, error) {
+	i := 0
+	for i < len(line) && isNameByte(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return "", nil, fmt.Errorf("sample line %q does not start with a metric name", line)
+	}
+	name := line[:i]
+	labels := map[string]string{}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, fmt.Errorf("unterminated label set in %q", line)
+		}
+		var err error
+		labels, err = parseLabels(rest[1:end])
+		if err != nil {
+			return "", nil, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, fmt.Errorf("expected value (and optional timestamp) after %q", name)
+	}
+	if _, err := parseSampleValue(fields[0]); err != nil {
+		return "", nil, fmt.Errorf("bad sample value %q: %w", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, nil
+}
+
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseLabels(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("malformed label pair %q", s)
+		}
+		name := s[:eq]
+		if !validName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %q value not quoted", name)
+		}
+		val := strings.Builder{}
+		j := 1
+		closed := false
+		for j < len(s) {
+			c := s[j]
+			if c == '\\' && j+1 < len(s) {
+				switch s[j+1] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %q", s[j+1], name)
+				}
+				j += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				j++
+				break
+			}
+			val.WriteByte(c)
+			j++
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated value for label %q", name)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = val.String()
+		s = s[j:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels, got %q", s)
+			}
+			s = s[1:]
+		}
+	}
+	return out, nil
+}
+
+func isNameByte(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func buildTestRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter(Opts{Name: "plain_total", Help: "a plain counter"}).Add(3)
+	v := reg.CounterVec(Opts{Name: "labeled_total", Help: `with "quotes" and \slashes`}, "kind")
+	v.With(`va"l\ue`).Inc()
+	v.With("simple").Add(2)
+	reg.Gauge(Opts{Name: "depth", Help: "a gauge"}).Set(-5)
+	h := reg.HistogramVec(Opts{Name: "lat_seconds", Help: "latency", Buckets: []float64{0.1, 1}}, "ep")
+	h.With("a").Observe(0.05)
+	h.With("a").Observe(0.5)
+	h.With("a").Observe(10)
+	reg.GaugeFunc(Opts{Name: "ratio", Help: "derived"}, func() float64 { return 0.25 })
+	return reg
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	var b strings.Builder
+	if err := buildTestRegistry().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE plain_total counter\nplain_total 3\n",
+		"# TYPE depth gauge\ndepth -5\n",
+		`labeled_total{kind="simple"} 2`,
+		`labeled_total{kind="va\"l\\ue"} 1`,
+		`lat_seconds_bucket{ep="a",le="0.1"} 1`,
+		`lat_seconds_bucket{ep="a",le="1"} 2`,
+		`lat_seconds_bucket{ep="a",le="+Inf"} 3`,
+		`lat_seconds_sum{ep="a"} 10.55`,
+		`lat_seconds_count{ep="a"} 3`,
+		"# TYPE ratio gauge\nratio 0.25\n",
+		`# HELP labeled_total with "quotes" and \\slashes`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTextPassesOwnValidator(t *testing.T) {
+	var b strings.Builder
+	if err := buildTestRegistry().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateText(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("self-exposition invalid: %v\n%s", err, b.String())
+	}
+}
+
+func TestValidateTextAcceptsKnownGood(t *testing.T) {
+	good := `# HELP http_requests_total The total number of HTTP requests.
+# TYPE http_requests_total counter
+http_requests_total{method="post",code="200"} 1027 1395066363000
+http_requests_total{method="post",code="400"} 3 1395066363000
+
+# TYPE rpc_duration_seconds histogram
+rpc_duration_seconds_bucket{le="0.5"} 129389
+rpc_duration_seconds_bucket{le="+Inf"} 144320
+rpc_duration_seconds_sum 53423
+rpc_duration_seconds_count 144320
+`
+	if err := ValidateText(strings.NewReader(good)); err != nil {
+		t.Fatalf("known-good exposition rejected: %v", err)
+	}
+}
+
+func TestValidateTextRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":             "orphan_total 3\n",
+		"bad value":           "# TYPE m counter\nm three\n",
+		"bad type keyword":    "# TYPE m thing\nm 3\n",
+		"unterminated labels": "# TYPE m counter\nm{a=\"x 3\n",
+		"unquoted label":      "# TYPE m counter\nm{a=x} 3\n",
+		"duplicate label":     "# TYPE m counter\nm{a=\"x\",a=\"y\"} 3\n",
+		"bucket without le":   "# TYPE h histogram\nh_bucket{x=\"1\"} 3\n",
+		"empty exposition":    "\n",
+		"duplicate TYPE":      "# TYPE m counter\n# TYPE m counter\nm 3\n",
+		"bad timestamp":       "# TYPE m counter\nm 3 later\n",
+	}
+	for name, in := range cases {
+		if err := ValidateText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validator accepted %q", name, in)
+		}
+	}
+}
+
+func TestHandlerServesContentType(t *testing.T) {
+	reg := buildTestRegistry()
+	rec := newRecorder()
+	reg.Handler().ServeHTTP(rec, nil)
+	if got := rec.header.Get("Content-Type"); got != ContentType {
+		t.Fatalf("content type %q", got)
+	}
+	if err := ValidateText(strings.NewReader(rec.body.String())); err != nil {
+		t.Fatalf("handler output invalid: %v", err)
+	}
+}
+
+// newRecorder is a minimal ResponseWriter; net/http/httptest would work but
+// the package keeps its dependency surface to the bare minimum.
+type recorder struct {
+	header http.Header
+	body   strings.Builder
+}
+
+func newRecorder() *recorder { return &recorder{header: http.Header{}} }
+
+func (r *recorder) Header() http.Header         { return r.header }
+func (r *recorder) WriteHeader(int)             {}
+func (r *recorder) Write(p []byte) (int, error) { return r.body.Write(p) }

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"ahs/internal/sim"
+)
+
+// Chrome trace-event phases used by the exporter (the format's "ph" field).
+const (
+	phaseInstant  = "i"
+	phaseMetadata = "M"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON object format,
+// viewable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTraceOptions configures WriteChromeTrace.
+type ChromeTraceOptions struct {
+	// ProcessName labels the process track (default "ahs trajectory").
+	ProcessName string
+	// Collapse groups events into one track per collapsed activity name
+	// (CollapseName); false keeps one track per full replica-scoped name.
+	Collapse bool
+}
+
+// WriteChromeTrace exports one recorded trajectory in the Chrome
+// trace-event JSON object format. Every activity completion becomes a
+// thread-scoped instant event on the track of its (optionally collapsed)
+// activity name, so Perfetto renders one timeline row per activity type.
+//
+// Simulation time is in hours while the format's ts field is in
+// microseconds; one simulated hour is exported as one second (1e6 µs), so
+// the viewer's seconds read as hours. The exact simulation time is kept in
+// args.hours.
+func WriteChromeTrace(w io.Writer, events []sim.TraceEvent, opts ChromeTraceOptions) error {
+	if opts.ProcessName == "" {
+		opts.ProcessName = "ahs trajectory"
+	}
+	track := func(name string) string {
+		if opts.Collapse {
+			return CollapseName(name)
+		}
+		return name
+	}
+
+	// Deterministic thread ids: sorted track names, tid 1..n.
+	names := make(map[string]bool, 16)
+	for _, ev := range events {
+		names[track(ev.Activity)] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+	tids := make(map[string]int, len(sorted))
+	for i, name := range sorted {
+		tids[name] = i + 1
+	}
+
+	out := chromeTrace{
+		DisplayTimeUnit: "ms",
+		TraceEvents:     make([]chromeEvent, 0, len(events)+len(sorted)+1),
+	}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name:  "process_name",
+		Phase: phaseMetadata,
+		Pid:   1,
+		Args:  map[string]any{"name": opts.ProcessName},
+	})
+	for _, name := range sorted {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name:  "thread_name",
+			Phase: phaseMetadata,
+			Pid:   1,
+			Tid:   tids[name],
+			Args:  map[string]any{"name": name},
+		})
+	}
+	const microsPerHour = 1e6
+	for _, ev := range events {
+		label := track(ev.Activity)
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name:  label,
+			Phase: phaseInstant,
+			Ts:    ev.Time * microsPerHour,
+			Pid:   1,
+			Tid:   tids[label],
+			Scope: "t",
+			Args:  map[string]any{"hours": ev.Time, "activity": ev.Activity},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ValidateChromeTrace checks that the input parses as the Chrome
+// trace-event JSON object format with the invariants the exporter
+// guarantees: known phases only, instant events carry a scope and a tid
+// declared by a thread_name metadata event, and timestamps are
+// non-negative and non-decreasing per track. The export tests round-trip
+// through this validator.
+func ValidateChromeTrace(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var tr chromeTrace
+	if err := dec.Decode(&tr); err != nil {
+		return fmt.Errorf("trace: not a chrome trace object: %w", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		return fmt.Errorf("trace: empty traceEvents")
+	}
+	namedThreads := make(map[int]bool)
+	lastTs := make(map[int]float64)
+	for i, ev := range tr.TraceEvents {
+		switch ev.Phase {
+		case phaseMetadata:
+			if ev.Name == "thread_name" {
+				namedThreads[ev.Tid] = true
+			}
+		case phaseInstant:
+			if ev.Name == "" {
+				return fmt.Errorf("trace: event %d has no name", i)
+			}
+			if ev.Scope == "" {
+				return fmt.Errorf("trace: instant event %d (%s) has no scope", i, ev.Name)
+			}
+			if !namedThreads[ev.Tid] {
+				return fmt.Errorf("trace: event %d (%s) uses undeclared tid %d", i, ev.Name, ev.Tid)
+			}
+			if ev.Ts < 0 {
+				return fmt.Errorf("trace: event %d (%s) has negative ts", i, ev.Name)
+			}
+			if last, ok := lastTs[ev.Tid]; ok && ev.Ts < last {
+				return fmt.Errorf("trace: event %d (%s) goes back in time on tid %d", i, ev.Name, ev.Tid)
+			}
+			lastTs[ev.Tid] = ev.Ts
+		default:
+			return fmt.Errorf("trace: event %d has unsupported phase %q", i, ev.Phase)
+		}
+	}
+	return nil
+}

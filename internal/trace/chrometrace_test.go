@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ahs/internal/sim"
+)
+
+func sampleTrajectory() []sim.TraceEvent {
+	return []sim.TraceEvent{
+		{Time: 0.25, Activity: "one_vehicle[0].L3"},
+		{Time: 0.50, Activity: "one_vehicle[0].maneuver"},
+		{Time: 0.75, Activity: "dynamicity.join"},
+		{Time: 1.25, Activity: "one_vehicle[1].L3"},
+		{Time: 2.00, Activity: "severity.to_KO"},
+	}
+}
+
+// TestChromeTraceRoundTrip is the ISSUE's schema round-trip: export a
+// trajectory, re-parse it strictly, and check the structural invariants.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, sampleTrajectory(), ChromeTraceOptions{Collapse: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("exported trace invalid: %v\n%s", err, b.String())
+	}
+
+	var tr chromeTrace
+	if err := json.Unmarshal([]byte(b.String()), &tr); err != nil {
+		t.Fatal(err)
+	}
+	// 1 process_name + 4 collapsed tracks (L3, join, maneuver, to_KO) +
+	// 5 instants.
+	instants, threads := 0, map[string]int{}
+	for _, ev := range tr.TraceEvents {
+		switch ev.Phase {
+		case phaseInstant:
+			instants++
+		case phaseMetadata:
+			if ev.Name == "thread_name" {
+				threads[ev.Args["name"].(string)] = ev.Tid
+			}
+		}
+	}
+	if instants != 5 {
+		t.Fatalf("instant events %d, want 5", instants)
+	}
+	for _, want := range []string{"L3", "join", "maneuver", "to_KO"} {
+		if _, ok := threads[want]; !ok {
+			t.Errorf("missing track %q (have %v)", want, threads)
+		}
+	}
+	if len(threads) != 4 {
+		t.Fatalf("tracks %v, want 4 collapsed tracks", threads)
+	}
+	// Both L3 replicas must land on the same (collapsed) track, at
+	// microsecond timestamps 1h = 1e6 µs.
+	var l3Ts []float64
+	for _, ev := range tr.TraceEvents {
+		if ev.Phase == phaseInstant && ev.Name == "L3" {
+			l3Ts = append(l3Ts, ev.Ts)
+			if ev.Tid != threads["L3"] {
+				t.Errorf("L3 instant on tid %d, want %d", ev.Tid, threads["L3"])
+			}
+		}
+	}
+	if len(l3Ts) != 2 || l3Ts[0] != 0.25e6 || l3Ts[1] != 1.25e6 {
+		t.Fatalf("L3 timestamps %v, want [250000 1250000]", l3Ts)
+	}
+}
+
+func TestChromeTraceUncollapsedKeepsReplicaTracks(t *testing.T) {
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, sampleTrajectory(), ChromeTraceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+	if !strings.Contains(b.String(), `"one_vehicle[0].L3"`) || !strings.Contains(b.String(), `"one_vehicle[1].L3"`) {
+		t.Fatalf("replica tracks merged without Collapse:\n%s", b.String())
+	}
+}
+
+func TestValidateChromeTraceRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "not json",
+		"empty events":    `{"traceEvents":[],"displayTimeUnit":"ms"}`,
+		"unknown phase":   `{"traceEvents":[{"name":"x","ph":"X","ts":1,"pid":1,"tid":1}],"displayTimeUnit":"ms"}`,
+		"undeclared tid":  `{"traceEvents":[{"name":"x","ph":"i","ts":1,"pid":1,"tid":9,"s":"t"}],"displayTimeUnit":"ms"}`,
+		"missing scope":   `{"traceEvents":[{"name":"thread_name","ph":"M","pid":1,"tid":1,"ts":0,"args":{"name":"x"}},{"name":"x","ph":"i","ts":1,"pid":1,"tid":1}],"displayTimeUnit":"ms"}`,
+		"time goes back":  `{"traceEvents":[{"name":"thread_name","ph":"M","pid":1,"tid":1,"ts":0,"args":{"name":"x"}},{"name":"x","ph":"i","ts":5,"pid":1,"tid":1,"s":"t"},{"name":"x","ph":"i","ts":1,"pid":1,"tid":1,"s":"t"}],"displayTimeUnit":"ms"}`,
+		"unknown field":   `{"traceEvents":[],"displayTimeUnit":"ms","bogus":1}`,
+		"negative ts":     `{"traceEvents":[{"name":"thread_name","ph":"M","pid":1,"tid":1,"ts":0,"args":{"name":"x"}},{"name":"x","ph":"i","ts":-1,"pid":1,"tid":1,"s":"t"}],"displayTimeUnit":"ms"}`,
+		"anonymous event": `{"traceEvents":[{"name":"thread_name","ph":"M","pid":1,"tid":1,"ts":0,"args":{"name":"x"}},{"name":"","ph":"i","ts":1,"pid":1,"tid":1,"s":"t"}],"displayTimeUnit":"ms"}`,
+	}
+	for name, in := range cases {
+		if err := ValidateChromeTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validator accepted %q", name, in)
+		}
+	}
+}

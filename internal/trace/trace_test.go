@@ -19,6 +19,20 @@ func TestCollapseName(t *testing.T) {
 		"transit_exit[12].done":   "done",
 		"severity.to_KO":          "to_KO",
 		"one_vehicle[0].maneuver": "maneuver",
+		// Replica indices on the final segment are stripped too, so
+		// activities living directly in a replicated scope aggregate.
+		"transit_exit[12]":  "transit_exit",
+		"one_vehicle[3]":    "one_vehicle",
+		"net.flow[0]":       "flow",
+		"scope[2].inner[7]": "inner",
+		"deep.a[1].b[2]":    "b",
+		"worker[007]":       "worker",
+		// Bracket suffixes that are not pure replica indices stay intact.
+		"x[a]":  "x[a]",
+		"x[]":   "x[]",
+		"[3]":   "[3]",
+		"x[1]y": "x[1]y",
+		"x[-1]": "x[-1]",
 	}
 	for in, want := range cases {
 		if got := CollapseName(in); got != want {
@@ -100,6 +114,85 @@ func TestSummaryStringRendering(t *testing.T) {
 	}
 }
 
+func TestRateIntervalSingleTrajectoryPoisson(t *testing.T) {
+	// 16 events over 4 time units: rate 4, Poisson half-width z·√16/4 = z.
+	events := make([]sim.TraceEvent, 16)
+	for i := range events {
+		events[i] = sim.TraceEvent{Time: float64(i) * 0.25, Activity: "a"}
+	}
+	s := Summarize(events, 4, false)
+	iv := s.RateInterval("a", 0.95)
+	if iv.N != 1 {
+		t.Fatalf("interval over %d trajectories, want 1", iv.N)
+	}
+	if math.Abs(iv.Point-4) > 1e-12 {
+		t.Fatalf("point %v, want 4", iv.Point)
+	}
+	z := 1.959963984540054 // Φ⁻¹(0.975)
+	if math.Abs(iv.Lo-(4-z)) > 1e-6 || math.Abs(iv.Hi-(4+z)) > 1e-6 {
+		t.Fatalf("interval [%v, %v], want [4∓%v]", iv.Lo, iv.Hi, z)
+	}
+	// Unknown labels degenerate to a zero-width interval at 0.
+	if iv := s.RateInterval("missing", 0.95); iv.Point != 0 || iv.Lo != 0 || iv.Hi != 0 {
+		t.Fatalf("missing-label interval %+v", iv)
+	}
+}
+
+func TestRateIntervalZeroDuration(t *testing.T) {
+	s := Summarize([]sim.TraceEvent{{Activity: "a"}}, 0, false)
+	if iv := s.RateInterval("a", 0.95); iv.Point != 0 || iv.Lo != 0 || iv.Hi != 0 {
+		t.Fatalf("zero-duration interval %+v", iv)
+	}
+}
+
+func TestRateIntervalAcrossTrajectories(t *testing.T) {
+	// Three unit-length trajectories with per-trajectory rates 2, 4, 6 for
+	// "a": mean 4, sample standard deviation 2.
+	s := &Summary{Counts: make(map[string]uint64)}
+	s.Merge([]sim.TraceEvent{{Activity: "a"}, {Activity: "a"}}, 1, false)
+	s.Merge([]sim.TraceEvent{
+		{Activity: "a"}, {Activity: "a"}, {Activity: "a"}, {Activity: "a"},
+	}, 1, false)
+	s.Merge([]sim.TraceEvent{
+		{Activity: "a"}, {Activity: "a"}, {Activity: "a"},
+		{Activity: "a"}, {Activity: "a"}, {Activity: "a"},
+		{Activity: "b"},
+	}, 1, false)
+	iv := s.RateInterval("a", 0.95)
+	if iv.N != 3 {
+		t.Fatalf("interval over %d trajectories, want 3", iv.N)
+	}
+	if math.Abs(iv.Point-4) > 1e-12 {
+		t.Fatalf("point %v, want mean rate 4", iv.Point)
+	}
+	if !(iv.Lo < 4 && 4 < iv.Hi) || iv.Lo == iv.Hi {
+		t.Fatalf("degenerate interval [%v, %v]", iv.Lo, iv.Hi)
+	}
+
+	// "b" fired only in the last trajectory; the first two must count as
+	// zero-rate observations (backfilled), giving mean 1/3 — not 1.
+	ivB := s.RateInterval("b", 0.95)
+	if ivB.N != 3 {
+		t.Fatalf("label seen late: interval over %d trajectories, want 3", ivB.N)
+	}
+	if math.Abs(ivB.Point-1.0/3) > 1e-12 {
+		t.Fatalf("backfilled point %v, want 1/3", ivB.Point)
+	}
+}
+
+func TestRowsCarryConfidenceIntervals(t *testing.T) {
+	s := &Summary{Counts: make(map[string]uint64)}
+	s.Merge([]sim.TraceEvent{{Activity: "a"}}, 1, false)
+	s.Merge([]sim.TraceEvent{{Activity: "a"}, {Activity: "a"}, {Activity: "a"}}, 1, false)
+	rows := s.Rows()
+	if len(rows) != 1 || rows[0].CI.N != 2 || rows[0].CI.Confidence != 0.95 {
+		t.Fatalf("rows %+v", rows)
+	}
+	if !strings.Contains(s.String(), "95% CI [") || !strings.Contains(s.String(), "(2 trajectories)") {
+		t.Fatalf("rendered summary %q", s.String())
+	}
+}
+
 // TestEmpiricalRateMatchesModelRate is the end-to-end check: summarising a
 // Poisson process trace recovers its rate.
 func TestEmpiricalRateMatchesModelRate(t *testing.T) {
@@ -128,5 +221,15 @@ func TestEmpiricalRateMatchesModelRate(t *testing.T) {
 	}
 	if math.Abs(s.Rate("arrive")-3) > 0.1 {
 		t.Fatalf("empirical rate %v, want ~3", s.Rate("arrive"))
+	}
+	// The CI must bracket the empirical rate tightly (all trajectories run
+	// for the same duration, so the Welford mean equals the aggregate rate);
+	// asserting it covers the model rate would fail 5% of seeds by design.
+	iv := s.RateInterval("arrive", 0.95)
+	if !(iv.Lo < s.Rate("arrive") && s.Rate("arrive") < iv.Hi) {
+		t.Fatalf("95%% CI [%v, %v] excludes the empirical rate %v", iv.Lo, iv.Hi, s.Rate("arrive"))
+	}
+	if iv.Hi-iv.Lo > 0.3 {
+		t.Fatalf("CI [%v, %v] implausibly wide for 20×200h of data", iv.Lo, iv.Hi)
 	}
 }
