@@ -3,7 +3,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build vet test race lint tools sanlint serve bench profile figures figures-full docs clean
+.PHONY: all build vet test race lint tools sanlint serve worker cluster-smoke bench profile figures figures-full docs clean
 
 all: build lint test
 
@@ -43,9 +43,24 @@ lint: tools
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
 	$(BIN)/ahs-lint
 
-# Run the evaluation service on :8080 (see docs/api.md).
+# Run the evaluation service on :8080 (see docs/api.md). Add cluster mode
+# with: go run ./cmd/ahs-serve -addr :8080 -cluster
 serve:
 	$(GO) run ./cmd/ahs-serve -addr :8080
+
+# Run one compute worker against a local cluster coordinator
+# (ahs-serve -cluster). See docs/cluster.md.
+worker:
+	$(GO) run ./cmd/ahs-worker -coordinator http://localhost:8080
+
+# End-to-end check of the distributed backend: the cluster test suites
+# (chunk determinism, coordinator robustness, service integration, the
+# serve binary in -cluster mode) plus the runnable demo, which asserts the
+# merged curve is bit-identical to a single-process evaluation.
+cluster-smoke:
+	$(GO) test -count=1 ./internal/cluster/ ./internal/mc/ -run 'Chunk|Cluster|Shard|Merger'
+	$(GO) test -count=1 ./internal/service/ ./cmd/ahs-serve/ -run 'Cluster|Backend'
+	$(GO) run ./examples/cluster
 
 # Quick-look benchmark pass: regenerates every paper figure at a reduced
 # batch budget and runs the micro/ablation benchmarks.

@@ -9,7 +9,11 @@
 //	curl localhost:8080/v1/jobs/job-1
 //	curl localhost:8080/v1/results/job-1
 //
-// See docs/api.md for the endpoint reference and metrics names.
+// With -cluster the server also mounts the coordinator API under
+// /cluster/v1/ and fans each job out to registered ahs-worker processes,
+// falling back to local simulation when none are registered; results are
+// bit-identical either way. See docs/api.md for the endpoint reference and
+// metrics names, and docs/cluster.md for the cluster protocol.
 package main
 
 import (
@@ -26,7 +30,9 @@ import (
 	"syscall"
 	"time"
 
+	"ahs/internal/cluster"
 	"ahs/internal/service"
+	"ahs/internal/telemetry"
 )
 
 func main() {
@@ -53,6 +59,9 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		readTimeout   = fs.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout  = fs.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 		debug         = fs.Bool("debug", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
+		clusterMode   = fs.Bool("cluster", false, "fan jobs out to ahs-worker processes via the /cluster/v1/ API instead of simulating in-process (no workers registered = transparent local fallback)")
+		leaseTTL      = fs.Duration("lease-ttl", 2*time.Minute, "cluster chunk lease duration before requeue")
+		chunkBatches  = fs.Uint64("chunk-batches", 0, "cluster lease granularity in batches, rounded up to whole accumulation rounds (0 = four rounds)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,14 +73,36 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		return fmt.Errorf("workers and queue must be positive (got %d, %d)", *workers, *queueSize)
 	}
 
-	mgr := service.NewManager(service.Config{
+	cfg := service.Config{
 		Workers:       *workers,
 		WorkersPerJob: *workersPerJob,
 		QueueSize:     *queueSize,
 		CacheSize:     *cacheSize,
 		JobTimeout:    *jobTimeout,
-	})
+	}
+	var coord *cluster.Coordinator
+	if *clusterMode {
+		// Share one registry so ahs_cluster_* and the manager's families
+		// come out of the same GET /metrics.
+		cfg.Telemetry = telemetry.NewRegistry()
+		coord = cluster.New(cluster.Config{
+			LeaseTTL:     *leaseTTL,
+			ChunkBatches: *chunkBatches,
+			Telemetry:    cfg.Telemetry,
+			Logf:         log.Printf,
+		})
+		defer coord.Close()
+		cfg.Eval = service.ClusterEval(coord)
+		cfg.Backend = service.ClusterBackend(coord)
+	}
+	mgr := service.NewManager(cfg)
 	handler := service.NewHandler(mgr)
+	if coord != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.Handle("/cluster/v1/", coord.Handler())
+		handler = mux
+	}
 	if *debug {
 		// Profiling endpoints are opt-in: they expose goroutine dumps and
 		// CPU profiles, which production deployments may not want public.

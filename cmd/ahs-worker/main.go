@@ -1,0 +1,91 @@
+// Command ahs-worker is the compute node of the distributed unsafety
+// evaluator: it registers with an ahs-serve coordinator (started with
+// -cluster), pulls chunk leases, simulates them through the exact pipeline
+// a single process would use, and reports sufficient statistics back. Any
+// number of workers may join and leave at any time; the merged results stay
+// bit-identical to a single-process evaluation.
+//
+//	ahs-serve -cluster -addr :8080 &
+//	ahs-worker -coordinator http://localhost:8080 &
+//	ahs-worker -coordinator http://localhost:8080 &
+//	curl -d @docs/scenario-example.json localhost:8080/v1/evaluate
+//
+// See docs/cluster.md for the protocol and deployment recipe.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ahs/internal/cluster"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ahs-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("ahs-worker", flag.ContinueOnError)
+	var (
+		coordinator = fs.String("coordinator", "http://localhost:8080", "base URL of the ahs-serve -cluster coordinator")
+		id          = fs.String("id", "", "stable worker identity (default: a random one)")
+		simWorkers  = fs.Int("sim-workers", 0, "simulation goroutines per chunk (0 = GOMAXPROCS)")
+		poll        = fs.Duration("poll", 0, "idle poll interval override (0 = coordinator's suggestion)")
+		healthAddr  = fs.String("health-addr", "", "serve GET /healthz on this address and advertise it for coordinator liveness probes (empty = disabled)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	w := &cluster.Worker{
+		Coordinator: *coordinator,
+		ID:          *id,
+		SimWorkers:  *simWorkers,
+		Poll:        *poll,
+		Logf:        log.Printf,
+	}
+
+	if *healthAddr != "" {
+		ln, err := net.Listen("tcp", *healthAddr)
+		if err != nil {
+			return err
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+			rw.WriteHeader(http.StatusOK)
+			fmt.Fprintln(rw, `{"status":"ok"}`)
+		})
+		hs := &http.Server{Handler: mux, ReadTimeout: 5 * time.Second, WriteTimeout: 5 * time.Second}
+		go hs.Serve(ln)
+		defer hs.Close()
+		// Advertise a URL the coordinator can reach. A wildcard listen
+		// address is advertised via the machine's hostname.
+		host, port, _ := net.SplitHostPort(ln.Addr().String())
+		if ip := net.ParseIP(host); ip != nil && ip.IsUnspecified() {
+			if h, err := os.Hostname(); err == nil {
+				host = h
+			}
+		}
+		w.HealthURL = fmt.Sprintf("http://%s/healthz", net.JoinHostPort(host, port))
+		log.Printf("ahs-worker: health endpoint on %s", w.HealthURL)
+	}
+
+	log.Printf("ahs-worker: joining %s", *coordinator)
+	return w.Run(ctx)
+}

@@ -1,0 +1,664 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"ahs/internal/config"
+	"ahs/internal/core"
+	"ahs/internal/mc"
+	"ahs/internal/telemetry"
+)
+
+// Config tunes the coordinator's robustness envelope. The zero value is
+// production-ready; tests shrink the intervals.
+type Config struct {
+	// LeaseTTL is how long a worker holds a chunk before the coordinator
+	// requeues it (default 2m — comfortably above one chunk's runtime at
+	// the default chunk size).
+	LeaseTTL time.Duration
+	// PollInterval is the idle poll period suggested to workers
+	// (default 500ms).
+	PollInterval time.Duration
+	// HeartbeatTimeout is how long a worker may go silent before it is
+	// probed (if it registered a health URL) and then dropped
+	// (default 10s).
+	HeartbeatTimeout time.Duration
+	// SweepInterval is the period of the lease/liveness sweep
+	// (default: a quarter of the smaller of LeaseTTL and
+	// HeartbeatTimeout, with a 25ms floor).
+	SweepInterval time.Duration
+	// MaxWorkerFailures excludes a worker after that many consecutive
+	// failures — reported errors, rejected results, or lease expiries
+	// (default 3). Exclusion is sticky: the ID is banned until the
+	// coordinator restarts.
+	MaxWorkerFailures int
+	// MaxChunkAttempts fails the whole job once a single chunk has been
+	// requeued that many times (default 5) — at that point the error is
+	// almost certainly deterministic, so retrying elsewhere cannot help.
+	MaxChunkAttempts int
+	// ChunkBatches is the lease granularity in batches, rounded up to
+	// whole accumulation rounds (default: four rounds per chunk).
+	ChunkBatches uint64
+	// CheckEvery overrides the accumulation round size of every job
+	// (0 = the mc default of 2000). The round size is part of the
+	// bit-reproducibility contract: a cluster result equals the
+	// single-process result for the same scenario and the same
+	// CheckEvery.
+	CheckEvery uint64
+	// Telemetry, when non-nil, receives the ahs_cluster_* families.
+	Telemetry *telemetry.Registry
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 2 * time.Minute
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 500 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 10 * time.Second
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = c.LeaseTTL / 4
+		if c.HeartbeatTimeout < c.LeaseTTL {
+			c.SweepInterval = c.HeartbeatTimeout / 4
+		}
+		if c.SweepInterval < 25*time.Millisecond {
+			c.SweepInterval = 25 * time.Millisecond
+		}
+	}
+	if c.MaxWorkerFailures <= 0 {
+		c.MaxWorkerFailures = 3
+	}
+	if c.MaxChunkAttempts <= 0 {
+		c.MaxChunkAttempts = 5
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Coordinator shards evaluation jobs into chunk leases for remote workers
+// and merges their sufficient statistics into bit-exact curves. It is safe
+// for concurrent use; one coordinator serves many concurrent jobs and
+// workers. Create with New, mount Handler on a server, Close when done.
+type Coordinator struct {
+	cfg     Config
+	metrics *metrics
+
+	mu       sync.Mutex
+	workers  map[string]*workerState
+	excluded map[string]bool
+	jobs     map[uint64]*clusterJob
+	jobIDs   []uint64 // insertion-ordered keys of jobs, for FIFO leasing
+	leases   map[string]*lease
+	jobSeq   uint64
+	leaseSeq uint64
+	closed   bool
+
+	stop chan struct{}
+	done sync.WaitGroup
+}
+
+type workerState struct {
+	id        string
+	healthURL string
+	lastSeen  time.Time
+	fails     int             // consecutive failures
+	leases    map[string]bool // lease IDs held
+}
+
+type lease struct {
+	id       string
+	job      *clusterJob
+	spec     mc.ChunkSpec
+	worker   string
+	deadline time.Time
+}
+
+type clusterJob struct {
+	id       uint64
+	scenario *config.Scenario
+	job      mc.Job // context-free copy for merging and local rescue
+	merger   *mc.Merger
+	pending  []mc.ChunkSpec
+	leased   int
+	attempts map[uint64]int // chunk start → delivery attempts
+	progress func(done, max uint64)
+	err      error
+	finished bool
+	done     chan struct{}
+}
+
+// New starts a coordinator and its background lease/liveness sweeper.
+func New(cfg Config) *Coordinator {
+	c := &Coordinator{
+		cfg:      cfg.withDefaults(),
+		workers:  make(map[string]*workerState),
+		excluded: make(map[string]bool),
+		jobs:     make(map[uint64]*clusterJob),
+		leases:   make(map[string]*lease),
+		stop:     make(chan struct{}),
+	}
+	c.metrics = newMetrics(c.cfg.Telemetry, c)
+	c.done.Add(1)
+	go c.sweeper()
+	return c
+}
+
+// Close stops the sweeper and fails every active job.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	for _, j := range c.jobs {
+		c.finishJobLocked(j, errors.New("cluster: coordinator closed"))
+	}
+	c.mu.Unlock()
+	close(c.stop)
+	c.done.Wait()
+}
+
+// Status returns the operational snapshot served at PathStatus.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	st := Status{
+		WorkersRegistered: len(c.workers),
+		WorkersExcluded:   len(c.excluded),
+		ActiveJobs:        len(c.jobs),
+		LeasedChunks:      len(c.leases),
+	}
+	for _, w := range c.workers {
+		if now.Sub(w.lastSeen) <= c.cfg.HeartbeatTimeout {
+			st.WorkersLive++
+		}
+	}
+	for _, j := range c.jobs {
+		st.QueuedChunks += len(j.pending)
+	}
+	return st
+}
+
+// UnsafetyCurve evaluates the scenario across the cluster and returns the
+// merged curve plus the importance-sampling bias that was applied (for
+// result reporting). The curve is bit-identical to single-process
+// core.AHS.UnsafetyCurve for the same scenario. localWorkers bounds the
+// simulation parallelism of any locally executed batches (fallback and
+// rescue); progress, when non-nil, receives (batchesDone, maxBatches) as
+// chunks fold.
+//
+// With no live workers registered the job simply runs locally. If every
+// worker dies mid-job, the coordinator rescues the remaining chunks itself,
+// so a job accepted is a job finished (or cancelled via ctx).
+func (c *Coordinator) UnsafetyCurve(ctx context.Context, sc *config.Scenario, localWorkers int, progress func(done, max uint64)) (*mc.Curve, float64, error) {
+	sc = sc.Canonical()
+	p, err := sc.Params()
+	if err != nil {
+		return nil, 0, err
+	}
+	sys, err := core.Build(p)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: build model: %w", err)
+	}
+	opts := sc.EvalOptions(sys)
+	opts.Workers = localWorkers
+	opts.CheckEvery = c.cfg.CheckEvery
+	bias := opts.FailureBias
+	if bias < 1 {
+		bias = 1
+	}
+	job, err := sys.UnsafetyJob(opts)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	if c.liveWorkers() == 0 {
+		c.metrics.localFallback()
+		c.cfg.Logf("cluster: no live workers, evaluating %s locally", shortHash(sc))
+		job.Context = ctx
+		job.Progress = progress
+		curve, err := mc.EstimateCurve(job)
+		return curve, bias, err
+	}
+
+	merger, err := mc.NewMerger(job)
+	if err != nil {
+		return nil, 0, err
+	}
+	j := &clusterJob{
+		scenario: sc,
+		job:      job,
+		merger:   merger,
+		pending:  job.Shard(c.cfg.ChunkBatches),
+		attempts: make(map[uint64]int),
+		progress: progress,
+		done:     make(chan struct{}),
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, 0, errors.New("cluster: coordinator closed")
+	}
+	c.jobSeq++
+	j.id = c.jobSeq
+	c.jobs[j.id] = j
+	c.jobIDs = append(c.jobIDs, j.id)
+	c.mu.Unlock()
+	defer c.dropJob(j)
+
+	ticker := time.NewTicker(c.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-j.done:
+			c.mu.Lock()
+			err := j.err
+			c.mu.Unlock()
+			if err != nil {
+				return nil, 0, err
+			}
+			curve, err := merger.Curve()
+			return curve, bias, err
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		case <-ticker.C:
+			// Rescue: if the workers are gone, simulate the queue
+			// locally. Chunks still on (expired) leases come back
+			// through the sweeper and are picked up next tick.
+			if c.liveWorkers() == 0 {
+				c.rescueOne(ctx, j)
+			}
+		}
+	}
+}
+
+// dropJob removes a finished or abandoned job and its leases.
+func (c *Coordinator) dropJob(j *clusterJob) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.jobs, j.id)
+	for i, id := range c.jobIDs {
+		if id == j.id {
+			c.jobIDs = append(c.jobIDs[:i], c.jobIDs[i+1:]...)
+			break
+		}
+	}
+	for id, l := range c.leases {
+		if l.job == j {
+			c.releaseLeaseLocked(id)
+		}
+	}
+}
+
+// liveWorkers counts workers seen within the heartbeat window.
+func (c *Coordinator) liveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	now := time.Now()
+	for _, w := range c.workers {
+		if now.Sub(w.lastSeen) <= c.cfg.HeartbeatTimeout {
+			n++
+		}
+	}
+	return n
+}
+
+// rescueOne pops one pending chunk and simulates it locally.
+func (c *Coordinator) rescueOne(ctx context.Context, j *clusterJob) {
+	c.mu.Lock()
+	if j.finished || len(j.pending) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	spec := j.pending[0]
+	j.pending = j.pending[1:]
+	job := j.job
+	c.mu.Unlock()
+
+	job.Context = ctx
+	state, err := mc.EstimateChunk(job, spec)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j.finished {
+		return
+	}
+	if err != nil {
+		c.cfg.Logf("cluster: local rescue of chunk %s failed: %v", spec, err)
+		c.requeueLocked(j, spec, err)
+		return
+	}
+	c.metrics.chunkRescued()
+	c.foldLocked(j, state)
+}
+
+// sweeper periodically requeues expired leases and drops dead workers.
+func (c *Coordinator) sweeper() {
+	defer c.done.Done()
+	ticker := time.NewTicker(c.cfg.SweepInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.sweep()
+		}
+	}
+}
+
+func (c *Coordinator) sweep() {
+	now := time.Now()
+
+	c.mu.Lock()
+	for id, l := range c.leases {
+		if now.After(l.deadline) {
+			c.cfg.Logf("cluster: lease %s (chunk %s, worker %s) expired", id, l.spec, l.worker)
+			c.metrics.chunkRequeued()
+			// Release before blaming the worker: exclusion requeues
+			// everything the worker still holds, and this lease must
+			// not be requeued twice.
+			c.releaseLeaseLocked(id)
+			c.requeueLocked(l.job, l.spec, fmt.Errorf("lease expired on worker %s", l.worker))
+			c.failWorkerLocked(l.worker)
+		}
+	}
+	// Collect quiet workers for an out-of-lock health probe.
+	type probe struct{ id, url string }
+	var probes []probe
+	for id, w := range c.workers {
+		if now.Sub(w.lastSeen) > c.cfg.HeartbeatTimeout {
+			probes = append(probes, probe{id, w.healthURL})
+		}
+	}
+	c.mu.Unlock()
+
+	for _, p := range probes {
+		if p.url != "" && probeHealth(p.url) {
+			c.mu.Lock()
+			if w, ok := c.workers[p.id]; ok {
+				w.lastSeen = time.Now()
+			}
+			c.mu.Unlock()
+			continue
+		}
+		c.mu.Lock()
+		if w, ok := c.workers[p.id]; ok && time.Since(w.lastSeen) > c.cfg.HeartbeatTimeout {
+			c.cfg.Logf("cluster: worker %s unreachable, dropping", p.id)
+			c.dropWorkerLocked(w)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// probeHealth reports whether the worker's health endpoint answers 2xx.
+func probeHealth(url string) bool {
+	client := &http.Client{Timeout: 2 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// failWorkerLocked counts one failure against a worker and excludes it once
+// it hits the limit, requeueing everything it still holds.
+func (c *Coordinator) failWorkerLocked(id string) {
+	w, ok := c.workers[id]
+	if !ok {
+		return
+	}
+	w.fails++
+	if w.fails >= c.cfg.MaxWorkerFailures {
+		c.cfg.Logf("cluster: excluding worker %s after %d consecutive failures", id, w.fails)
+		c.excluded[id] = true
+		c.dropWorkerLocked(w)
+	}
+}
+
+// dropWorkerLocked removes a worker, requeueing its outstanding leases.
+func (c *Coordinator) dropWorkerLocked(w *workerState) {
+	for id := range w.leases {
+		if l, ok := c.leases[id]; ok {
+			c.metrics.chunkRequeued()
+			c.releaseLeaseLocked(id)
+			c.requeueLocked(l.job, l.spec, fmt.Errorf("worker %s dropped", w.id))
+		}
+	}
+	delete(c.workers, w.id)
+}
+
+// releaseLeaseLocked forgets a lease on both the global and worker indexes.
+func (c *Coordinator) releaseLeaseLocked(id string) {
+	l, ok := c.leases[id]
+	if !ok {
+		return
+	}
+	delete(c.leases, id)
+	l.job.leased--
+	if w, ok := c.workers[l.worker]; ok {
+		delete(w.leases, id)
+	}
+}
+
+// requeueLocked puts a chunk back on its job's queue, failing the job once
+// the chunk has exhausted its delivery attempts.
+func (c *Coordinator) requeueLocked(j *clusterJob, spec mc.ChunkSpec, cause error) {
+	if j.finished {
+		return
+	}
+	j.attempts[spec.Start]++
+	if j.attempts[spec.Start] >= c.cfg.MaxChunkAttempts {
+		c.finishJobLocked(j, fmt.Errorf("cluster: chunk %s failed %d times, last: %w", spec, j.attempts[spec.Start], cause))
+		return
+	}
+	j.pending = append(j.pending, spec)
+}
+
+// foldLocked merges one chunk state and finishes the job when complete.
+// The progress callback fires after the lock is released by the caller via
+// the returned closure pattern; here we call it inline since manager
+// progress callbacks are lock-free.
+func (c *Coordinator) foldLocked(j *clusterJob, state *mc.ChunkState) {
+	start := time.Now()
+	if err := j.merger.Add(state); err != nil {
+		// Shape-invalid state: the chunk itself was never folded, so
+		// put it back in play.
+		c.cfg.Logf("cluster: rejecting chunk %s: %v", state.Spec, err)
+		c.metrics.chunkFailed()
+		c.requeueLocked(j, state.Spec, err)
+		return
+	}
+	c.metrics.chunkCompleted(time.Since(start).Seconds())
+	if j.progress != nil {
+		j.progress(j.merger.Done(), j.merger.Target())
+	}
+	if j.merger.Complete() {
+		c.finishJobLocked(j, nil)
+	}
+}
+
+// finishJobLocked marks a job done (err nil) or failed.
+func (c *Coordinator) finishJobLocked(j *clusterJob, err error) {
+	if j.finished {
+		return
+	}
+	j.finished = true
+	j.err = err
+	j.pending = nil
+	close(j.done)
+}
+
+// Handler returns the coordinator's HTTP API, rooted at the PathRegister /
+// PathLease / PathComplete / PathStatus routes. Mount it on the serving mux
+// (the paths are absolute, so http.Handle(PathRegister, h) and a plain
+// mux.Handle("/cluster/v1/", h) both work).
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathRegister, c.handleRegister)
+	mux.HandleFunc("POST "+PathLease, c.handleLease)
+	mux.HandleFunc("POST "+PathComplete, c.handleComplete)
+	mux.HandleFunc("GET "+PathStatus, c.handleStatus)
+	return mux
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.WorkerID == "" {
+		http.Error(w, "cluster: bad register request", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	if c.excluded[req.WorkerID] {
+		c.mu.Unlock()
+		http.Error(w, "cluster: worker excluded", http.StatusForbidden)
+		return
+	}
+	ws, ok := c.workers[req.WorkerID]
+	if !ok {
+		ws = &workerState{id: req.WorkerID, leases: make(map[string]bool)}
+		c.workers[req.WorkerID] = ws
+	}
+	ws.healthURL = req.HealthURL
+	ws.lastSeen = time.Now()
+	c.mu.Unlock()
+	c.cfg.Logf("cluster: worker %s registered", req.WorkerID)
+	writeJSON(w, registerResponse{PollInterval: duration(c.cfg.PollInterval)})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.WorkerID == "" {
+		http.Error(w, "cluster: bad lease request", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	if c.excluded[req.WorkerID] {
+		c.mu.Unlock()
+		http.Error(w, "cluster: worker excluded", http.StatusForbidden)
+		return
+	}
+	ws, ok := c.workers[req.WorkerID]
+	if !ok {
+		c.mu.Unlock()
+		http.Error(w, "cluster: unknown worker, register first", http.StatusNotFound)
+		return
+	}
+	ws.lastSeen = time.Now()
+	var out *Lease
+	for _, id := range c.jobIDs { // FIFO across jobs
+		j := c.jobs[id]
+		if j == nil || j.finished || len(j.pending) == 0 {
+			continue
+		}
+		spec := j.pending[0]
+		j.pending = j.pending[1:]
+		j.leased++
+		c.leaseSeq++
+		l := &lease{
+			id:       fmt.Sprintf("lease-%d", c.leaseSeq),
+			job:      j,
+			spec:     spec,
+			worker:   ws.id,
+			deadline: time.Now().Add(c.cfg.LeaseTTL),
+		}
+		c.leases[l.id] = l
+		ws.leases[l.id] = true
+		out = &Lease{
+			ID:        l.id,
+			Scenario:  j.scenario,
+			Spec:      spec,
+			RoundSize: j.job.RoundSize(),
+			TTL:       duration(c.cfg.LeaseTTL),
+		}
+		c.metrics.chunkLeased()
+		break
+	}
+	c.mu.Unlock()
+	writeJSON(w, leaseResponse{Lease: out})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.WorkerID == "" || req.LeaseID == "" {
+		http.Error(w, "cluster: bad complete request", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	if ws, ok := c.workers[req.WorkerID]; ok {
+		ws.lastSeen = time.Now()
+	}
+	l, ok := c.leases[req.LeaseID]
+	if !ok || l.worker != req.WorkerID {
+		// Expired, requeued, or the job already finished: the work is
+		// simply discarded. Exactly-once folding hinges on this check.
+		c.mu.Unlock()
+		writeJSON(w, completeResponse{OK: false, Stale: true})
+		return
+	}
+	c.releaseLeaseLocked(req.LeaseID)
+	j := l.job
+	if req.Error != "" || req.State == nil {
+		c.cfg.Logf("cluster: worker %s failed chunk %s: %s", req.WorkerID, l.spec, req.Error)
+		c.metrics.chunkFailed()
+		c.failWorkerLocked(req.WorkerID)
+		c.requeueLocked(j, l.spec, errors.New(req.Error))
+		c.mu.Unlock()
+		writeJSON(w, completeResponse{OK: false})
+		return
+	}
+	if req.State.Spec != l.spec {
+		c.cfg.Logf("cluster: worker %s returned chunk %s for lease of %s", req.WorkerID, req.State.Spec, l.spec)
+		c.metrics.chunkFailed()
+		c.failWorkerLocked(req.WorkerID)
+		c.requeueLocked(j, l.spec, errors.New("chunk spec mismatch"))
+		c.mu.Unlock()
+		writeJSON(w, completeResponse{OK: false})
+		return
+	}
+	if ws, ok := c.workers[req.WorkerID]; ok {
+		ws.fails = 0
+	}
+	c.foldLocked(j, req.State)
+	c.mu.Unlock()
+	writeJSON(w, completeResponse{OK: true})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, c.Status())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// shortHash renders a scenario identity for log lines.
+func shortHash(sc *config.Scenario) string {
+	h, err := sc.Hash()
+	if err != nil || len(h) < 12 {
+		return sc.Name
+	}
+	if sc.Name != "" {
+		return sc.Name + "/" + h[:12]
+	}
+	return h[:12]
+}

@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"ahs/internal/config"
+	"ahs/internal/core"
+	"ahs/internal/mc"
+)
+
+// Worker pulls chunk leases from a coordinator, simulates them through the
+// exact config → core → mc pipeline a single process would use, and reports
+// the sufficient statistics back. Zero-value fields get sensible defaults;
+// set Coordinator and call Run.
+type Worker struct {
+	// Coordinator is the base URL of the coordinator API, e.g.
+	// "http://host:8080" (required).
+	Coordinator string
+	// ID is the worker's stable identity; empty means a random one.
+	ID string
+	// SimWorkers bounds the simulation parallelism per chunk
+	// (0 = GOMAXPROCS).
+	SimWorkers int
+	// Poll overrides the coordinator-suggested idle poll interval.
+	Poll time.Duration
+	// HealthURL, when set, is advertised to the coordinator for active
+	// liveness probes (serve 200 on it; see cmd/ahs-worker).
+	HealthURL string
+	// Client is the HTTP client used for all calls (default: 30s
+	// timeout).
+	Client *http.Client
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+
+	poll  time.Duration
+	built *builtJob // last scenario compiled, cached by hash
+}
+
+// builtJob caches the compiled model for the scenario hash, so a worker
+// leasing many chunks of one job builds the SAN once.
+type builtJob struct {
+	hash string
+	sys  *core.AHS
+	opts core.EvalOptions
+}
+
+// Run registers with the coordinator and processes leases until ctx is
+// cancelled (returning nil) or the coordinator permanently refuses the
+// worker (returning the refusal). Transient transport errors retry with
+// capped exponential backoff.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Coordinator == "" {
+		return fmt.Errorf("cluster: worker needs a coordinator URL")
+	}
+	if w.ID == "" {
+		var b [6]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return fmt.Errorf("cluster: worker id: %w", err)
+		}
+		w.ID = "worker-" + hex.EncodeToString(b[:])
+	}
+	if w.Client == nil {
+		w.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if w.Logf == nil {
+		w.Logf = func(string, ...any) {}
+	}
+	for delay := 250 * time.Millisecond; ; {
+		err := w.register(ctx)
+		if err == nil {
+			break
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return pe
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		w.Logf("cluster: worker %s register: %v (retrying)", w.ID, err)
+		if !sleep(ctx, delay) {
+			return nil
+		}
+		if delay < 4*time.Second {
+			delay *= 2
+		}
+	}
+	w.Logf("cluster: worker %s registered with %s", w.ID, w.Coordinator)
+
+	backoff := w.poll
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		lease, err := w.lease(ctx)
+		switch {
+		case err != nil:
+			var pe *permanentError
+			if errors.As(err, &pe) {
+				return pe
+			}
+			if ctx.Err() != nil {
+				return nil
+			}
+			w.Logf("cluster: worker %s lease poll: %v", w.ID, err)
+			// The coordinator may have restarted and lost us.
+			if regErr := w.register(ctx); regErr != nil {
+				if errors.As(regErr, &pe) {
+					return pe
+				}
+			}
+			if !sleep(ctx, backoff) {
+				return nil
+			}
+			if backoff < 8*w.poll {
+				backoff *= 2
+			}
+		case lease == nil:
+			backoff = w.poll
+			if !sleep(ctx, w.poll) {
+				return nil
+			}
+		default:
+			backoff = w.poll
+			w.runLease(ctx, lease)
+		}
+	}
+}
+
+// runLease simulates one lease and reports its outcome.
+func (w *Worker) runLease(ctx context.Context, l *Lease) {
+	state, err := w.runChunk(ctx, l)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Shutting down mid-chunk: drop the work; the lease
+			// expires back onto the queue.
+			return
+		}
+		w.Logf("cluster: worker %s chunk %s failed: %v", w.ID, l.Spec, err)
+		w.complete(ctx, completeRequest{WorkerID: w.ID, LeaseID: l.ID, Error: err.Error()})
+		return
+	}
+	w.complete(ctx, completeRequest{WorkerID: w.ID, LeaseID: l.ID, State: state})
+}
+
+// runChunk rebuilds the scenario's job and estimates the leased chunk. The
+// round size is pinned by the lease so the chunk folds bit-identically into
+// the coordinator's merger.
+func (w *Worker) runChunk(ctx context.Context, l *Lease) (*mc.ChunkState, error) {
+	if l.Scenario == nil {
+		return nil, fmt.Errorf("lease %s carries no scenario", l.ID)
+	}
+	built, err := w.build(l.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	opts := built.opts
+	opts.Workers = w.SimWorkers
+	opts.CheckEvery = l.RoundSize
+	opts.Context = ctx
+	job, err := built.sys.UnsafetyJob(opts)
+	if err != nil {
+		return nil, err
+	}
+	return mc.EstimateChunk(job, l.Spec)
+}
+
+// build compiles the scenario's model, reusing the previous compilation
+// when the canonical hash matches.
+func (w *Worker) build(sc *config.Scenario) (*builtJob, error) {
+	hash, err := sc.Hash()
+	if err != nil {
+		return nil, err
+	}
+	if w.built != nil && w.built.hash == hash {
+		return w.built, nil
+	}
+	p, err := sc.Params()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.Build(p)
+	if err != nil {
+		return nil, fmt.Errorf("build model: %w", err)
+	}
+	w.built = &builtJob{hash: hash, sys: sys, opts: sc.EvalOptions(sys)}
+	return w.built, nil
+}
+
+// register announces the worker and adopts the coordinator's poll interval.
+func (w *Worker) register(ctx context.Context) error {
+	var resp registerResponse
+	err := w.post(ctx, PathRegister, registerRequest{WorkerID: w.ID, HealthURL: w.HealthURL}, &resp)
+	if err != nil {
+		return err
+	}
+	w.poll = time.Duration(resp.PollInterval)
+	if w.Poll > 0 {
+		w.poll = w.Poll
+	}
+	if w.poll <= 0 {
+		w.poll = 500 * time.Millisecond
+	}
+	return nil
+}
+
+// lease polls for one chunk of work; nil means none available.
+func (w *Worker) lease(ctx context.Context) (*Lease, error) {
+	var resp leaseResponse
+	if err := w.post(ctx, PathLease, leaseRequest{WorkerID: w.ID}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Lease, nil
+}
+
+// complete reports a lease outcome, retrying transport errors a few times —
+// the result of minutes of simulation is worth a few seconds of stubbornness.
+func (w *Worker) complete(ctx context.Context, req completeRequest) {
+	var resp completeResponse
+	delay := 250 * time.Millisecond
+	for attempt := 0; attempt < 5; attempt++ {
+		err := w.post(ctx, PathComplete, req, &resp)
+		if err == nil {
+			if resp.Stale {
+				w.Logf("cluster: worker %s lease %s was stale, result discarded", w.ID, req.LeaseID)
+			}
+			return
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) || ctx.Err() != nil {
+			return
+		}
+		w.Logf("cluster: worker %s complete %s: %v (retrying)", w.ID, req.LeaseID, err)
+		if !sleep(ctx, delay) {
+			return
+		}
+		delay *= 2
+	}
+}
+
+// permanentError marks coordinator refusals that retrying cannot fix
+// (exclusion, malformed requests).
+type permanentError struct{ msg string }
+
+func (e *permanentError) Error() string { return e.msg }
+
+// post sends one JSON request and decodes the JSON response. 4xx statuses
+// other than 404 are permanent; everything else is transient.
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		err := fmt.Errorf("%s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusNotFound {
+			return &permanentError{msg: err.Error()}
+		}
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// sleep waits for d or ctx, reporting false on cancellation.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

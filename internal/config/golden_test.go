@@ -1,0 +1,57 @@
+package config
+
+import "testing"
+
+// TestPaperScenarioHashesArePinned pins Scenario.Hash() for the four
+// Table 3 coordination strategies of the paper's headline experiment
+// (n = 10, lambda = 1e-5/h, trips at 2..10 h, 20000 batches, seed 1).
+//
+// These digests are shared state: the service uses them as cache and
+// deduplication keys, and the cluster coordinator uses them to let workers
+// reuse compiled models across leases. Anything that moves them — a field
+// rename, a new canonical default, a change to the canonical encoding —
+// silently invalidates every stored result keyed by the old digest, so a
+// move must be deliberate. If this test fails, confirm the encoding change
+// is intended, mention the cache invalidation in the change description,
+// and then update the constants.
+func TestPaperScenarioHashesArePinned(t *testing.T) {
+	golden := map[string]string{
+		"DD": "ef40ebf17ea81a4a61e5bf172c0ecb3e84133968bd83362fdfd9d5021fa2cbff",
+		"DC": "738d1bb6606fdd8e3b0b8feb2959ef8cd140a0fa44466d9dc35111a12fbc8f42",
+		"CD": "346c247c102a1a4890851b176b10341e848d686d6f382730e0caff3c4df4f9ff",
+		"CC": "e23721767783345cbbccdfd7e6a88c158d6cc73c4a7850f4a1bc76e762bf377b",
+	}
+	for _, strat := range []string{"DD", "DC", "CD", "CC"} {
+		sc := &Scenario{
+			Name:          "paper-" + strat,
+			N:             10,
+			LambdaPerHour: 1e-5,
+			Strategy:      strat,
+			TripHours:     []float64{2, 4, 6, 8, 10},
+			Batches:       20000,
+			Seed:          1,
+		}
+		got, err := sc.Hash()
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if got != golden[strat] {
+			t.Errorf("%s: Hash() = %s, want %s (canonical encoding changed; see test comment)", strat, got, golden[strat])
+		}
+
+		// The digest must not move when defaults are spelled out (that is
+		// the property that makes it a dedup key), but must move when the
+		// evaluation itself changes.
+		spelled := *sc
+		spelled.Name = "renamed"
+		spelled.Lanes = 2 // the canonical default
+		if h, err := spelled.Hash(); err != nil || h != got {
+			t.Errorf("%s: spelled-out defaults moved the hash: %s vs %s (err %v)", strat, h, got, err)
+		}
+		changed := *sc
+		changed.Seed = 2
+		if h, err := changed.Hash(); err != nil || h == got {
+			t.Errorf("%s: changing the seed did not move the hash (err %v)", strat, err)
+		}
+	}
+}

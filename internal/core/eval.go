@@ -96,13 +96,15 @@ func (a *AHS) failureBiasSpec(factor float64) (*sim.Bias, error) {
 	return bias, nil
 }
 
-// UnsafetyCurve estimates S(t) over the option's time grid. KO_total is
-// absorbing, so each trajectory is simulated until it becomes unsafe or the
-// largest grid time is reached, and one trajectory contributes to every
-// grid point.
-func (a *AHS) UnsafetyCurve(opts EvalOptions) (*mc.Curve, error) {
+// UnsafetyJob builds the Monte-Carlo job that UnsafetyCurve estimates,
+// without running it. The job always classifies catastrophic causes, so a
+// chunked estimator (mc.EstimateChunk, internal/cluster) can fold ST1/ST2/ST3
+// counts into its sufficient statistics; the full telemetry stream is only
+// attached when opts.Telemetry is set. Two calls with equal options return
+// jobs that estimate bit-identical curves, on one machine or many.
+func (a *AHS) UnsafetyJob(opts EvalOptions) (mc.Job, error) {
 	if len(opts.Times) == 0 {
-		return nil, fmt.Errorf("core: empty time grid")
+		return mc.Job{}, fmt.Errorf("core: empty time grid")
 	}
 	maxBatches := opts.MaxBatches
 	if maxBatches == 0 {
@@ -110,7 +112,7 @@ func (a *AHS) UnsafetyCurve(opts EvalOptions) (*mc.Curve, error) {
 	}
 	bias, err := a.failureBiasSpec(opts.FailureBias)
 	if err != nil {
-		return nil, err
+		return mc.Job{}, err
 	}
 	job := mc.Job{
 		Model: a.Model,
@@ -128,8 +130,21 @@ func (a *AHS) UnsafetyCurve(opts EvalOptions) (*mc.Curve, error) {
 		Workers:    opts.Workers,
 		Context:    opts.Context,
 		Progress:   opts.Progress,
+		Cause:      func(mk *san.Marking) string { return a.Cause(mk).String() },
 	}
 	a.instrumentJob(&job, opts.Telemetry)
+	return job, nil
+}
+
+// UnsafetyCurve estimates S(t) over the option's time grid. KO_total is
+// absorbing, so each trajectory is simulated until it becomes unsafe or the
+// largest grid time is reached, and one trajectory contributes to every
+// grid point.
+func (a *AHS) UnsafetyCurve(opts EvalOptions) (*mc.Curve, error) {
+	job, err := a.UnsafetyJob(opts)
+	if err != nil {
+		return nil, err
+	}
 	return mc.EstimateCurve(job)
 }
 

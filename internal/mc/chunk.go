@@ -1,0 +1,301 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"ahs/internal/stats"
+)
+
+// ChunkSpec selects the contiguous stripe of batches
+// [Start, Start+Count) of a job's deterministic batch sequence. Because
+// batch i always uses random stream i of the job seed, a chunk is fully
+// determined by the job and the spec — whichever machine simulates it.
+type ChunkSpec struct {
+	Start uint64 `json:"start"`
+	Count uint64 `json:"count"`
+}
+
+// End returns the first batch index past the chunk.
+func (s ChunkSpec) End() uint64 { return s.Start + s.Count }
+
+// String renders the spec as the half-open interval it covers.
+func (s ChunkSpec) String() string { return fmt.Sprintf("[%d,%d)", s.Start, s.End()) }
+
+// ChunkState is the sufficient statistic of one simulated chunk: the
+// per-grid-point Welford accumulators of every accumulation round the chunk
+// covers, in ascending round order, plus the catastrophic-cause counts of
+// its stopped trajectories. States serialize to JSON losslessly (see
+// stats.Welford's wire format), so a remote worker can ship one back to a
+// coordinator whose Merger reconstructs the exact single-process curve.
+type ChunkState struct {
+	Spec      ChunkSpec         `json:"spec"`
+	RoundSize uint64            `json:"roundSize"`
+	Rounds    [][]stats.Welford `json:"rounds"`
+	Causes    map[string]uint64 `json:"causes,omitempty"`
+}
+
+// RoundSize returns the job's canonical accumulation round size
+// (CheckEvery with the default applied). Chunks of one logical job must all
+// be estimated with this round size for their merge to be bit-identical to
+// the single-process run.
+func (j *Job) RoundSize() uint64 {
+	if j.CheckEvery == 0 {
+		return 2000
+	}
+	return j.CheckEvery
+}
+
+// maxBatches returns the job's effective batch budget.
+func (j *Job) maxBatches() uint64 {
+	if j.MaxBatches == 0 {
+		return 1_000_000
+	}
+	return j.MaxBatches
+}
+
+// Shard splits the job's batch budget [0, MaxBatches) into contiguous
+// chunks of at most chunkBatches batches each, rounded up to a whole number
+// of accumulation rounds so every chunk starts on a round boundary (the
+// alignment EstimateChunk and Merger require). chunkBatches 0 means four
+// rounds per chunk. The final chunk absorbs the remainder.
+func (j *Job) Shard(chunkBatches uint64) []ChunkSpec {
+	r := j.RoundSize()
+	total := j.maxBatches()
+	if chunkBatches == 0 {
+		chunkBatches = 4 * r
+	}
+	if rem := chunkBatches % r; rem != 0 {
+		chunkBatches += r - rem
+	}
+	specs := make([]ChunkSpec, 0, (total+chunkBatches-1)/chunkBatches)
+	for start := uint64(0); start < total; start += chunkBatches {
+		n := chunkBatches
+		if rem := total - start; n > rem {
+			n = rem
+		}
+		specs = append(specs, ChunkSpec{Start: start, Count: n})
+	}
+	return specs
+}
+
+// EstimateChunk simulates exactly the batches [spec.Start, spec.End()) of
+// the job and returns their sufficient statistics. The job's StopRule and
+// MaxBatches are ignored — convergence is the merger's decision — while
+// CheckEvery fixes the accumulation round size, which must match across
+// every chunk of one logical job (and the single-process run being
+// reproduced) for the merged curve to be bit-identical. spec.Start must lie
+// on a round boundary for the same reason.
+//
+// Chunks estimate the main Value only; Workers parallelises within the
+// chunk, Context cancels it, and Cause (when set) is folded into the
+// returned state's cause counters.
+func EstimateChunk(job Job, spec ChunkSpec) (*ChunkState, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	if spec.Count == 0 {
+		return nil, errors.New("mc: empty chunk")
+	}
+	roundSize := job.RoundSize()
+	if spec.Start%roundSize != 0 {
+		return nil, fmt.Errorf("mc: chunk start %d not aligned to round size %d", spec.Start, roundSize)
+	}
+	workers := job.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if job.Telemetry != nil && job.Sim.Sink == nil {
+		job.Sim.Sink = job.Telemetry
+	}
+	ctx := job.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	maxRound := roundSize
+	if maxRound > spec.Count {
+		maxRound = spec.Count
+	}
+	pool, err := newRunnerPool(&job, nil, nil, workers, maxRound, true)
+	if err != nil {
+		return nil, err
+	}
+	state := &ChunkState{
+		Spec:      spec,
+		RoundSize: roundSize,
+		Rounds:    make([][]stats.Welford, 0, (spec.Count+roundSize-1)/roundSize),
+	}
+	for off := uint64(0); off < spec.Count; off += roundSize {
+		n := roundSize
+		if rem := spec.Count - off; n > rem {
+			n = rem
+		}
+		if err := pool.runRound(ctx, spec.Start+off, n); err != nil {
+			return nil, err
+		}
+		state.Rounds = append(state.Rounds, pool.foldRound(n)[0])
+	}
+	state.Causes = pool.causeCounts()
+	return state, nil
+}
+
+// Merger folds chunk states into the curve a single process would produce
+// for the same job. Chunks may be added in any order; rounds are folded in
+// ascending batch order as the contiguous prefix extends, and — when the
+// job has a stop rule — convergence is evaluated at every round boundary
+// exactly like EstimateCurve does, so the merged curve (mean, intervals,
+// batch count and convergence flag) is bit-identical to the single-process
+// result. Chunks past the convergence boundary are discarded.
+//
+// Merger is not safe for concurrent use; callers serialize Add.
+type Merger struct {
+	times     []float64
+	roundSize uint64
+	target    uint64
+	rule      stats.RelativeStopRule
+	hasRule   bool
+
+	accs      []stats.Welford
+	pending   map[uint64]*ChunkState // keyed by chunk start, not yet folded
+	added     map[uint64]uint64      // chunk start → end, for overlap checks
+	next      uint64                 // batches folded so far (contiguous prefix)
+	converged bool
+	causes    map[string]uint64
+}
+
+// NewMerger prepares a merger for the given job; the job must be the one
+// the chunks were (or will be) estimated from.
+func NewMerger(job Job) (*Merger, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	return &Merger{
+		times:     append([]float64(nil), job.Times...),
+		roundSize: job.RoundSize(),
+		target:    job.maxBatches(),
+		rule:      job.StopRule,
+		hasRule:   job.StopRule != (stats.RelativeStopRule{}),
+		accs:      make([]stats.Welford, len(job.Times)),
+		pending:   make(map[uint64]*ChunkState),
+		added:     make(map[uint64]uint64),
+		causes:    make(map[string]uint64),
+	}, nil
+}
+
+// Add folds one chunk state. It validates the state's shape against the
+// job — round size, alignment, grid width, per-round batch counts — and
+// rejects duplicate or overlapping chunks, so a buggy or malicious worker
+// cannot double-count a stripe. Adding after convergence is a no-op: the
+// chunk is speculative work past the stopping boundary.
+func (m *Merger) Add(state *ChunkState) error {
+	if state == nil {
+		return errors.New("mc: nil chunk state")
+	}
+	if m.converged {
+		return nil
+	}
+	sp := state.Spec
+	if state.RoundSize != m.roundSize {
+		return fmt.Errorf("mc: chunk %s round size %d, merger expects %d", sp, state.RoundSize, m.roundSize)
+	}
+	if sp.Count == 0 {
+		return fmt.Errorf("mc: empty chunk %s", sp)
+	}
+	if sp.Start%m.roundSize != 0 {
+		return fmt.Errorf("mc: chunk start %d not aligned to round size %d", sp.Start, m.roundSize)
+	}
+	if sp.End() > m.target {
+		return fmt.Errorf("mc: chunk %s exceeds batch budget %d", sp, m.target)
+	}
+	if sp.End() != m.target && sp.Count%m.roundSize != 0 {
+		return fmt.Errorf("mc: non-final chunk %s is not a whole number of rounds of %d", sp, m.roundSize)
+	}
+	for start, end := range m.added {
+		if sp.Start < end && start < sp.End() {
+			return fmt.Errorf("mc: chunk %s overlaps already-added chunk [%d,%d)", sp, start, end)
+		}
+	}
+	wantRounds := int((sp.Count + m.roundSize - 1) / m.roundSize)
+	if len(state.Rounds) != wantRounds {
+		return fmt.Errorf("mc: chunk %s carries %d rounds, want %d", sp, len(state.Rounds), wantRounds)
+	}
+	for ri, round := range state.Rounds {
+		if len(round) != len(m.times) {
+			return fmt.Errorf("mc: chunk %s round %d has %d grid points, want %d", sp, ri, len(round), len(m.times))
+		}
+		n := m.roundSize
+		if rem := sp.Count - uint64(ri)*m.roundSize; n > rem {
+			n = rem
+		}
+		for pi := range round {
+			if round[pi].N() != n {
+				return fmt.Errorf("mc: chunk %s round %d point %d holds %d observations, want %d", sp, ri, pi, round[pi].N(), n)
+			}
+		}
+	}
+
+	m.pending[sp.Start] = state
+	m.added[sp.Start] = sp.End()
+	m.fold()
+	return nil
+}
+
+// fold advances the contiguous prefix over any pending chunks, checking the
+// stop rule at every round boundary like the single-process estimator.
+func (m *Merger) fold() {
+	for !m.converged {
+		state, ok := m.pending[m.next]
+		if !ok {
+			return
+		}
+		delete(m.pending, m.next)
+		for k, v := range state.Causes {
+			m.causes[k] += v
+		}
+		for _, round := range state.Rounds {
+			n := m.roundSize
+			if rem := state.Spec.End() - m.next; n > rem {
+				n = rem
+			}
+			for i := range m.accs {
+				m.accs[i].Merge(&round[i])
+			}
+			m.next += n
+			if m.hasRule && m.rule.Satisfied(&m.accs[len(m.accs)-1]) {
+				m.converged = true
+				break
+			}
+		}
+	}
+}
+
+// Done returns the number of batches folded into the contiguous prefix.
+func (m *Merger) Done() uint64 { return m.next }
+
+// Target returns the job's batch budget.
+func (m *Merger) Target() uint64 { return m.target }
+
+// Converged reports whether the stop rule was met at a folded boundary.
+func (m *Merger) Converged() bool { return m.converged }
+
+// Complete reports whether the merge can produce the final curve: either
+// the whole budget folded, or the stop rule ended the job early.
+func (m *Merger) Complete() bool { return m.converged || m.next == m.target }
+
+// Causes returns the merged catastrophic-cause counts of the folded chunks.
+// The map is live; callers must not mutate it while adding chunks.
+func (m *Merger) Causes() map[string]uint64 { return m.causes }
+
+// Curve builds the final curve. It fails unless the merge is complete.
+func (m *Merger) Curve() (*Curve, error) {
+	if !m.Complete() {
+		return nil, fmt.Errorf("mc: merge incomplete: %d of %d batches folded", m.next, m.target)
+	}
+	conf := m.rule.Confidence
+	if conf == 0 {
+		conf = 0.95
+	}
+	return buildCurve(m.times, m.accs, m.next, m.converged || !m.hasRule, conf), nil
+}

@@ -7,6 +7,16 @@
 // batch i always uses random stream i of the job's seed — so results do not
 // depend on the number of workers.
 //
+// Accumulation is canonical: batch contributions are folded in ascending
+// batch order into one Welford accumulator per round of CheckEvery batches,
+// and round accumulators are merged in ascending round order. Every
+// execution path shares this fold — the in-process parallel estimator, the
+// chunked estimator (EstimateChunk) and a distributed merge of chunk states
+// (Merger) — so for a fixed seed the estimate is bit-identical regardless
+// of worker count, chunking, or which machine simulated which stripe. That
+// property is what lets internal/cluster fan a job out to remote workers
+// and still return the exact curve a single process would produce.
+//
 // Importance sampling is expressed through sim.Options.Bias: each batch
 // contributes Value·LikelihoodRatio, which reduces to plain Value for
 // unbiased runs, so naive and rare-event estimation share one code path.
@@ -47,7 +57,10 @@ type Job struct {
 	// MaxBatches caps the effort; 0 means 1 million.
 	MaxBatches uint64
 	// CheckEvery is the round size between convergence checks; 0 means
-	// 2000.
+	// 2000. It is also the canonical accumulation round (see the package
+	// comment): jobs that must merge bit-identically — e.g. the chunked
+	// estimation behind internal/cluster — have to agree on it. The round
+	// buffer costs CheckEvery·len(Times)·8 bytes per measure.
 	CheckEvery uint64
 	// Workers is the parallelism; 0 means GOMAXPROCS.
 	Workers int
@@ -71,9 +84,11 @@ type Job struct {
 	// record from their own goroutines.
 	Telemetry telemetry.Sink
 	// Cause classifies the final marking of a stopped trajectory (e.g.
-	// core's ST1/ST2/ST3 catastrophic situations) for the Telemetry
-	// catastrophe counter. Ignored when Telemetry is nil; when Cause is
-	// nil no cause counts are recorded.
+	// core's ST1/ST2/ST3 catastrophic situations). EstimateCurve uses it
+	// for the Telemetry catastrophe counter (ignored when Telemetry is
+	// nil); EstimateChunk additionally folds the counts into the chunk's
+	// sufficient statistics so a distributed merge can reconstruct them.
+	// When Cause is nil no cause counts are recorded.
 	Cause func(mk *san.Marking) string
 }
 
@@ -159,38 +174,19 @@ func EstimateCurveMulti(job Job, extras map[string]func(mk *san.Marking) float64
 	}
 
 	hasRule := job.StopRule != (stats.RelativeStopRule{})
-	src := rng.NewSource(job.Seed)
+	maxRound := job.CheckEvery
+	if maxRound > job.MaxBatches {
+		maxRound = job.MaxBatches
+	}
+	pool, err := newRunnerPool(&job, extraNames, extras, workers, maxRound, false)
+	if err != nil {
+		return nil, nil, err
+	}
 	// measures[0] is the main Value; measures[1..] the extras in name order.
 	measures := len(extraNames) + 1
 	accs := make([][]stats.Welford, measures)
 	for mi := range accs {
 		accs[mi] = make([]stats.Welford, len(job.Times))
-	}
-
-	type workerState struct {
-		runner *sim.Runner
-		probes []*sim.Probe
-		accs   [][]stats.Welford
-	}
-	states := make([]*workerState, workers)
-	for w := range states {
-		runner, err := sim.NewRunner(job.Model, job.Sim)
-		if err != nil {
-			return nil, nil, err
-		}
-		st := &workerState{
-			runner: runner,
-			probes: make([]*sim.Probe, measures),
-			accs:   make([][]stats.Welford, measures),
-		}
-		st.probes[0] = &sim.Probe{Times: job.Times, Value: job.Value}
-		for ei, name := range extraNames {
-			st.probes[ei+1] = &sim.Probe{Times: job.Times, Value: extras[name]}
-		}
-		for mi := range st.accs {
-			st.accs[mi] = make([]stats.Welford, len(job.Times))
-		}
-		states[w] = st
 	}
 
 	var done uint64
@@ -203,61 +199,13 @@ func EstimateCurveMulti(job Job, extras map[string]func(mk *san.Marking) float64
 		if rem := job.MaxBatches - done; round > rem {
 			round = rem
 		}
-
-		var wg sync.WaitGroup
-		errs := make([]error, workers)
-		for w := 0; w < workers; w++ {
-			// Batch indices are striped: worker w runs done+w,
-			// done+w+workers, ... Deterministic regardless of scheduling.
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				st := states[w]
-				for b := uint64(w); b < round; b += uint64(workers) {
-					if err := ctx.Err(); err != nil {
-						errs[w] = err
-						return
-					}
-					stream := src.Stream(done + b)
-					res, err := st.runner.Run(stream, st.probes...)
-					if err != nil {
-						errs[w] = err
-						return
-					}
-					if job.Telemetry != nil {
-						recordTrajectory(&job, st.runner, res)
-					}
-					for mi, probe := range st.probes {
-						for i := range probe.Values {
-							st.accs[mi][i].Add(probe.Values[i] * probe.Weights[i])
-						}
-					}
-				}
-			}(w)
-		}
-		wg.Wait()
-		// A context error outranks nothing but is outranked by simulation
-		// errors, which are more specific.
-		var ctxErr error
-		for _, err := range errs {
-			if err == nil {
-				continue
-			}
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				ctxErr = err
-				continue
-			}
+		if err := pool.runRound(ctx, done, round); err != nil {
 			return nil, nil, err
 		}
-		if ctxErr != nil {
-			return nil, nil, ctxErr
-		}
-		for w := range states {
-			for mi := range accs {
-				for i := range accs[mi] {
-					accs[mi][i].Merge(&states[w].accs[mi][i])
-					states[w].accs[mi][i] = stats.Welford{}
-				}
+		roundAccs := pool.foldRound(round)
+		for mi := range accs {
+			for i := range accs[mi] {
+				accs[mi][i].Merge(&roundAccs[mi][i])
 			}
 		}
 		done += round
@@ -273,29 +221,185 @@ func EstimateCurveMulti(job Job, extras map[string]func(mk *san.Marking) float64
 	if conf == 0 {
 		conf = 0.95
 	}
-	buildCurve := func(acc []stats.Welford) *Curve {
-		curve := &Curve{
-			Times:     append([]float64(nil), job.Times...),
-			Mean:      make([]float64, len(job.Times)),
-			Intervals: make([]stats.Interval, len(job.Times)),
-			Batches:   done,
-			Converged: converged || !hasRule,
-		}
-		for i := range acc {
-			curve.Mean[i] = acc[i].Mean()
-			curve.Intervals[i] = acc[i].CI(conf)
-		}
-		return curve
-	}
-	main := buildCurve(accs[0])
+	main := buildCurve(job.Times, accs[0], done, converged || !hasRule, conf)
 	var extraCurves map[string]*Curve
 	if len(extraNames) > 0 {
 		extraCurves = make(map[string]*Curve, len(extraNames))
 		for ei, name := range extraNames {
-			extraCurves[name] = buildCurve(accs[ei+1])
+			extraCurves[name] = buildCurve(job.Times, accs[ei+1], done, converged || !hasRule, conf)
 		}
 	}
 	return main, extraCurves, nil
+}
+
+// buildCurve assembles a Curve from per-grid-point accumulators.
+func buildCurve(times []float64, accs []stats.Welford, batches uint64, converged bool, conf float64) *Curve {
+	curve := &Curve{
+		Times:     append([]float64(nil), times...),
+		Mean:      make([]float64, len(times)),
+		Intervals: make([]stats.Interval, len(times)),
+		Batches:   batches,
+		Converged: converged,
+	}
+	for i := range accs {
+		curve.Mean[i] = accs[i].Mean()
+		curve.Intervals[i] = accs[i].CI(conf)
+	}
+	return curve
+}
+
+// runnerPool is the shared simulation engine of the estimators: a set of
+// per-goroutine runners that simulate a round of batches striped across
+// workers, buffering each batch's weighted contribution so the fold into
+// Welford accumulators can happen in canonical (ascending batch) order
+// afterwards, independent of scheduling.
+type runnerPool struct {
+	job      *Job
+	workers  int
+	points   int
+	measures int
+	states   []*poolWorker
+	src      *rng.Source
+	// vals[mi][b*points+i] is the weighted contribution of the round's
+	// b-th batch to measure mi at grid point i. Workers write disjoint
+	// stripes; foldRound reads after the round barrier.
+	vals [][]float64
+}
+
+type poolWorker struct {
+	runner *sim.Runner
+	probes []*sim.Probe
+	// causes counts stopped trajectories by classified cause; nil unless
+	// the pool was built with cause counting.
+	causes map[string]uint64
+}
+
+// newRunnerPool builds the engine for one job. maxRound bounds the round
+// buffer; countCauses enables per-trajectory cause classification through
+// job.Cause (used by the chunked estimator, where the classification must
+// travel with the sufficient statistics instead of a telemetry sink).
+func newRunnerPool(job *Job, extraNames []string, extras map[string]func(mk *san.Marking) float64, workers int, maxRound uint64, countCauses bool) (*runnerPool, error) {
+	points := len(job.Times)
+	p := &runnerPool{
+		job:      job,
+		workers:  workers,
+		points:   points,
+		measures: len(extraNames) + 1,
+		src:      rng.NewSource(job.Seed),
+	}
+	p.vals = make([][]float64, p.measures)
+	for mi := range p.vals {
+		p.vals[mi] = make([]float64, maxRound*uint64(points))
+	}
+	p.states = make([]*poolWorker, workers)
+	for w := range p.states {
+		runner, err := sim.NewRunner(job.Model, job.Sim)
+		if err != nil {
+			return nil, err
+		}
+		pw := &poolWorker{runner: runner, probes: make([]*sim.Probe, p.measures)}
+		pw.probes[0] = &sim.Probe{Times: job.Times, Value: job.Value}
+		for ei, name := range extraNames {
+			pw.probes[ei+1] = &sim.Probe{Times: job.Times, Value: extras[name]}
+		}
+		if countCauses && job.Cause != nil {
+			pw.causes = make(map[string]uint64)
+		}
+		p.states[w] = pw
+	}
+	return p, nil
+}
+
+// runRound simulates batches [start, start+n) striped across the pool's
+// workers: worker w runs start+w, start+w+workers, ... — deterministic
+// regardless of scheduling. Contributions land in the round buffer.
+func (p *runnerPool) runRound(ctx context.Context, start, n uint64) error {
+	var wg sync.WaitGroup
+	errs := make([]error, p.workers)
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pw := p.states[w]
+			for b := uint64(w); b < n; b += uint64(p.workers) {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
+				stream := p.src.Stream(start + b)
+				res, err := pw.runner.Run(stream, pw.probes...)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if p.job.Telemetry != nil {
+					recordTrajectory(p.job, pw.runner, res)
+				}
+				if pw.causes != nil && res.Stopped {
+					pw.causes[p.job.Cause(pw.runner.Marking())]++
+				}
+				base := b * uint64(p.points)
+				for mi, probe := range pw.probes {
+					for i := range probe.Values {
+						p.vals[mi][base+uint64(i)] = probe.Values[i] * probe.Weights[i]
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// A context error outranks nothing but is outranked by simulation
+	// errors, which are more specific.
+	var ctxErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			ctxErr = err
+			continue
+		}
+		return err
+	}
+	return ctxErr
+}
+
+// foldRound folds the buffered round into one fresh accumulator per measure
+// and grid point, adding contributions in ascending batch order. This is
+// the canonical accumulation order every execution path shares (see the
+// package comment), which is what makes estimates bit-identical across
+// worker counts and chunkings.
+func (p *runnerPool) foldRound(n uint64) [][]stats.Welford {
+	accs := make([][]stats.Welford, p.measures)
+	for mi := range accs {
+		accs[mi] = make([]stats.Welford, p.points)
+		vals := p.vals[mi]
+		for b := uint64(0); b < n; b++ {
+			base := b * uint64(p.points)
+			for i := 0; i < p.points; i++ {
+				accs[mi][i].Add(vals[base+uint64(i)])
+			}
+		}
+	}
+	return accs
+}
+
+// causeCounts merges the per-worker cause counters; nil when the pool does
+// not count causes.
+func (p *runnerPool) causeCounts() map[string]uint64 {
+	var out map[string]uint64
+	for _, pw := range p.states {
+		if pw.causes == nil {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]uint64)
+		}
+		for k, v := range pw.causes {
+			out[k] += v
+		}
+	}
+	return out
 }
 
 // recordTrajectory publishes one finished trajectory to the job's telemetry

@@ -114,8 +114,8 @@ func TestWorkerCountDoesNotChangeEstimate(t *testing.T) {
 		means = append(means, curve.Mean[0])
 	}
 	for i := 1; i < len(means); i++ {
-		if math.Abs(means[i]-means[0]) > 1e-12 {
-			t.Fatalf("worker counts produced different estimates: %v", means)
+		if means[i] != means[0] {
+			t.Fatalf("worker counts produced bit-different estimates: %v", means)
 		}
 	}
 }

@@ -1,0 +1,58 @@
+package service
+
+import (
+	"context"
+
+	"ahs/internal/cluster"
+	"ahs/internal/config"
+)
+
+// ClusterEval returns an EvalFunc that fans each job out across the
+// coordinator's workers instead of simulating in-process. Determinism makes
+// the swap invisible to callers: the merged curve is bit-identical to the
+// local evaluation of the same scenario, so cached results, dedup by
+// scenario hash, and the HTTP API all behave exactly as with the local
+// backend. workers bounds the parallelism of any locally executed batches
+// (the coordinator's no-worker fallback and mid-job rescue).
+func ClusterEval(coord *cluster.Coordinator) EvalFunc {
+	return func(ctx context.Context, sc *config.Scenario, workers int, progress func(done, max uint64)) (*Result, error) {
+		hash, err := sc.Hash()
+		if err != nil {
+			return nil, err
+		}
+		curve, bias, err := coord.UnsafetyCurve(ctx, sc, workers, progress)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{
+			Name:         sc.Name,
+			ScenarioHash: hash,
+			Times:        curve.Times,
+			Unsafety:     curve.Mean,
+			CILo:         make([]float64, len(curve.Intervals)),
+			CIHi:         make([]float64, len(curve.Intervals)),
+			Batches:      curve.Batches,
+			Converged:    curve.Converged,
+			FailureBias:  bias,
+		}
+		for i, iv := range curve.Intervals {
+			res.CILo[i] = iv.Lo
+			res.CIHi[i] = iv.Hi
+		}
+		return res, nil
+	}
+}
+
+// ClusterBackend returns the health reporter matching ClusterEval, for
+// Config.Backend.
+func ClusterBackend(coord *cluster.Coordinator) func() BackendHealth {
+	return func() BackendHealth {
+		st := coord.Status()
+		return BackendHealth{
+			Mode:              "cluster",
+			Ready:             true, // no workers → transparent local fallback
+			WorkersRegistered: st.WorkersRegistered,
+			WorkersLive:       st.WorkersLive,
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ahs/internal/cluster"
+)
+
+// startCluster wires a coordinator with one in-process worker behind an
+// httptest server, returning the coordinator.
+func startCluster(t *testing.T) *cluster.Coordinator {
+	t.Helper()
+	coord := cluster.New(cluster.Config{
+		PollInterval:  10 * time.Millisecond,
+		SweepInterval: 25 * time.Millisecond,
+	})
+	srv := httptest.NewServer(coord.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	w := &cluster.Worker{Coordinator: srv.URL, ID: "svc-w0", SimWorkers: 1}
+	go func() {
+		defer close(done)
+		if err := w.Run(ctx); err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+		srv.Close()
+		coord.Close()
+	})
+	// Wait for the worker to register so tests exercise the distributed
+	// path, not the no-worker local fallback.
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.Status().WorkersLive == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("cluster worker never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return coord
+}
+
+// TestClusterBackendMatchesLocalEvaluation submits the same scenario to a
+// local-backend manager and a cluster-backend manager and requires
+// bit-identical results — the property that makes the backends
+// interchangeable behind the cache.
+func TestClusterBackendMatchesLocalEvaluation(t *testing.T) {
+	sc := testScenario(77)
+	sc.Batches = 4000
+
+	local, err := Evaluate(context.Background(), sc, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord := startCluster(t)
+	m := NewManager(Config{
+		Workers: 1,
+		Eval:    ClusterEval(coord),
+		Backend: ClusterBackend(coord),
+	})
+	defer m.Shutdown(context.Background())
+
+	v, err := m.Submit(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(context.Background(), v.ID); err != nil {
+		t.Fatal(err)
+	}
+	res, view, err := m.Result(v.ID)
+	if err != nil {
+		t.Fatalf("job %+v: %v", view, err)
+	}
+	if res.Batches != local.Batches || res.Converged != local.Converged {
+		t.Fatalf("cluster %d/%v, local %d/%v", res.Batches, res.Converged, local.Batches, local.Converged)
+	}
+	for i := range local.Unsafety {
+		if res.Unsafety[i] != local.Unsafety[i] {
+			t.Fatalf("Unsafety[%d] = %b, want %b (not bit-identical)", i, res.Unsafety[i], local.Unsafety[i])
+		}
+		if res.CILo[i] != local.CILo[i] || res.CIHi[i] != local.CIHi[i] {
+			t.Fatalf("interval %d differs", i)
+		}
+	}
+	if res.ScenarioHash != local.ScenarioHash {
+		t.Fatalf("hash %s, want %s", res.ScenarioHash, local.ScenarioHash)
+	}
+	if res.FailureBias < 1 {
+		t.Fatalf("failure bias %v", res.FailureBias)
+	}
+}
+
+func TestHealthzReportsBackend(t *testing.T) {
+	// Local backend by default.
+	srv, _ := newTestServer(t, Config{Workers: 1})
+	var health struct {
+		Status  string        `json:"status"`
+		Backend BackendHealth `json:"backend"`
+	}
+	if resp := getJSON(t, srv.URL+"/healthz", &health); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if health.Backend.Mode != "local" || !health.Backend.Ready {
+		t.Fatalf("local backend health %+v", health.Backend)
+	}
+
+	// Cluster backend with one registered worker.
+	coord := startCluster(t)
+	srv2, _ := newTestServer(t, Config{
+		Workers: 1,
+		Eval:    ClusterEval(coord),
+		Backend: ClusterBackend(coord),
+	})
+	// The worker registers asynchronously; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if resp := getJSON(t, srv2.URL+"/healthz", &health); resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if health.Backend.WorkersLive >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster backend health never saw the worker: %+v", health.Backend)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if health.Backend.Mode != "cluster" || !health.Backend.Ready || health.Backend.WorkersRegistered < 1 {
+		t.Fatalf("cluster backend health %+v", health.Backend)
+	}
+}
+
+// TestShutdownCompletesInFlightJob is the graceful-drain guarantee: a job
+// already running when Shutdown starts must complete, not be dropped.
+func TestShutdownCompletesInFlightJob(t *testing.T) {
+	eval := newScriptedEval()
+	m := NewManager(Config{Workers: 1, Eval: eval.fn})
+
+	v, err := m.Submit(testScenario(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval.waitStarted(t) // the job is mid-evaluation
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- m.Shutdown(context.Background()) }()
+
+	// Shutdown must block on the running job, not cancel it.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned %v while a job was in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(eval.release) // the evaluation finishes naturally
+	if err := <-shutdownDone; err != nil {
+		t.Fatal(err)
+	}
+	view, err := m.Job(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != StatusDone {
+		t.Fatalf("in-flight job after graceful drain: %+v, want done", view)
+	}
+	if _, _, err := m.Result(v.ID); err != nil {
+		t.Fatalf("drained job has no result: %v", err)
+	}
+}

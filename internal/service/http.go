@@ -162,6 +162,7 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"status":     "ok",
 		"queueDepth": met.QueueDepth.Value(),
 		"running":    met.Running.Value(),
+		"backend":    s.m.Backend(),
 	})
 }
 

@@ -66,6 +66,26 @@ type Config struct {
 	// means a fresh private registry, exposed by Manager.Registry and
 	// served at GET /metrics by the HTTP handler.
 	Telemetry *telemetry.Registry
+	// Backend reports the execution backend's readiness for GET /healthz.
+	// Nil means the in-process local backend (always ready). Pair
+	// ClusterEval with ClusterBackend so health reflects the cluster.
+	Backend func() BackendHealth
+}
+
+// BackendHealth describes the execution backend behind the manager, as
+// surfaced by GET /healthz.
+type BackendHealth struct {
+	// Mode is "local" (in-process simulation) or "cluster".
+	Mode string `json:"mode"`
+	// Ready reports whether the backend can run jobs right now. The
+	// cluster backend is ready even with zero workers — it falls back to
+	// local execution — so this only goes false for future backends with
+	// hard dependencies.
+	Ready bool `json:"ready"`
+	// WorkersRegistered/WorkersLive count cluster workers; both zero in
+	// local mode.
+	WorkersRegistered int `json:"workersRegistered,omitempty"`
+	WorkersLive       int `json:"workersLive,omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -340,6 +360,14 @@ func (m *Manager) Metrics() *Metrics { return &m.metrics }
 // the default evaluation, the simulation engine's) are registered on. The
 // HTTP layer serves it at GET /metrics.
 func (m *Manager) Registry() *telemetry.Registry { return m.cfg.Telemetry }
+
+// Backend reports the execution backend's health (see Config.Backend).
+func (m *Manager) Backend() BackendHealth {
+	if m.cfg.Backend == nil {
+		return BackendHealth{Mode: "local", Ready: true}
+	}
+	return m.cfg.Backend()
+}
 
 // CacheLen reports the number of cached results.
 func (m *Manager) CacheLen() int { return m.cache.Len() }

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+
+	"ahs/internal/rng"
+)
+
+// buildWelford folds the raw observations (scaled to avoid overflow) into a
+// fresh accumulator.
+func buildWelford(raw []int16) Welford {
+	var w Welford
+	for _, v := range raw {
+		w.Add(float64(v) / 100)
+	}
+	return w
+}
+
+func roundTrip(t *testing.T, w Welford) Welford {
+	t.Helper()
+	b, err := json.Marshal(w)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Welford
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal %s: %v", b, err)
+	}
+	return got
+}
+
+func TestWelfordJSONRoundTripIsExact(t *testing.T) {
+	f := func(raw []int16) bool {
+		w := buildWelford(raw)
+		got := roundTrip(t, w)
+		return got == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWelfordJSONMergePropertyHolds is the wire-format contract of the
+// distributed estimator: a decoded snapshot must merge bit-identically to
+// the original, in both directions and under further Adds.
+func TestWelfordJSONMergePropertyHolds(t *testing.T) {
+	f := func(rawA, rawB []int16, seed uint64) bool {
+		a, b := buildWelford(rawA), buildWelford(rawB)
+		decoded := roundTrip(t, a)
+
+		// decoded.Merge(b) == a.Merge(b), bit for bit.
+		m1, m2 := a, decoded
+		m1.Merge(&b)
+		m2.Merge(&b)
+		if m1 != m2 {
+			return false
+		}
+
+		// Merging *into* another accumulator is equally unaffected.
+		o1, o2 := b, b
+		o1.Merge(&a)
+		o2.Merge(&decoded)
+		if o1 != o2 {
+			return false
+		}
+
+		// A decoded snapshot keeps accumulating exactly like the original.
+		s := rng.NewStream(seed)
+		c1, c2 := a, decoded
+		for i := 0; i < 16; i++ {
+			x := s.Uniform(-5, 5)
+			c1.Add(x)
+			c2.Add(x)
+		}
+		return c1 == c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordJSONRejectsCorruptSnapshots(t *testing.T) {
+	cases := map[string]string{
+		"negative m2":       `{"n":3,"mean":1,"m2":-0.5}`,
+		"stats without obs": `{"n":0,"mean":1,"m2":0}`,
+		"mean overflow":     `{"n":1,"mean":1e999,"m2":0}`,
+		"not an object":     `[1,2,3]`,
+		"garbage":           `{`,
+	}
+	for name, in := range cases {
+		var w Welford
+		if err := json.Unmarshal([]byte(in), &w); err == nil {
+			t.Errorf("%s: decode accepted %s", name, in)
+		}
+	}
+}
+
+func TestWelfordJSONZeroValue(t *testing.T) {
+	var w Welford
+	got := roundTrip(t, w)
+	if got != w {
+		t.Fatalf("zero value round-trip: %+v", got)
+	}
+	b, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"n":0,"mean":0,"m2":0}` {
+		t.Fatalf("zero-value encoding %s", b)
+	}
+}

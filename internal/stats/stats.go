@@ -7,6 +7,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -53,6 +54,45 @@ func (w *Welford) Merge(o *Welford) {
 	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
 	w.mean += delta * float64(o.n) / float64(n)
 	w.n = n
+}
+
+// welfordJSON is the wire form of a Welford snapshot: the three sufficient
+// statistics, spelled out. encoding/json renders float64 values with the
+// shortest representation that round-trips exactly, so decode(encode(w)) is
+// bit-identical to w and merging a decoded snapshot behaves exactly like
+// merging the original — the property the distributed estimator relies on.
+type welfordJSON struct {
+	N    uint64  `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// MarshalJSON encodes the accumulator as {"n":..,"mean":..,"m2":..}.
+func (w Welford) MarshalJSON() ([]byte, error) {
+	return json.Marshal(welfordJSON{N: w.n, Mean: w.mean, M2: w.m2})
+}
+
+// UnmarshalJSON decodes a snapshot produced by MarshalJSON. It rejects
+// snapshots that no accumulation could have produced (negative second
+// moment, statistics without observations, non-finite values), so corrupted
+// wire data fails loudly instead of poisoning a merged estimate.
+func (w *Welford) UnmarshalJSON(b []byte) error {
+	var wire welfordJSON
+	if err := json.Unmarshal(b, &wire); err != nil {
+		return fmt.Errorf("stats: decode welford: %w", err)
+	}
+	if math.IsNaN(wire.Mean) || math.IsInf(wire.Mean, 0) ||
+		math.IsNaN(wire.M2) || math.IsInf(wire.M2, 0) {
+		return errors.New("stats: decode welford: non-finite statistic")
+	}
+	if wire.M2 < 0 {
+		return fmt.Errorf("stats: decode welford: negative m2 %v", wire.M2)
+	}
+	if wire.N == 0 && (wire.Mean != 0 || wire.M2 != 0) {
+		return errors.New("stats: decode welford: statistics without observations")
+	}
+	w.n, w.mean, w.m2 = wire.N, wire.Mean, wire.M2
+	return nil
 }
 
 // N returns the number of observations.
