@@ -3,7 +3,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build vet test race lint tools sanlint serve worker cluster-smoke bench profile figures figures-full docs clean
+.PHONY: all build vet test race lint tools sanlint serve worker cluster-smoke chaos fuzz bench profile figures figures-full docs clean
 
 all: build lint test
 
@@ -61,6 +61,26 @@ cluster-smoke:
 	$(GO) test -count=1 ./internal/cluster/ ./internal/mc/ -run 'Chunk|Cluster|Shard|Merger'
 	$(GO) test -count=1 ./internal/service/ ./cmd/ahs-serve/ -run 'Cluster|Backend'
 	$(GO) run ./examples/cluster
+
+# Crash-safety suite under the race detector: deterministic fault
+# injection, seeded chaos schedules (worker kills/pauses + network
+# faults), journal recovery including the truncation table, graceful
+# drain, and the kill -9 coordinator e2e. A failing chaos schedule
+# prints its seed; replay it with
+#   go test -race -run 'ChaosSchedules/seed=NNN' ./internal/cluster/
+# See docs/cluster.md "Failure model & recovery".
+chaos:
+	$(GO) test -race -count=1 ./internal/faultinject/
+	$(GO) test -race -count=1 -run 'Chaos|Journal|Drain|Backoff|KillMinus9' -timeout 20m ./internal/cluster/
+
+# Native Go fuzzers over the /cluster/v1/ wire decoding and the journal
+# scanner, a short exploratory budget each; the committed seed corpora in
+# internal/cluster/testdata/fuzz/ also run as regression inputs in every
+# plain "go test".
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzJournalScan -fuzztime 20s ./internal/cluster/
+	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 20s ./internal/cluster/
+	$(GO) test -run '^$$' -fuzz FuzzClusterHandlers -fuzztime 20s ./internal/cluster/
 
 # Quick-look benchmark pass: regenerates every paper figure at a reduced
 # batch budget and runs the micro/ablation benchmarks.

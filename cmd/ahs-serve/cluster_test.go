@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -161,5 +162,115 @@ func TestServeClusterMode(t *testing.T) {
 	}
 	if !strings.Contains(string(families), "ahs_cluster_chunks_completed_total") {
 		t.Fatal("cluster metrics missing from /metrics")
+	}
+}
+
+// TestServeJournalMode boots the server with -cluster -journal-dir,
+// evaluates through the journaled coordinator, and checks that the journal
+// materializes on disk, its metric families are exported, and shutdown
+// drains cleanly (the drain syncs and closes the journal).
+func TestServeJournalMode(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1", "-cluster", "-journal-dir", dir}, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-runErr:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	defer func() {
+		cancel()
+		select {
+		case err := <-runErr:
+			if err != nil {
+				t.Errorf("run returned %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Error("graceful shutdown hung")
+		}
+	}()
+
+	// No workers join: the journaled coordinator must still complete the
+	// job through its local-rescue path (the no-journal fast path is
+	// disabled so every round is durable).
+	resp, err := http.Post(base+"/v1/evaluate", "application/json", strings.NewReader(clusterScenarioJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ack.ID == "" {
+		t.Fatalf("no job id in response (HTTP %d)", resp.StatusCode)
+	}
+	var res service.Result
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		r, err := http.Get(base + "/v1/results/" + ack.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := r.StatusCode
+		if code == http.StatusOK {
+			if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+				t.Fatal(err)
+			}
+			r.Body.Close()
+			break
+		}
+		r.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished (last HTTP %d)", ack.ID, code)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	sc, err := config.Load(strings.NewReader(clusterScenarioJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := service.Evaluate(context.Background(), sc, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Unsafety {
+		if res.Unsafety[i] != want.Unsafety[i] {
+			t.Fatalf("Unsafety[%d] = %b, want %b (not bit-identical)", i, res.Unsafety[i], want.Unsafety[i])
+		}
+	}
+
+	// The journal wrote real frames and its metrics are exported.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("journal directory is empty after a journaled evaluation")
+	}
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	families, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ahs_journal_records_total", "ahs_journal_fsyncs_total", "ahs_journal_live_jobs"} {
+		if !strings.Contains(string(families), name) {
+			t.Errorf("journal metric %s missing from /metrics", name)
+		}
 	}
 }

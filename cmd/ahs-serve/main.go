@@ -62,6 +62,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		clusterMode   = fs.Bool("cluster", false, "fan jobs out to ahs-worker processes via the /cluster/v1/ API instead of simulating in-process (no workers registered = transparent local fallback)")
 		leaseTTL      = fs.Duration("lease-ttl", 2*time.Minute, "cluster chunk lease duration before requeue")
 		chunkBatches  = fs.Uint64("chunk-batches", 0, "cluster lease granularity in batches, rounded up to whole accumulation rounds (0 = four rounds)")
+		journalDir    = fs.String("journal-dir", "", "cluster job-journal directory for crash-safe evaluation (requires -cluster; empty = no journal, jobs are lost on crash)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,14 +81,31 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		CacheSize:     *cacheSize,
 		JobTimeout:    *jobTimeout,
 	}
+	if *journalDir != "" && !*clusterMode {
+		return fmt.Errorf("-journal-dir requires -cluster")
+	}
 	var coord *cluster.Coordinator
+	var journal *cluster.Journal
 	if *clusterMode {
 		// Share one registry so ahs_cluster_* and the manager's families
 		// come out of the same GET /metrics.
 		cfg.Telemetry = telemetry.NewRegistry()
+		if *journalDir != "" {
+			var err error
+			journal, err = cluster.OpenJournal(cluster.JournalConfig{
+				Dir:       *journalDir,
+				Telemetry: cfg.Telemetry,
+				Logf:      log.Printf,
+			})
+			if err != nil {
+				return err
+			}
+			defer journal.Close()
+		}
 		coord = cluster.New(cluster.Config{
 			LeaseTTL:     *leaseTTL,
 			ChunkBatches: *chunkBatches,
+			Journal:      journal,
 			Telemetry:    cfg.Telemetry,
 			Logf:         log.Printf,
 		})
@@ -149,6 +167,12 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	defer cancelHTTP()
 	if err := srv.Shutdown(httpCtx); err != nil {
 		srv.Close()
+	}
+	if coord != nil {
+		// Stop leasing and release in-flight cluster jobs. With a journal
+		// those jobs stay durable and resume when the next ahs-serve on the
+		// same -journal-dir receives the same scenario again.
+		coord.Drain()
 	}
 	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancelDrain()

@@ -10,7 +10,12 @@
 //	ahs-worker -coordinator http://localhost:8080 &
 //	curl -d @docs/scenario-example.json localhost:8080/v1/evaluate
 //
-// See docs/cluster.md for the protocol and deployment recipe.
+// Shutdown is two-phase: the first SIGTERM/SIGINT drains — the worker
+// finishes and reports the chunk it is simulating, deregisters, and exits,
+// so no completed work is lost. A second signal (or the -drain-grace
+// deadline) aborts immediately; the abandoned lease simply expires back
+// onto the coordinator's queue. See docs/cluster.md for the protocol and
+// deployment recipe.
 package main
 
 import (
@@ -29,15 +34,13 @@ import (
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if err := run(ctx, os.Args[1:]); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "ahs-worker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, args []string) error {
+func run(args []string) error {
 	fs := flag.NewFlagSet("ahs-worker", flag.ContinueOnError)
 	var (
 		coordinator = fs.String("coordinator", "http://localhost:8080", "base URL of the ahs-serve -cluster coordinator")
@@ -45,6 +48,7 @@ func run(ctx context.Context, args []string) error {
 		simWorkers  = fs.Int("sim-workers", 0, "simulation goroutines per chunk (0 = GOMAXPROCS)")
 		poll        = fs.Duration("poll", 0, "idle poll interval override (0 = coordinator's suggestion)")
 		healthAddr  = fs.String("health-addr", "", "serve GET /healthz on this address and advertise it for coordinator liveness probes (empty = disabled)")
+		drainGrace  = fs.Duration("drain-grace", 10*time.Minute, "after the first SIGTERM/SIGINT, how long the in-flight chunk may keep running before it is aborted (0 = abort immediately)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,11 +57,44 @@ func run(ctx context.Context, args []string) error {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 
+	// Two-phase shutdown wiring: the first signal cancels the soft
+	// context (stop taking leases, finish the one in flight); the second
+	// signal — or the drain-grace deadline — cancels the hard context
+	// (abort everything now).
+	soft, softCancel := context.WithCancel(context.Background())
+	defer softCancel()
+	hard, hardCancel := context.WithCancel(context.Background())
+	defer hardCancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	grace := *drainGrace
+	go func() {
+		<-sigc
+		if grace <= 0 {
+			log.Printf("ahs-worker: signal received, aborting immediately (-drain-grace 0)")
+			hardCancel()
+			softCancel()
+			return
+		}
+		log.Printf("ahs-worker: signal received, draining (finishing in-flight chunk; again to abort, grace %v)", grace)
+		softCancel()
+		select {
+		case <-sigc:
+			log.Printf("ahs-worker: second signal, aborting in-flight chunk")
+		case <-time.After(grace):
+			log.Printf("ahs-worker: drain grace %v exceeded, aborting in-flight chunk", grace)
+		case <-hard.Done():
+		}
+		hardCancel()
+	}()
+
 	w := &cluster.Worker{
 		Coordinator: *coordinator,
 		ID:          *id,
 		SimWorkers:  *simWorkers,
 		Poll:        *poll,
+		HardContext: hard,
 		Logf:        log.Printf,
 	}
 
@@ -87,5 +124,5 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	log.Printf("ahs-worker: joining %s", *coordinator)
-	return w.Run(ctx)
+	return w.Run(soft)
 }

@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"time"
+
+	"ahs/internal/rng"
+)
+
+// backoff produces capped exponential delays with full jitter, the
+// AWS-style strategy that spreads retry storms: attempt n draws uniformly
+// from [base, min(cap, base·2ⁿ)]. The lower bound stays at base (rather
+// than zero) so a retry never fires immediately and the guarantee
+// "every delay lies in [base, cap]" holds for property tests.
+//
+// Delays are deterministic for a given seed — the jitter comes from an
+// internal/rng stream, keeping retry schedules replayable in the chaos
+// harness just like simulation results.
+//
+// A backoff is not safe for concurrent use; each retry loop owns one.
+type backoff struct {
+	base, cap time.Duration
+	attempt   int
+	stream    *rng.Stream
+}
+
+// newBackoff returns a backoff over [base, cap] seeded with seed.
+// Non-positive bounds get defaults (250ms, 8s); a cap below base is
+// raised to base.
+func newBackoff(base, cap time.Duration, seed uint64) *backoff {
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 8 * time.Second
+	}
+	if cap < base {
+		cap = base
+	}
+	return &backoff{base: base, cap: cap, stream: rng.NewStream(seed)}
+}
+
+// next returns the delay for the current attempt and advances the
+// attempt counter. The exponential ceiling doubles each attempt until it
+// saturates at cap; the returned delay is jittered across the full
+// [base, ceiling] range.
+func (b *backoff) next() time.Duration {
+	ceiling := b.cap
+	// base << attempt with overflow saturation: past ~63 shifts (or once
+	// the ceiling passes cap) the window is simply [base, cap].
+	if b.attempt < 63 {
+		if exp := b.base << uint(b.attempt); exp > 0 && exp < ceiling {
+			ceiling = exp
+		}
+	}
+	if b.attempt < 1<<20 { // avoid pointless unbounded growth
+		b.attempt++
+	}
+	if ceiling <= b.base {
+		return b.base
+	}
+	return b.base + time.Duration(b.stream.Float64()*float64(ceiling-b.base))
+}
+
+// reset returns the backoff to its first attempt (after a success).
+func (b *backoff) reset() { b.attempt = 0 }

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffBounds is the property test behind the retry-policy guarantee:
+// every delay a backoff ever returns lies in [base, cap], across many
+// seeds and deep attempt counts (including past the shift-overflow zone).
+func TestBackoffBounds(t *testing.T) {
+	const attempts = 200
+	for seed := uint64(0); seed < 50; seed++ {
+		b := newBackoff(100*time.Millisecond, 3*time.Second, seed)
+		for i := 0; i < attempts; i++ {
+			d := b.next()
+			if d < 100*time.Millisecond || d > 3*time.Second {
+				t.Fatalf("seed=%d attempt=%d: delay %v outside [100ms, 3s]", seed, i, d)
+			}
+		}
+	}
+}
+
+// TestBackoffExponentialCeiling: the jitter window really does grow
+// exponentially before saturating — attempt n never exceeds base·2ⁿ.
+func TestBackoffExponentialCeiling(t *testing.T) {
+	base, cap := 100*time.Millisecond, 100*time.Second
+	for seed := uint64(0); seed < 20; seed++ {
+		b := newBackoff(base, cap, seed)
+		for i := 0; i < 8; i++ {
+			ceiling := base << uint(i)
+			if ceiling > cap {
+				ceiling = cap
+			}
+			if d := b.next(); d > ceiling {
+				t.Fatalf("seed=%d attempt=%d: delay %v above ceiling %v", seed, i, d, ceiling)
+			}
+		}
+	}
+}
+
+// TestBackoffDeterministic: the schedule is a pure function of the seed,
+// and reset restarts the exponential ramp without touching the stream.
+func TestBackoffDeterministic(t *testing.T) {
+	a := newBackoff(50*time.Millisecond, time.Second, 99)
+	b := newBackoff(50*time.Millisecond, time.Second, 99)
+	for i := 0; i < 64; i++ {
+		if da, db := a.next(), b.next(); da != db {
+			t.Fatalf("attempt %d: %v != %v for equal seeds", i, da, db)
+		}
+	}
+	// After reset the ceiling is back to base·2⁰ = base: the first delay
+	// must equal base exactly (window [base, base] is degenerate).
+	a.reset()
+	if d := a.next(); d != 50*time.Millisecond {
+		t.Fatalf("first post-reset delay = %v, want exactly 50ms", d)
+	}
+
+	c := newBackoff(50*time.Millisecond, time.Second, 100)
+	diverged := false
+	d := newBackoff(50*time.Millisecond, time.Second, 99)
+	for i := 0; i < 64; i++ {
+		if c.next() != d.next() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 99 and 100 produced identical 64-delay schedules")
+	}
+}
+
+// TestBackoffDefaults: non-positive bounds get defaults; an inverted cap
+// is raised to base.
+func TestBackoffDefaults(t *testing.T) {
+	b := newBackoff(0, 0, 1)
+	if b.base != 250*time.Millisecond || b.cap != 8*time.Second {
+		t.Errorf("defaults = (%v, %v), want (250ms, 8s)", b.base, b.cap)
+	}
+	b = newBackoff(time.Second, time.Millisecond, 1)
+	if b.cap != time.Second {
+		t.Errorf("inverted cap = %v, want raised to base 1s", b.cap)
+	}
+	if d := b.next(); d != time.Second {
+		t.Errorf("degenerate window delay = %v, want exactly 1s", d)
+	}
+}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// Journal overhead benchmarks: the same 20k-batch evaluation through the
+// coordinator, without a journal (the direct path), with a fully fsync'd
+// journal (the crash-safe default), and with NoSync (isolating the
+// fsync cost from the framing/encoding cost). Run with:
+//
+//	go test ./internal/cluster/ -run '^$' -bench BenchmarkCoordinator -benchtime 5x
+//
+// The measured overhead of the durable journal is reported in
+// docs/cluster.md ("Failure model & recovery"); the acceptance bar is <=5%.
+func benchmarkCoordinatorCurve(b *testing.B, journaled, noSync bool) {
+	sc := testScenario(20000)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := Config{
+			PollInterval: time.Millisecond, // rescue ticks must not dominate the measurement
+			ChunkBatches: 2000,
+			CheckEvery:   2000,
+		}
+		var j *Journal
+		if journaled {
+			var err error
+			j, err = OpenJournal(JournalConfig{Dir: b.TempDir(), NoSync: noSync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Journal = j
+		}
+		coord := New(cfg)
+		curve, _, err := coord.UnsafetyCurve(ctx, sc, 1, nil)
+		coord.Close()
+		if j != nil {
+			j.Close()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if curve.Batches != 20000 {
+			b.Fatalf("Batches = %d, want 20000", curve.Batches)
+		}
+	}
+}
+
+func BenchmarkCoordinatorNoJournal(b *testing.B)     { benchmarkCoordinatorCurve(b, false, false) }
+func BenchmarkCoordinatorJournal(b *testing.B)       { benchmarkCoordinatorCurve(b, true, false) }
+func BenchmarkCoordinatorJournalNoSync(b *testing.B) { benchmarkCoordinatorCurve(b, true, true) }
+
+// TestJournalOverheadBudget enforces the acceptance bar in the suite
+// itself: one 20k-batch run each way, journal overhead within 5% (with
+// slack for timer noise on loaded CI machines — the benchmark above is the
+// precise instrument).
+func TestJournalOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two 20k-batch evaluations")
+	}
+	run := func(journaled bool) float64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			benchmarkCoordinatorCurve(b, journaled, false)
+		})
+		return float64(res.NsPerOp())
+	}
+	base := run(false)
+	withJournal := run(true)
+	overhead := (withJournal - base) / base
+	t.Logf("journal overhead: base=%.0fms journaled=%.0fms overhead=%.2f%%",
+		base/1e6, withJournal/1e6, overhead*100)
+	// 5% is the acceptance target on a quiet machine; 15% is the hard
+	// failure line so CI noise does not flake the suite.
+	if overhead > 0.15 {
+		t.Errorf("journal overhead %.1f%% exceeds the 15%% hard ceiling (target <=5%%)", overhead*100)
+	}
+}

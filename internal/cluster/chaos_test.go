@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"ahs/internal/config"
+	"ahs/internal/faultinject"
+	"ahs/internal/mc"
+	"ahs/internal/telemetry"
+)
+
+// The chaos suite runs the full coordinator/worker stack under randomized
+// but fully replayable fault schedules: every network fault, worker kill,
+// restart, pause and resume is drawn from streams rooted in one logged
+// seed. The two assertions are the paper-level robustness claims of the
+// cluster layer:
+//
+//  1. Termination — every accepted job finishes (no fault schedule can
+//     wedge the coordinator), and
+//  2. Bit-identity — the merged curve equals the single-process reference
+//     down to the last float bit (%b), whatever the schedule did.
+//
+// A failing run prints its seed; re-running with that seed in the table
+// reproduces the same fault schedule (goroutine interleaving still varies,
+// but both assertions are interleaving-independent by design).
+
+// chaosWorkers manages a mutable fleet of in-process workers whose HTTP
+// clients route through a fault plan and a pauser.
+type chaosWorkers struct {
+	t    *testing.T
+	url  string
+	plan *faultinject.Plan
+
+	mu     sync.Mutex
+	nextID int
+	live   map[int]*chaosWorker
+	wg     sync.WaitGroup
+}
+
+type chaosWorker struct {
+	id     int
+	cancel context.CancelFunc
+	pauser *faultinject.Pauser
+}
+
+// spawn starts one worker under a fresh ID (fresh IDs keep injected-fault
+// exclusions from permanently shrinking the fleet).
+func (cw *chaosWorkers) spawn() {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	cw.nextID++
+	id := cw.nextID
+	pauser := faultinject.NewPauser(cw.plan.Transport(nil))
+	ctx, cancel := context.WithCancel(context.Background())
+	w := &Worker{
+		Coordinator:    cw.url,
+		ID:             fmt.Sprintf("chaos-w%d", id),
+		SimWorkers:     1,
+		Client:         &http.Client{Timeout: 10 * time.Second, Transport: pauser},
+		RequestTimeout: 2 * time.Second,
+		Logf:           cw.t.Logf,
+	}
+	cw.live[id] = &chaosWorker{id: id, cancel: cancel, pauser: pauser}
+	cw.wg.Add(1)
+	go func() {
+		defer cw.wg.Done()
+		// Exclusion (a permanent refusal) is a legitimate outcome under
+		// fault injection, not a test failure; the controller replaces
+		// killed and excluded workers alike.
+		if err := w.Run(ctx); err != nil {
+			cw.t.Logf("chaos: worker %s exited: %v", w.ID, err)
+		}
+	}()
+}
+
+// kill hard-stops one live worker (mid-lease work is simply lost, as in a
+// real crash); pick chooses among the live IDs.
+func (cw *chaosWorkers) kill(pick func(n int) int) {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	ids := cw.liveIDsLocked()
+	if len(ids) == 0 {
+		return
+	}
+	id := ids[pick(len(ids))]
+	cw.live[id].cancel()
+	cw.live[id].pauser.Resume() // never leave a dead worker's client blocked
+	delete(cw.live, id)
+	cw.t.Logf("chaos: killed worker chaos-w%d", id)
+}
+
+// pause stalls one worker's entire HTTP client (the process-level pause
+// hook: alive but silent) and schedules its resume.
+func (cw *chaosWorkers) pause(pick func(n int) int, d time.Duration) {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	ids := cw.liveIDsLocked()
+	if len(ids) == 0 {
+		return
+	}
+	w := cw.live[ids[pick(len(ids))]]
+	w.pauser.Pause()
+	cw.t.Logf("chaos: paused worker chaos-w%d for %v", w.id, d)
+	time.AfterFunc(d, w.pauser.Resume)
+}
+
+func (cw *chaosWorkers) liveIDsLocked() []int {
+	ids := make([]int, 0, len(cw.live))
+	for id := range cw.live {
+		ids = append(ids, id)
+	}
+	// Map order is randomized per run; sort so "which worker" is decided
+	// by the seeded pick alone.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+func (cw *chaosWorkers) stopAll() {
+	cw.mu.Lock()
+	for _, w := range cw.live {
+		w.cancel()
+		w.pauser.Resume()
+	}
+	cw.live = map[int]*chaosWorker{}
+	cw.mu.Unlock()
+	cw.wg.Wait()
+}
+
+// TestClusterChaosSchedules is the seeded chaos suite. Half the schedules
+// run with a journal attached, so crash-safety machinery is exercised under
+// fire too (journaling must never change the answer).
+func TestClusterChaosSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is several seconds per seed")
+	}
+	seeds := []struct {
+		seed    uint64
+		journal bool
+	}{
+		{seed: 1001, journal: false},
+		{seed: 2002, journal: true},
+		{seed: 3003, journal: false},
+		{seed: 4004, journal: true},
+		{seed: 5005, journal: false},
+		{seed: 6006, journal: true},
+	}
+	sc := testScenario(3000)
+	want := singleProcessCurve(t, sc, 500)
+
+	for _, tc := range seeds {
+		tc := tc
+		t.Run(fmt.Sprintf("seed=%d/journal=%v", tc.seed, tc.journal), func(t *testing.T) {
+			runChaosSchedule(t, tc.seed, tc.journal, sc, want)
+		})
+	}
+}
+
+func runChaosSchedule(t *testing.T, seed uint64, withJournal bool, sc *config.Scenario, want *mc.Curve) {
+	t.Logf("chaos: seed=%d journal=%v (re-run by adding this seed to the table)", seed, withJournal)
+
+	reg := telemetry.NewRegistry()
+	plan := faultinject.NewPlan(faultinject.Config{
+		Seed: seed,
+		Default: faultinject.Rates{
+			DropRequest:  0.04,
+			DropResponse: 0.04,
+			Delay:        0.10,
+			Duplicate:    0.04,
+			ServerError:  0.04,
+			Reset:        0.04,
+			MaxDelay:     60 * time.Millisecond,
+		},
+		Telemetry: reg,
+		Logf:      t.Logf,
+	})
+
+	cfg := Config{
+		LeaseTTL:          2 * time.Second,
+		PollInterval:      10 * time.Millisecond,
+		HeartbeatTimeout:  1500 * time.Millisecond,
+		SweepInterval:     50 * time.Millisecond,
+		MaxWorkerFailures: 4,
+		MaxChunkAttempts:  10000, // chaos must never exhaust a chunk
+		ChunkBatches:      500,
+		CheckEvery:        500,
+		Telemetry:         reg,
+	}
+	if withJournal {
+		j, err := OpenJournal(JournalConfig{Dir: t.TempDir(), Telemetry: reg, Logf: t.Logf})
+		if err != nil {
+			t.Fatalf("seed=%d: open journal: %v", seed, err)
+		}
+		t.Cleanup(func() { j.Close() })
+		cfg.Journal = j
+	}
+	coord, srv := testCluster(t, cfg)
+
+	fleet := &chaosWorkers{t: t, url: srv.URL, plan: plan, live: map[int]*chaosWorker{}}
+	defer fleet.stopAll()
+	for i := 0; i < 3; i++ {
+		fleet.spawn()
+	}
+
+	// The controller draws every decision — action, victim, pause length,
+	// inter-action gap — from one seeded stream, so the schedule is the
+	// seed.
+	ctrl := faultinject.Rand(seed, "controller")
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	jobDone := make(chan struct{})
+	var ctrlWG sync.WaitGroup
+	ctrlWG.Add(1)
+	go func() {
+		defer ctrlWG.Done()
+		for {
+			gap := time.Duration(30+ctrl.Intn(90)) * time.Millisecond
+			select {
+			case <-jobDone:
+				return
+			case <-ctx.Done():
+				return
+			case <-time.After(gap):
+			}
+			switch ctrl.Intn(5) {
+			case 0:
+				fleet.kill(ctrl.Intn)
+			case 1:
+				fleet.spawn()
+			case 2:
+				fleet.pause(ctrl.Intn, time.Duration(100+ctrl.Intn(400))*time.Millisecond)
+			default:
+				// Most ticks do nothing: faults should punctuate the run,
+				// not saturate it.
+			}
+		}
+	}()
+
+	got, _, err := coord.UnsafetyCurve(ctx, sc, 1, nil)
+	close(jobDone)
+	ctrlWG.Wait()
+	if err != nil {
+		t.Fatalf("chaos seed=%d: job did not terminate cleanly: %v", seed, err)
+	}
+	assertBitIdentical(t, got, want)
+
+	// The schedule must actually have injected something, or the suite is
+	// testing nothing.
+	total := uint64(0)
+	for _, kinds := range plan.Injected() {
+		for _, n := range kinds {
+			total += n
+		}
+	}
+	if total == 0 {
+		t.Errorf("chaos seed=%d: schedule injected zero faults", seed)
+	}
+	t.Logf("chaos: seed=%d done, %d faults injected", seed, total)
+}

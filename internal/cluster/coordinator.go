@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -51,6 +52,14 @@ type Config struct {
 	// single-process result for the same scenario and the same
 	// CheckEvery.
 	CheckEvery uint64
+	// Journal, when non-nil, makes the coordinator crash-safe: every job
+	// submission, merged chunk and terminal outcome is fsync'd to the
+	// journal before it takes effect, and New replays the journal to
+	// rebuild in-flight jobs after a crash (see journal.go). Restored
+	// jobs resume as soon as a caller re-submits the same scenario
+	// (UnsafetyCurve adopts them by scenario hash); until then workers
+	// keep making progress on them.
+	Journal *Journal
 	// Telemetry, when non-nil, receives the ahs_cluster_* families.
 	Telemetry *telemetry.Registry
 	// Logf, when non-nil, receives operational log lines.
@@ -96,19 +105,29 @@ type Coordinator struct {
 	cfg     Config
 	metrics *metrics
 
-	mu       sync.Mutex
-	workers  map[string]*workerState
-	excluded map[string]bool
-	jobs     map[uint64]*clusterJob
-	jobIDs   []uint64 // insertion-ordered keys of jobs, for FIFO leasing
-	leases   map[string]*lease
-	jobSeq   uint64
-	leaseSeq uint64
-	closed   bool
+	mu        sync.Mutex
+	workers   map[string]*workerState
+	excluded  map[string]bool
+	jobs      map[uint64]*clusterJob
+	jobIDs    []uint64            // insertion-ordered keys of jobs, for FIFO leasing
+	recovered map[string][]uint64 // scenario hash → journal-restored jobs awaiting adoption
+	leases    map[string]*lease
+	jobSeq    uint64
+	leaseSeq  uint64
+	draining  bool
+	closed    bool
 
 	stop chan struct{}
 	done sync.WaitGroup
 }
+
+// Sentinel terminations that must NOT be journaled as the job's outcome:
+// the job itself is fine, the coordinator is going away, and a journaled
+// job will resume after restart.
+var (
+	errCoordinatorClosed   = errors.New("cluster: coordinator closed")
+	errCoordinatorDraining = errors.New("cluster: coordinator draining (journaled jobs resume after restart)")
+)
 
 type workerState struct {
 	id        string
@@ -129,6 +148,8 @@ type lease struct {
 type clusterJob struct {
 	id       uint64
 	scenario *config.Scenario
+	hash     string // canonical scenario hash, the adoption key
+	bias     float64
 	job      mc.Job // context-free copy for merging and local rescue
 	merger   *mc.Merger
 	pending  []mc.ChunkSpec
@@ -141,22 +162,32 @@ type clusterJob struct {
 }
 
 // New starts a coordinator and its background lease/liveness sweeper.
+// When cfg.Journal is set, New first replays the journal and rebuilds
+// every job it describes: merged chunks are folded back into a fresh
+// merger, unmerged chunks are requeued for leasing, and jobs whose merge
+// is already complete are finished. Restored jobs are handed back to their
+// callers when UnsafetyCurve is next invoked with the same scenario.
 func New(cfg Config) *Coordinator {
 	c := &Coordinator{
-		cfg:      cfg.withDefaults(),
-		workers:  make(map[string]*workerState),
-		excluded: make(map[string]bool),
-		jobs:     make(map[uint64]*clusterJob),
-		leases:   make(map[string]*lease),
-		stop:     make(chan struct{}),
+		cfg:       cfg.withDefaults(),
+		workers:   make(map[string]*workerState),
+		excluded:  make(map[string]bool),
+		jobs:      make(map[uint64]*clusterJob),
+		recovered: make(map[string][]uint64),
+		leases:    make(map[string]*lease),
+		stop:      make(chan struct{}),
 	}
 	c.metrics = newMetrics(c.cfg.Telemetry, c)
+	if c.cfg.Journal != nil {
+		c.restore()
+	}
 	c.done.Add(1)
 	go c.sweeper()
 	return c
 }
 
-// Close stops the sweeper and fails every active job.
+// Close stops the sweeper and fails every active job. Journaled jobs are
+// not marked failed in the journal — they resume after the next start.
 func (c *Coordinator) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -165,11 +196,31 @@ func (c *Coordinator) Close() {
 	}
 	c.closed = true
 	for _, j := range c.jobs {
-		c.finishJobLocked(j, errors.New("cluster: coordinator closed"))
+		c.finishJobLocked(j, errCoordinatorClosed)
 	}
 	c.mu.Unlock()
 	close(c.stop)
 	c.done.Wait()
+}
+
+// Drain prepares for a graceful restart: stop handing out leases, fail
+// in-flight callers with a draining error (their jobs stay journaled and
+// resume after restart), and sync the journal. Workers keep getting empty
+// lease responses, so they idle rather than erroring. Without a journal,
+// Drain still stops leasing but job state is lost on exit.
+func (c *Coordinator) Drain() {
+	c.mu.Lock()
+	c.draining = true
+	for _, j := range c.jobs {
+		c.finishJobLocked(j, errCoordinatorDraining)
+	}
+	c.mu.Unlock()
+	if c.cfg.Journal != nil {
+		if err := c.cfg.Journal.Sync(); err != nil {
+			c.cfg.Logf("cluster: journal sync on drain: %v", err)
+		}
+	}
+	c.cfg.Logf("cluster: draining; leasing stopped, journal synced")
 }
 
 // Status returns the operational snapshot served at PathStatus.
@@ -182,6 +233,10 @@ func (c *Coordinator) Status() Status {
 		WorkersExcluded:   len(c.excluded),
 		ActiveJobs:        len(c.jobs),
 		LeasedChunks:      len(c.leases),
+		Draining:          c.draining,
+	}
+	for _, ids := range c.recovered {
+		st.RecoveredJobs += len(ids)
 	}
 	for _, w := range c.workers {
 		if now.Sub(w.lastSeen) <= c.cfg.HeartbeatTimeout {
@@ -207,6 +262,31 @@ func (c *Coordinator) Status() Status {
 // so a job accepted is a job finished (or cancelled via ctx).
 func (c *Coordinator) UnsafetyCurve(ctx context.Context, sc *config.Scenario, localWorkers int, progress func(done, max uint64)) (*mc.Curve, float64, error) {
 	sc = sc.Canonical()
+	hash, err := sc.Hash()
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Adoption: a journal-restored job for the same scenario is resumed
+	// (or, if workers already finished it, returned immediately) instead
+	// of starting the evaluation over.
+	c.mu.Lock()
+	if ids := c.recovered[hash]; len(ids) > 0 {
+		id := ids[0]
+		if len(ids) == 1 {
+			delete(c.recovered, hash)
+		} else {
+			c.recovered[hash] = ids[1:]
+		}
+		j := c.jobs[id]
+		j.progress = progress
+		c.mu.Unlock()
+		c.cfg.Logf("cluster: job %d for %s adopted from journal (%d/%d batches already merged)",
+			j.id, shortHash(sc), j.merger.Done(), j.merger.Target())
+		return c.await(ctx, j)
+	}
+	c.mu.Unlock()
+
 	p, err := sc.Params()
 	if err != nil {
 		return nil, 0, err
@@ -227,7 +307,11 @@ func (c *Coordinator) UnsafetyCurve(ctx context.Context, sc *config.Scenario, lo
 		return nil, 0, err
 	}
 
-	if c.liveWorkers() == 0 {
+	// Fast path: with no live workers and no journal, skip the chunk
+	// machinery entirely. A journaled coordinator always goes through
+	// chunks, so every merged round is durable and a crash mid-job can
+	// resume instead of restarting from batch zero.
+	if c.cfg.Journal == nil && c.liveWorkers() == 0 {
 		c.metrics.localFallback()
 		c.cfg.Logf("cluster: no live workers, evaluating %s locally", shortHash(sc))
 		job.Context = ctx
@@ -242,6 +326,8 @@ func (c *Coordinator) UnsafetyCurve(ctx context.Context, sc *config.Scenario, lo
 	}
 	j := &clusterJob{
 		scenario: sc,
+		hash:     hash,
+		bias:     bias,
 		job:      job,
 		merger:   merger,
 		pending:  job.Shard(c.cfg.ChunkBatches),
@@ -251,17 +337,42 @@ func (c *Coordinator) UnsafetyCurve(ctx context.Context, sc *config.Scenario, lo
 	}
 
 	c.mu.Lock()
-	if c.closed {
+	if c.closed || c.draining {
 		c.mu.Unlock()
-		return nil, 0, errors.New("cluster: coordinator closed")
+		return nil, 0, errCoordinatorClosed
 	}
 	c.jobSeq++
 	j.id = c.jobSeq
+	if c.cfg.Journal != nil {
+		// The submit record must be durable before the job becomes
+		// leasable: a chunk record without its submit record would be
+		// unreplayable.
+		rec := journalRecord{
+			Type:         recSubmit,
+			Job:          j.id,
+			Scenario:     sc,
+			Hash:         hash,
+			RoundSize:    job.RoundSize(),
+			ChunkBatches: c.cfg.ChunkBatches,
+			LocalWorkers: localWorkers,
+		}
+		if err := c.cfg.Journal.append(rec); err != nil {
+			c.mu.Unlock()
+			return nil, 0, fmt.Errorf("cluster: journal submit: %w", err)
+		}
+	}
 	c.jobs[j.id] = j
 	c.jobIDs = append(c.jobIDs, j.id)
 	c.mu.Unlock()
-	defer c.dropJob(j)
+	return c.await(ctx, j)
+}
 
+// await blocks until the job finishes (returning its curve) or ctx is
+// cancelled, locally rescuing queued chunks whenever no live workers are
+// registered. On return the job is dropped from the coordinator — and from
+// the journal, unless the coordinator is shutting down.
+func (c *Coordinator) await(ctx context.Context, j *clusterJob) (*mc.Curve, float64, error) {
+	defer c.dropJob(j)
 	ticker := time.NewTicker(c.cfg.PollInterval)
 	defer ticker.Stop()
 	for {
@@ -273,8 +384,8 @@ func (c *Coordinator) UnsafetyCurve(ctx context.Context, sc *config.Scenario, lo
 			if err != nil {
 				return nil, 0, err
 			}
-			curve, err := merger.Curve()
-			return curve, bias, err
+			curve, err := j.merger.Curve()
+			return curve, j.bias, err
 		case <-ctx.Done():
 			return nil, 0, ctx.Err()
 		case <-ticker.C:
@@ -288,10 +399,135 @@ func (c *Coordinator) UnsafetyCurve(ctx context.Context, sc *config.Scenario, lo
 	}
 }
 
-// dropJob removes a finished or abandoned job and its leases.
+// restore rebuilds jobs from the journal at startup. Jobs that cannot be
+// rebuilt (their scenario no longer builds — only possible if the journal
+// was written by an incompatible version) are finished with the rebuild
+// error rather than silently discarded.
+func (c *Coordinator) restore() {
+	c.jobSeq = c.cfg.Journal.maxJobID()
+	for _, rj := range c.cfg.Journal.recoveredJobs() {
+		j := c.rebuildJob(rj)
+		c.jobs[j.id] = j
+		c.jobIDs = append(c.jobIDs, j.id)
+		c.recovered[j.hash] = append(c.recovered[j.hash], j.id)
+		state := "resuming"
+		if j.finished {
+			state = "finished"
+		}
+		c.cfg.Logf("cluster: restored job %d (%s) from journal: %d chunks merged, %d pending, %s",
+			j.id, shortHash(j.scenario), len(rj.chunks), len(j.pending), state)
+	}
+}
+
+// rebuildJob reconstructs one clusterJob from its journal state: rebuild
+// the model, fold the journaled chunk states into a fresh merger (their
+// replay is idempotent and order-insensitive), and requeue whichever
+// shards never merged.
+func (c *Coordinator) rebuildJob(rj *journalJob) *clusterJob {
+	j := &clusterJob{
+		id:       rj.id,
+		scenario: rj.submit.Scenario.Canonical(),
+		hash:     rj.submit.Hash,
+		attempts: make(map[uint64]int),
+		done:     make(chan struct{}),
+	}
+	fail := func(err error) *clusterJob {
+		j.finished = true
+		j.err = fmt.Errorf("cluster: rebuild journaled job %d: %w", rj.id, err)
+		close(j.done)
+		return j
+	}
+	p, err := j.scenario.Params()
+	if err != nil {
+		return fail(err)
+	}
+	sys, err := core.Build(p)
+	if err != nil {
+		return fail(err)
+	}
+	opts := j.scenario.EvalOptions(sys)
+	opts.Workers = rj.submit.LocalWorkers
+	opts.CheckEvery = rj.submit.RoundSize
+	j.bias = opts.FailureBias
+	if j.bias < 1 {
+		j.bias = 1
+	}
+	job, err := sys.UnsafetyJob(opts)
+	if err != nil {
+		return fail(err)
+	}
+	merger, err := mc.NewMerger(job)
+	if err != nil {
+		return fail(err)
+	}
+	j.job = job
+	j.merger = merger
+
+	starts := make([]uint64, 0, len(rj.chunks))
+	for s := range rj.chunks {
+		starts = append(starts, s)
+	}
+	sort.Slice(starts, func(a, b int) bool { return starts[a] < starts[b] })
+	for _, s := range starts {
+		state := rj.chunks[s]
+		if merger.Covered(state.Spec) {
+			continue
+		}
+		if err := merger.Add(state); err != nil {
+			// A journaled state the merger rejects can only come from an
+			// incompatible layout change; the chunk will simply be
+			// re-simulated.
+			c.cfg.Logf("cluster: journal chunk %s of job %d rejected on replay: %v", state.Spec, rj.id, err)
+		}
+	}
+	if !merger.Complete() {
+		covered := make(map[uint64]bool, len(merger.Added()))
+		for _, spec := range merger.Added() {
+			covered[spec.Start] = true
+		}
+		for _, spec := range job.Shard(rj.submit.ChunkBatches) {
+			if !covered[spec.Start] {
+				j.pending = append(j.pending, spec)
+			}
+		}
+	}
+
+	switch {
+	case rj.finished && rj.finishErr != "":
+		j.finished = true
+		j.err = errors.New(rj.finishErr)
+		j.pending = nil
+		close(j.done)
+	case merger.Complete():
+		// All chunks were merged before the crash (the finish record may
+		// or may not have made it; either way the outcome is decided).
+		j.finished = true
+		j.pending = nil
+		close(j.done)
+		if !rj.finished {
+			if err := c.cfg.Journal.append(journalRecord{Type: recFinish, Job: rj.id}); err != nil {
+				c.cfg.Logf("cluster: journal finish of restored job %d: %v", rj.id, err)
+			}
+		}
+	}
+	return j
+}
+
+// dropJob removes a finished or abandoned job and its leases. The drop is
+// journaled — the job will not be resurrected on restart — unless the
+// coordinator itself is going away, in which case the job must survive in
+// the journal to resume after restart.
 func (c *Coordinator) dropJob(j *clusterJob) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, ok := c.jobs[j.id]; !ok {
+		return
+	}
+	if c.cfg.Journal != nil && !c.closed && !c.draining {
+		if err := c.cfg.Journal.append(journalRecord{Type: recDrop, Job: j.id}); err != nil {
+			c.cfg.Logf("cluster: journal drop of job %d: %v", j.id, err)
+		}
+	}
 	delete(c.jobs, j.id)
 	for i, id := range c.jobIDs {
 		if id == j.id {
@@ -487,6 +723,15 @@ func (c *Coordinator) foldLocked(j *clusterJob, state *mc.ChunkState) {
 		c.requeueLocked(j, state.Spec, err)
 		return
 	}
+	// Durability before visibility: the merged chunk is journaled before
+	// it can influence the job's outcome. Should the append fail, the
+	// merged state is still correct in memory; recovery would just
+	// re-simulate the chunk.
+	if c.cfg.Journal != nil {
+		if err := c.cfg.Journal.append(journalRecord{Type: recChunk, Job: j.id, State: state}); err != nil {
+			c.cfg.Logf("cluster: journal chunk %s of job %d: %v", state.Spec, j.id, err)
+		}
+	}
 	c.metrics.chunkCompleted(time.Since(start).Seconds())
 	if j.progress != nil {
 		j.progress(j.merger.Done(), j.merger.Target())
@@ -496,7 +741,9 @@ func (c *Coordinator) foldLocked(j *clusterJob, state *mc.ChunkState) {
 	}
 }
 
-// finishJobLocked marks a job done (err nil) or failed.
+// finishJobLocked marks a job done (err nil) or failed, journaling the
+// terminal outcome. Shutdown-induced terminations (close, drain) are not
+// journaled: the job itself is healthy and resumes after restart.
 func (c *Coordinator) finishJobLocked(j *clusterJob, err error) {
 	if j.finished {
 		return
@@ -504,6 +751,15 @@ func (c *Coordinator) finishJobLocked(j *clusterJob, err error) {
 	j.finished = true
 	j.err = err
 	j.pending = nil
+	if c.cfg.Journal != nil && !errors.Is(err, errCoordinatorClosed) && !errors.Is(err, errCoordinatorDraining) {
+		rec := journalRecord{Type: recFinish, Job: j.id}
+		if err != nil {
+			rec.Error = err.Error()
+		}
+		if jerr := c.cfg.Journal.append(rec); jerr != nil {
+			c.cfg.Logf("cluster: journal finish of job %d: %v", j.id, jerr)
+		}
+	}
 	close(j.done)
 }
 
@@ -516,8 +772,28 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST "+PathRegister, c.handleRegister)
 	mux.HandleFunc("POST "+PathLease, c.handleLease)
 	mux.HandleFunc("POST "+PathComplete, c.handleComplete)
+	mux.HandleFunc("POST "+PathDeregister, c.handleDeregister)
 	mux.HandleFunc("GET "+PathStatus, c.handleStatus)
 	return mux
+}
+
+// handleDeregister removes a draining worker immediately instead of
+// waiting a heartbeat timeout. Any leases it still holds are requeued
+// (a drained worker completes its lease first, so normally none). The
+// worker is not excluded and may register again later.
+func (c *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	var req deregisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.WorkerID == "" {
+		http.Error(w, "cluster: bad deregister request", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	if ws, ok := c.workers[req.WorkerID]; ok {
+		c.dropWorkerLocked(ws)
+		c.cfg.Logf("cluster: worker %s deregistered", req.WorkerID)
+	}
+	c.mu.Unlock()
+	writeJSON(w, deregisterResponse{OK: true})
 }
 
 func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -564,6 +840,13 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	ws.lastSeen = time.Now()
 	var out *Lease
+	if c.draining {
+		// Draining: answer "no work" so workers idle instead of picking
+		// up leases the exiting coordinator could never merge.
+		c.mu.Unlock()
+		writeJSON(w, leaseResponse{})
+		return
+	}
 	for _, id := range c.jobIDs { // FIFO across jobs
 		j := c.jobs[id]
 		if j == nil || j.finished || len(j.pending) == 0 {

@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"ahs/internal/mc"
+)
+
+// The kill -9 e2e. A coordinator child process — this test binary re-exec'd
+// through TestMain — journals a job while parent-hosted workers chew
+// through its chunks. The parent SIGKILLs the child mid-job (no deferred
+// cleanup, no flush, the real thing), starts a second child on the same
+// journal directory and address, and the workers reconnect through their
+// backoff loops. The resumed job must produce a curve whose every float is
+// bit-identical (%b) to the uninterrupted single-process reference, across
+// multiple kill points and worker counts.
+
+// Child-process environment keys.
+const (
+	crashEnvDir     = "AHS_CRASH_COORD_DIR"
+	crashEnvAddr    = "AHS_CRASH_COORD_ADDR"
+	crashEnvBatches = "AHS_CRASH_COORD_BATCHES"
+	crashEnvResult  = "AHS_CRASH_COORD_RESULT"
+)
+
+// TestMain reroutes re-exec'd children into the coordinator role; normal
+// invocations run the test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv(crashEnvDir) != "" {
+		os.Exit(runCrashChild())
+	}
+	os.Exit(m.Run())
+}
+
+// curveBits renders a curve with every float in exact bit notation, the
+// cross-process equivalent of assertBitIdentical.
+func curveBits(c *mc.Curve) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "batches=%d converged=%v\n", c.Batches, c.Converged)
+	for i := range c.Times {
+		iv := c.Intervals[i]
+		fmt.Fprintf(&b, "%b mean=%b lo=%b hi=%b point=%b n=%d\n",
+			c.Times[i], c.Mean[i], iv.Lo, iv.Hi, iv.Point, iv.N)
+	}
+	return b.String()
+}
+
+// runCrashChild is the coordinator process: open the journal, serve the
+// cluster API, evaluate the scenario, write the bit-exact result, exit.
+// A SIGKILL can land anywhere in this function — that is the test.
+func runCrashChild() int {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "[child %d] "+format+"\n", append([]any{os.Getpid()}, args...)...)
+	}
+	batches, err := strconv.ParseUint(os.Getenv(crashEnvBatches), 10, 64)
+	if err != nil {
+		logf("bad %s: %v", crashEnvBatches, err)
+		return 2
+	}
+	j, err := OpenJournal(JournalConfig{Dir: os.Getenv(crashEnvDir), Logf: logf})
+	if err != nil {
+		logf("open journal: %v", err)
+		return 2
+	}
+	defer j.Close()
+	coord := New(Config{
+		LeaseTTL:         5 * time.Second,
+		PollInterval:     10 * time.Millisecond,
+		HeartbeatTimeout: 5 * time.Second,
+		SweepInterval:    25 * time.Millisecond,
+		ChunkBatches:     500,
+		CheckEvery:       500,
+		Journal:          j,
+		Logf:             logf,
+	})
+	defer coord.Close()
+
+	ln, err := net.Listen("tcp", os.Getenv(crashEnvAddr))
+	if err != nil {
+		logf("listen: %v", err)
+		return 2
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	curve, _, err := coord.UnsafetyCurve(ctx, testScenario(batches), 1, nil)
+	if err != nil {
+		logf("evaluate: %v", err)
+		return 1
+	}
+	// Atomic result publication: the parent only ever reads a complete
+	// file.
+	resultPath := os.Getenv(crashEnvResult)
+	tmp := resultPath + ".tmp"
+	if err := os.WriteFile(tmp, []byte(curveBits(curve)), 0o644); err != nil {
+		logf("write result: %v", err)
+		return 1
+	}
+	if err := os.Rename(tmp, resultPath); err != nil {
+		logf("publish result: %v", err)
+		return 1
+	}
+	logf("result published")
+	return 0
+}
+
+// countJournaledChunks scans the on-disk journal (snapshot + tail) the same
+// way recovery would and counts merged chunk records. Reading concurrently
+// with the child's appends is safe: the scan simply stops at the torn tail.
+func countJournaledChunks(dir string) int {
+	n := 0
+	for _, name := range []string{journalSnapshotName, journalTailName} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		_, records, _ := scanJournal(data)
+		for _, rec := range records {
+			if rec.Type == recChunk {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestCoordinatorKillMinus9BitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns coordinator subprocesses")
+	}
+	const batches = 4000 // 8 chunks of 500
+	sc := testScenario(batches)
+	want := curveBits(singleProcessCurve(t, sc, 500))
+
+	cases := []struct {
+		killAfterChunks int
+		workers         int
+	}{
+		{killAfterChunks: 1, workers: 1},
+		{killAfterChunks: 3, workers: 1},
+		{killAfterChunks: 1, workers: 2},
+		{killAfterChunks: 4, workers: 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("kill_after=%d/workers=%d", tc.killAfterChunks, tc.workers), func(t *testing.T) {
+			runCrashCase(t, tc.killAfterChunks, tc.workers, batches, want)
+		})
+	}
+}
+
+// spawnCrashChild starts one coordinator child on dir/addr.
+func spawnCrashChild(t *testing.T, dir, addr, resultPath string, batches uint64) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		crashEnvDir+"="+dir,
+		crashEnvAddr+"="+addr,
+		crashEnvBatches+"="+strconv.FormatUint(batches, 10),
+		crashEnvResult+"="+resultPath,
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start coordinator child: %v", err)
+	}
+	return cmd
+}
+
+func runCrashCase(t *testing.T, killAfterChunks, workers int, batches uint64, want string) {
+	dir := t.TempDir()
+	resultPath := filepath.Join(dir, "result.txt")
+
+	// Reserve an address for both child generations. The listener is
+	// closed right before the first child starts; the tiny reuse window is
+	// harmless in a test namespace.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	child1 := spawnCrashChild(t, dir, addr, resultPath, batches)
+	killed := false
+	defer func() {
+		if !killed {
+			child1.Process.Kill()
+			child1.Wait()
+		}
+	}()
+
+	// Workers live in the parent and survive the coordinator crash; their
+	// register/lease backoff loops carry them across the restart.
+	stopWorkers := startWorkers(t, "http://"+addr, workers)
+	defer stopWorkers()
+
+	// Kill the coordinator once the journal shows enough merged chunks.
+	waitFor(t, 60*time.Second, fmt.Sprintf("%d journaled chunks", killAfterChunks), func() bool {
+		if c := countJournaledChunks(dir); c >= killAfterChunks {
+			return true
+		}
+		// A too-fast child may finish outright; that would invalidate the
+		// kill point, so fail loudly rather than pass vacuously.
+		if _, err := os.Stat(resultPath); err == nil {
+			t.Fatalf("job finished before the kill point (%d chunks)", killAfterChunks)
+		}
+		return false
+	})
+	if err := child1.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL coordinator: %v", err)
+	}
+	child1.Wait()
+	killed = true
+	t.Logf("crash: killed coordinator pid %d after >=%d chunks", child1.Process.Pid, killAfterChunks)
+
+	child2 := spawnCrashChild(t, dir, addr, resultPath, batches)
+	child2Done := false
+	defer func() {
+		if !child2Done {
+			child2.Process.Kill()
+			child2.Wait()
+		}
+	}()
+
+	waitFor(t, 120*time.Second, "the restarted coordinator's result", func() bool {
+		_, err := os.Stat(resultPath)
+		return err == nil
+	})
+	got, err := os.ReadFile(resultPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Errorf("curve after kill -9 + restart is not bit-identical:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if err := child2.Wait(); err != nil {
+		t.Errorf("restarted coordinator exited uncleanly: %v", err)
+	}
+	child2Done = true
+}

@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ahs/internal/mc"
+	"ahs/internal/telemetry"
+)
+
+// metricValue reads one unlabelled counter/gauge from the registry.
+func metricValue(t *testing.T, reg *telemetry.Registry, name string) float64 {
+	t.Helper()
+	for _, fam := range reg.Gather() {
+		if fam.Name == name {
+			if len(fam.Samples) == 0 {
+				return 0
+			}
+			return fam.Samples[0].Value
+		}
+	}
+	return 0
+}
+
+// waitFor polls cond every millisecond until it holds or the deadline
+// passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %v waiting for %s", d, what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWorkerDrainLosesNoCompletedWork: a worker soft-cancelled mid-lease
+// finishes the chunk, reports it, and deregisters — the coordinator never
+// has to requeue anything, and the job still finishes bit-identically.
+func TestWorkerDrainLosesNoCompletedWork(t *testing.T) {
+	sc := testScenario(3000)
+	want := singleProcessCurve(t, sc, 500)
+	reg := telemetry.NewRegistry()
+	coord, srv := testCluster(t, Config{ChunkBatches: 500, CheckEvery: 500, Telemetry: reg})
+
+	soft, softCancel := context.WithCancel(context.Background())
+	defer softCancel()
+	hard, hardCancel := context.WithCancel(context.Background())
+	defer hardCancel()
+	w := &Worker{
+		Coordinator: srv.URL,
+		ID:          "drain-w",
+		SimWorkers:  1,
+		HardContext: hard,
+		Logf:        t.Logf,
+	}
+	workerDone := make(chan error, 1)
+	go func() { workerDone <- w.Run(soft) }()
+	// The submit must see a live worker, or it takes the local fast path.
+	waitFor(t, 30*time.Second, "the worker to register", func() bool {
+		return coord.Status().WorkersLive >= 1
+	})
+
+	type result struct {
+		curve *mc.Curve
+		err   error
+	}
+	resc := make(chan result, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	go func() {
+		curve, _, err := coord.UnsafetyCurve(ctx, sc, 1, nil)
+		resc <- result{curve, err}
+	}()
+
+	// Wait until the worker holds a lease, then drain it mid-flight.
+	waitFor(t, 30*time.Second, "an outstanding lease", func() bool {
+		return coord.Status().LeasedChunks >= 1
+	})
+	softCancel()
+
+	select {
+	case err := <-workerDone:
+		if err != nil {
+			t.Fatalf("drained worker exited with error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drained worker did not exit")
+	}
+	// The departure is announced, not timed out: the worker is gone from
+	// the registry immediately, well inside the heartbeat window.
+	if st := coord.Status(); st.WorkersRegistered != 0 {
+		t.Errorf("WorkersRegistered = %d right after drain, want 0 (deregister)", st.WorkersRegistered)
+	}
+
+	// The rest of the job is rescued locally; the drained worker's chunks
+	// stay merged.
+	res := <-resc
+	if res.err != nil {
+		t.Fatalf("job failed after worker drain: %v", res.err)
+	}
+	assertBitIdentical(t, res.curve, want)
+
+	// The load-bearing assertion: nothing was ever requeued. The lease
+	// that was in flight at drain time was completed and delivered by the
+	// draining worker — had it been dropped, deregistration (or TTL
+	// expiry) would have requeued it.
+	if n := metricValue(t, reg, "ahs_cluster_chunks_requeued_total"); n != 0 {
+		t.Errorf("chunks requeued = %v, want 0 (drained worker lost work)", n)
+	}
+}
+
+// TestCoordinatorDrain: draining stops leasing (workers see empty
+// responses), fails in-flight callers with a resumable error, and leaves
+// journaled jobs recoverable by the next coordinator on the same journal.
+func TestCoordinatorDrain(t *testing.T) {
+	sc := testScenario(2000)
+	want := singleProcessCurve(t, sc, 500)
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalConfig{Dir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, srv := testCluster(t, Config{ChunkBatches: 500, CheckEvery: 500, Journal: j})
+
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := coord.UnsafetyCurve(context.Background(), sc, 1, nil)
+		errc <- err
+	}()
+	waitFor(t, 30*time.Second, "the job to be submitted", func() bool {
+		return coord.Status().ActiveJobs == 1
+	})
+
+	coord.Drain()
+	if err := <-errc; err == nil {
+		t.Fatal("in-flight caller returned nil during drain, want resumable error")
+	}
+	if st := coord.Status(); !st.Draining {
+		t.Error("Status().Draining = false after Drain")
+	}
+
+	// A draining coordinator answers lease polls with "no work".
+	rc := &rawClient{t: t, url: srv.URL, id: "post-drain"}
+	if code := rc.register(); code != 200 {
+		t.Fatalf("register during drain = %d, want 200", code)
+	}
+	if lease, code := rc.lease(); code != 200 || lease != nil {
+		t.Fatalf("lease during drain = (%v, %d), want (nil, 200)", lease, code)
+	}
+
+	coord.Close()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The journal still holds the job; a restarted coordinator resumes it.
+	j2, err := OpenJournal(JournalConfig{Dir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j2.Close() })
+	coord2, _ := testCluster(t, Config{ChunkBatches: 500, CheckEvery: 500, Journal: j2})
+	if st := coord2.Status(); st.RecoveredJobs != 1 {
+		t.Fatalf("RecoveredJobs after drain+restart = %d, want 1", st.RecoveredJobs)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	got, _, err := coord2.UnsafetyCurve(ctx, sc, 1, nil)
+	if err != nil {
+		t.Fatalf("resumed job failed: %v", err)
+	}
+	assertBitIdentical(t, got, want)
+}

@@ -1,0 +1,560 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"ahs/internal/config"
+	"ahs/internal/mc"
+	"ahs/internal/telemetry"
+)
+
+// The journal makes the coordinator crash-safe. Every job mutation that
+// matters for recovery — submission, each merged chunk, the terminal
+// outcome, and final disposal — is appended as one CRC-framed, fsync'd
+// record before the mutation is considered durable. After a crash (power
+// cut, kill -9, OOM) the coordinator replays the journal, rebuilds each
+// job's merger from the folded prefix, requeues the chunks that never
+// merged, and finishes the job with a curve bit-identical to an
+// uninterrupted run: chunk simulation is deterministic, so re-simulating a
+// lost chunk reproduces the exact bits the crashed process threw away.
+//
+// On-disk layout (inside JournalConfig.Dir):
+//
+//	snapshot.wal   compacted prefix: the records of every live job
+//	journal.wal    append-only tail since the last compaction
+//
+// Both files are sequences of frames:
+//
+//	uint32-LE payload length | uint32-LE CRC-32C of payload | payload
+//
+// The payload is one JSON journalRecord. A torn write (partial frame at
+// the tail) or a corrupted frame fails its CRC and cuts the replay at the
+// last valid frame — records are applied completely or not at all, never
+// half-applied. Compaction folds the tail into a fresh snapshot via
+// write-to-temp + fsync + atomic rename, then resets the tail; replay is
+// idempotent (duplicate submits and chunks are skipped), so a crash
+// between those two steps at worst replays records twice, harmlessly.
+
+// Journal file names inside the journal directory.
+const (
+	journalSnapshotName = "snapshot.wal"
+	journalTailName     = "journal.wal"
+)
+
+// maxJournalRecord bounds one frame's payload. Chunk states are kilobytes;
+// anything near this bound is corruption, not data.
+const maxJournalRecord = 64 << 20
+
+// crcTable is the Castagnoli polynomial table shared by all frames.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Journal record types.
+const (
+	recSubmit = "submit" // a job was accepted: scenario + shard layout
+	recChunk  = "chunk"  // one chunk's sufficient statistics merged
+	recFinish = "finish" // terminal outcome (success or permanent failure)
+	recDrop   = "drop"   // job delivered or abandoned: forget it entirely
+)
+
+// journalRecord is the JSON payload of one journal frame. Exactly one of
+// the type-specific field groups is populated, selected by Type.
+type journalRecord struct {
+	Type string `json:"type"`
+	// Job identifies the job all record types refer to. IDs are assigned
+	// once at submit and survive restarts.
+	Job uint64 `json:"job"`
+
+	// Submit fields: everything needed to rebuild the job byte-for-byte.
+	Scenario     *config.Scenario `json:"scenario,omitempty"`
+	Hash         string           `json:"hash,omitempty"`
+	RoundSize    uint64           `json:"roundSize,omitempty"`
+	ChunkBatches uint64           `json:"chunkBatches,omitempty"`
+	LocalWorkers int              `json:"localWorkers,omitempty"`
+
+	// Chunk field: the merged sufficient statistics.
+	State *mc.ChunkState `json:"state,omitempty"`
+
+	// Finish field: empty for success, the failure otherwise.
+	Error string `json:"error,omitempty"`
+}
+
+// journalJob is the folded per-job journal state: the submit record plus
+// every chunk merged so far, and the terminal outcome if one was reached.
+type journalJob struct {
+	id        uint64
+	submit    journalRecord
+	chunks    map[uint64]*mc.ChunkState // keyed by spec start
+	finished  bool
+	finishErr string
+}
+
+// JournalConfig configures OpenJournal. Only Dir is required.
+type JournalConfig struct {
+	// Dir is the journal directory, created if missing. One coordinator
+	// per directory; sharing corrupts both.
+	Dir string
+	// CompactEvery is the number of appended records between compactions
+	// (default 1024). Compaction cost is proportional to live-job state,
+	// which is small, so the default favours a short replay tail.
+	CompactEvery int
+	// NoSync skips the per-record fsync. Only benchmarks measuring the
+	// non-durability overhead should set it: a crash with NoSync loses
+	// whatever the OS had not flushed.
+	NoSync bool
+	// Telemetry, when non-nil, receives the ahs_journal_* families.
+	Telemetry *telemetry.Registry
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Journal is the coordinator's crash-recovery log. All methods are safe
+// for concurrent use. Open with OpenJournal, hand to cluster.Config.
+type Journal struct {
+	cfg     JournalConfig
+	metrics *journalMetrics
+
+	mu       sync.Mutex
+	tail     *os.File
+	jobs     map[uint64]*journalJob
+	replayed int // CRC-valid records recovered at open
+	dropped  int // torn/corrupt frames cut at open
+	appends  int // records appended since the last compaction
+	closed   bool
+}
+
+// OpenJournal opens (or creates) the journal directory, replays any
+// existing snapshot and tail — cutting torn or corrupt frames at the last
+// valid record — and positions the tail file for appending.
+func OpenJournal(cfg JournalConfig) (*Journal, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("cluster: journal needs a directory")
+	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = 1024
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: journal dir: %w", err)
+	}
+	j := &Journal{
+		cfg:  cfg,
+		jobs: make(map[uint64]*journalJob),
+	}
+	j.metrics = newJournalMetrics(cfg.Telemetry, j)
+
+	// Replay snapshot first (the compacted prefix), then the tail.
+	if err := j.replayFile(filepath.Join(cfg.Dir, journalSnapshotName), false); err != nil {
+		return nil, err
+	}
+	tailPath := filepath.Join(cfg.Dir, journalTailName)
+	if err := j.replayFile(tailPath, true); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(tailPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: open journal tail: %w", err)
+	}
+	j.tail = f
+	if j.replayed > 0 || j.dropped > 0 {
+		cfg.Logf("cluster: journal %s replayed %d records (%d torn/corrupt dropped), %d live jobs",
+			cfg.Dir, j.replayed, j.dropped, len(j.liveJobsLocked()))
+	}
+	return j, nil
+}
+
+// replayFile folds one journal file into the in-memory state. When
+// truncate is set, the file is cut back to its last CRC-valid frame so new
+// appends never follow garbage.
+func (j *Journal) replayFile(path string, truncate bool) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: read journal %s: %w", path, err)
+	}
+	valid, records, dropped := scanJournal(data)
+	for _, rec := range records {
+		j.fold(rec)
+	}
+	j.replayed += len(records)
+	j.dropped += dropped
+	j.metrics.replay(len(records), dropped)
+	if truncate && valid < int64(len(data)) {
+		j.cfg.Logf("cluster: journal %s: dropping %d torn/corrupt trailing bytes", path, int64(len(data))-valid)
+		if err := os.Truncate(path, valid); err != nil {
+			return fmt.Errorf("cluster: truncate journal %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// scanJournal walks framed records from data, returning the byte length of
+// the valid prefix, the decoded records, and the count of frames dropped
+// for CRC/JSON corruption. Scanning stops at the first torn or CRC-invalid
+// frame: everything after it is unreachable (frame boundaries are lost).
+func scanJournal(data []byte) (valid int64, records []journalRecord, dropped int) {
+	off := int64(0)
+	for {
+		rest := data[off:]
+		if len(rest) < 8 {
+			return off, records, dropped
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n > maxJournalRecord || int64(n) > int64(len(rest)-8) {
+			return off, records, dropped
+		}
+		payload := rest[8 : 8+n]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return off, records, dropped
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil || !rec.wellFormed() {
+			// CRC-valid but semantically broken: skip the frame, keep
+			// scanning — the framing is still intact past it.
+			dropped++
+		} else {
+			records = append(records, rec)
+		}
+		off += 8 + int64(n)
+		valid = off
+	}
+}
+
+// wellFormed checks the per-type field invariants a writer maintains, so
+// replay never builds jobs from half-described records.
+func (r *journalRecord) wellFormed() bool {
+	switch r.Type {
+	case recSubmit:
+		return r.Job != 0 && r.Scenario != nil && r.Hash != "" && r.RoundSize > 0
+	case recChunk:
+		return r.Job != 0 && r.State != nil && r.State.Spec.Count > 0
+	case recFinish, recDrop:
+		return r.Job != 0
+	default:
+		return false
+	}
+}
+
+// fold applies one record to the in-memory job state. Folding is
+// idempotent: duplicate submits, chunks, finishes and drops (possible
+// after a crash between compaction steps) change nothing.
+func (j *Journal) fold(rec journalRecord) {
+	switch rec.Type {
+	case recSubmit:
+		if _, ok := j.jobs[rec.Job]; !ok {
+			j.jobs[rec.Job] = &journalJob{
+				id:     rec.Job,
+				submit: rec,
+				chunks: make(map[uint64]*mc.ChunkState),
+			}
+		}
+	case recChunk:
+		if job, ok := j.jobs[rec.Job]; ok {
+			if _, dup := job.chunks[rec.State.Spec.Start]; !dup {
+				job.chunks[rec.State.Spec.Start] = rec.State
+			}
+		}
+	case recFinish:
+		if job, ok := j.jobs[rec.Job]; ok {
+			job.finished = true
+			job.finishErr = rec.Error
+		}
+	case recDrop:
+		delete(j.jobs, rec.Job)
+	}
+}
+
+// frameRecord encodes one record as a CRC frame ready to write.
+func frameRecord(rec journalRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encode journal record: %w", err)
+	}
+	if len(payload) > maxJournalRecord {
+		return nil, fmt.Errorf("cluster: journal record of %d bytes exceeds frame limit", len(payload))
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[8:], payload)
+	return frame, nil
+}
+
+// append frames, writes and (unless NoSync) fsyncs one record, folds it
+// into the in-memory state, and compacts when the tail has grown past
+// CompactEvery records. The record is durable when append returns.
+func (j *Journal) append(rec journalRecord) error {
+	frame, err := frameRecord(rec)
+	if err != nil {
+		return err
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("cluster: journal closed")
+	}
+	if _, err := j.tail.Write(frame); err != nil {
+		return fmt.Errorf("cluster: journal write: %w", err)
+	}
+	if !j.cfg.NoSync {
+		if err := j.tail.Sync(); err != nil {
+			return fmt.Errorf("cluster: journal fsync: %w", err)
+		}
+		j.metrics.fsynced()
+	}
+	j.fold(rec)
+	j.metrics.appended(len(frame))
+	j.appends++
+	if j.appends >= j.cfg.CompactEvery {
+		if err := j.compactLocked(); err != nil {
+			// A failed compaction loses nothing: the snapshot rename is
+			// atomic and the tail keeps growing. Log and carry on.
+			j.cfg.Logf("cluster: journal compaction failed: %v", err)
+		}
+	}
+	return nil
+}
+
+// compactLocked folds the current live-job state into a fresh snapshot and
+// resets the tail. Crash-safe ordering: the new snapshot is complete and
+// durably renamed before the tail is reset, and replay is idempotent, so a
+// crash anywhere in between at worst replays the old tail on top of the
+// new snapshot.
+func (j *Journal) compactLocked() error {
+	snapPath := filepath.Join(j.cfg.Dir, journalSnapshotName)
+	tmpPath := snapPath + ".tmp"
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmpPath)
+	for _, job := range j.liveJobsLocked() {
+		records := []journalRecord{job.submit}
+		starts := make([]uint64, 0, len(job.chunks))
+		for s := range job.chunks {
+			starts = append(starts, s)
+		}
+		sort.Slice(starts, func(a, b int) bool { return starts[a] < starts[b] })
+		for _, s := range starts {
+			records = append(records, journalRecord{Type: recChunk, Job: job.id, State: job.chunks[s]})
+		}
+		if job.finished {
+			records = append(records, journalRecord{Type: recFinish, Job: job.id, Error: job.finishErr})
+		}
+		for _, rec := range records {
+			frame, err := frameRecord(rec)
+			if err != nil {
+				tmp.Close()
+				return err
+			}
+			if _, err := tmp.Write(frame); err != nil {
+				tmp.Close()
+				return err
+			}
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, snapPath); err != nil {
+		return err
+	}
+	syncDir(j.cfg.Dir)
+
+	// Reset the tail: everything it held is now in the snapshot.
+	tailPath := filepath.Join(j.cfg.Dir, journalTailName)
+	if err := j.tail.Close(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(tailPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("cluster: reset journal tail: %w", err)
+	}
+	j.tail = f
+	j.appends = 0
+	j.metrics.compacted()
+	return nil
+}
+
+// liveJobsLocked returns the journal's jobs in id order.
+func (j *Journal) liveJobsLocked() []*journalJob {
+	jobs := make([]*journalJob, 0, len(j.jobs))
+	for _, job := range j.jobs {
+		jobs = append(jobs, job)
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].id < jobs[b].id })
+	return jobs
+}
+
+// recoveredJobs returns the folded per-job state for coordinator restore.
+// The returned jobs are snapshots: callers may read them while the journal
+// keeps appending. The *ChunkState values are shared but immutable once
+// journaled.
+func (j *Journal) recoveredJobs() []*journalJob {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	live := j.liveJobsLocked()
+	jobs := make([]*journalJob, len(live))
+	for i, job := range live {
+		cp := *job
+		cp.chunks = make(map[uint64]*mc.ChunkState, len(job.chunks))
+		for start, st := range job.chunks {
+			cp.chunks[start] = st
+		}
+		jobs[i] = &cp
+	}
+	return jobs
+}
+
+// maxJobID returns the highest job id the journal knows, so a restored
+// coordinator continues the id sequence instead of reusing ids.
+func (j *Journal) maxJobID() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var max uint64
+	for id := range j.jobs {
+		if id > max {
+			max = id
+		}
+	}
+	return max
+}
+
+// Sync flushes the tail to stable storage. Appends already sync
+// individually (unless NoSync); Sync exists for drain paths that want an
+// explicit barrier before exiting.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	if err := j.tail.Sync(); err != nil {
+		return err
+	}
+	j.metrics.fsynced()
+	return nil
+}
+
+// Close syncs and closes the journal. The coordinator must be closed (or
+// draining) first; appends after Close fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.tail.Sync(); err != nil {
+		j.tail.Close()
+		return err
+	}
+	return j.tail.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed file durably appears in it.
+// Best-effort: some filesystems refuse directory fsync, and the rename is
+// already atomic.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// journalMetrics holds the ahs_journal_* families; nil (no registry)
+// disables recording.
+type journalMetrics struct {
+	records     *telemetry.Counter
+	bytes       *telemetry.Counter
+	fsyncs      *telemetry.Counter
+	compactions *telemetry.Counter
+	replayedRec *telemetry.Counter
+	droppedRec  *telemetry.Counter
+}
+
+func newJournalMetrics(reg *telemetry.Registry, j *Journal) *journalMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &journalMetrics{
+		records: reg.Counter(telemetry.Opts{
+			Name: "ahs_journal_records_total",
+			Help: "Records appended to the job journal.",
+		}),
+		bytes: reg.Counter(telemetry.Opts{
+			Name: "ahs_journal_bytes_total",
+			Help: "Framed bytes appended to the job journal.",
+		}),
+		fsyncs: reg.Counter(telemetry.Opts{
+			Name: "ahs_journal_fsyncs_total",
+			Help: "fsync calls issued by the job journal.",
+		}),
+		compactions: reg.Counter(telemetry.Opts{
+			Name: "ahs_journal_compactions_total",
+			Help: "Snapshot compactions of the job journal.",
+		}),
+		replayedRec: reg.Counter(telemetry.Opts{
+			Name: "ahs_journal_replayed_records_total",
+			Help: "Records recovered by journal replay at startup.",
+		}),
+		droppedRec: reg.Counter(telemetry.Opts{
+			Name: "ahs_journal_dropped_records_total",
+			Help: "Torn or corrupt journal frames dropped by replay.",
+		}),
+	}
+	reg.GaugeFunc(telemetry.Opts{
+		Name: "ahs_journal_live_jobs",
+		Help: "Jobs currently tracked by the journal (not yet dropped).",
+	}, func() float64 {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return float64(len(j.jobs))
+	})
+	return m
+}
+
+func (m *journalMetrics) appended(frameBytes int) {
+	if m != nil {
+		m.records.Inc()
+		m.bytes.Add(uint64(frameBytes))
+	}
+}
+
+func (m *journalMetrics) fsynced() {
+	if m != nil {
+		m.fsyncs.Inc()
+	}
+}
+
+func (m *journalMetrics) compacted() {
+	if m != nil {
+		m.compactions.Inc()
+	}
+}
+
+func (m *journalMetrics) replay(records, dropped int) {
+	if m != nil {
+		m.replayedRec.Add(uint64(records))
+		m.droppedRec.Add(uint64(dropped))
+	}
+}

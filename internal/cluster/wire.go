@@ -28,10 +28,11 @@ import (
 
 // Wire paths of the coordinator API, mounted by Coordinator.Handler.
 const (
-	PathRegister = "/cluster/v1/register"
-	PathLease    = "/cluster/v1/lease"
-	PathComplete = "/cluster/v1/complete"
-	PathStatus   = "/cluster/v1/status"
+	PathRegister   = "/cluster/v1/register"
+	PathLease      = "/cluster/v1/lease"
+	PathComplete   = "/cluster/v1/complete"
+	PathDeregister = "/cluster/v1/deregister"
+	PathStatus     = "/cluster/v1/status"
 )
 
 // registerRequest announces a worker to the coordinator. Re-registering an
@@ -53,6 +54,17 @@ type registerResponse struct {
 // leaseRequest asks for one chunk of work.
 type leaseRequest struct {
 	WorkerID string `json:"workerId"`
+}
+
+// deregisterRequest announces a graceful worker departure: a draining
+// worker finishes its current lease, reports it, then deregisters so the
+// coordinator drops it immediately instead of after a heartbeat timeout.
+type deregisterRequest struct {
+	WorkerID string `json:"workerId"`
+}
+
+type deregisterResponse struct {
+	OK bool `json:"ok"`
 }
 
 // Lease is one unit of distributed work: simulate the chunk of the
@@ -118,6 +130,12 @@ type Status struct {
 	QueuedChunks int `json:"queuedChunks"`
 	// LeasedChunks counts chunks currently out on lease.
 	LeasedChunks int `json:"leasedChunks"`
+	// RecoveredJobs counts journal-restored jobs awaiting adoption by a
+	// re-submitted evaluation (see docs/cluster.md, "Failure model").
+	RecoveredJobs int `json:"recoveredJobs,omitempty"`
+	// Draining reports that the coordinator has stopped handing out
+	// leases ahead of a graceful shutdown.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // duration marshals a time.Duration as its string form ("1.5s"), keeping

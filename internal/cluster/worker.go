@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"time"
@@ -38,6 +39,17 @@ type Worker struct {
 	// Client is the HTTP client used for all calls (default: 30s
 	// timeout).
 	Client *http.Client
+	// RequestTimeout bounds each individual coordinator call via a
+	// per-request context deadline (default 15s, negative disables).
+	// Simulation time is not covered — only the HTTP exchanges are.
+	RequestTimeout time.Duration
+	// HardContext, when set, enables graceful draining: cancelling the
+	// ctx passed to Run stops the worker from taking new leases, but the
+	// chunk in flight keeps simulating — and its completion keeps
+	// retrying — until HardContext is cancelled too. The worker then
+	// deregisters and Run returns. When nil, cancelling Run's ctx aborts
+	// everything immediately (the pre-drain behavior).
+	HardContext context.Context
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 
@@ -53,10 +65,19 @@ type builtJob struct {
 	opts core.EvalOptions
 }
 
+// backoffSeed derives a deterministic jitter seed from the worker's
+// identity, so a worker's retry schedule is replayable from its ID alone.
+func (w *Worker) backoffSeed(stream uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(w.ID))
+	return h.Sum64() ^ stream
+}
+
 // Run registers with the coordinator and processes leases until ctx is
-// cancelled (returning nil) or the coordinator permanently refuses the
-// worker (returning the refusal). Transient transport errors retry with
-// capped exponential backoff.
+// cancelled (returning nil after a best-effort deregister) or the
+// coordinator permanently refuses the worker (returning the refusal).
+// Transient transport errors retry with full-jitter capped exponential
+// backoff. See HardContext for drain-versus-abort semantics.
 func (w *Worker) Run(ctx context.Context) error {
 	if w.Coordinator == "" {
 		return fmt.Errorf("cluster: worker needs a coordinator URL")
@@ -71,10 +92,19 @@ func (w *Worker) Run(ctx context.Context) error {
 	if w.Client == nil {
 		w.Client = &http.Client{Timeout: 30 * time.Second}
 	}
+	if w.RequestTimeout == 0 {
+		w.RequestTimeout = 15 * time.Second
+	}
 	if w.Logf == nil {
 		w.Logf = func(string, ...any) {}
 	}
-	for delay := 250 * time.Millisecond; ; {
+	hard := w.HardContext
+	if hard == nil {
+		hard = ctx
+	}
+
+	regBackoff := newBackoff(250*time.Millisecond, 4*time.Second, w.backoffSeed(1))
+	for {
 		err := w.register(ctx)
 		if err == nil {
 			break
@@ -87,18 +117,18 @@ func (w *Worker) Run(ctx context.Context) error {
 			return nil
 		}
 		w.Logf("cluster: worker %s register: %v (retrying)", w.ID, err)
-		if !sleep(ctx, delay) {
+		if !sleep(ctx, regBackoff.next()) {
 			return nil
-		}
-		if delay < 4*time.Second {
-			delay *= 2
 		}
 	}
 	w.Logf("cluster: worker %s registered with %s", w.ID, w.Coordinator)
 
-	backoff := w.poll
+	pollBackoff := newBackoff(w.poll, 8*w.poll, w.backoffSeed(2))
 	for {
-		if err := ctx.Err(); err != nil {
+		if ctx.Err() != nil {
+			// Drained (or aborted): leave cleanly so the coordinator
+			// does not wait a heartbeat timeout for us.
+			w.deregister(hard)
 			return nil
 		}
 		lease, err := w.lease(ctx)
@@ -109,7 +139,7 @@ func (w *Worker) Run(ctx context.Context) error {
 				return pe
 			}
 			if ctx.Err() != nil {
-				return nil
+				continue // loop top deregisters
 			}
 			w.Logf("cluster: worker %s lease poll: %v", w.ID, err)
 			// The coordinator may have restarted and lost us.
@@ -118,31 +148,30 @@ func (w *Worker) Run(ctx context.Context) error {
 					return pe
 				}
 			}
-			if !sleep(ctx, backoff) {
-				return nil
-			}
-			if backoff < 8*w.poll {
-				backoff *= 2
+			if !sleep(ctx, pollBackoff.next()) {
+				continue
 			}
 		case lease == nil:
-			backoff = w.poll
+			pollBackoff.reset()
 			if !sleep(ctx, w.poll) {
-				return nil
+				continue
 			}
 		default:
-			backoff = w.poll
-			w.runLease(ctx, lease)
+			pollBackoff.reset()
+			w.runLease(hard, lease)
 		}
 	}
 }
 
-// runLease simulates one lease and reports its outcome.
+// runLease simulates one lease and reports its outcome. It runs under the
+// hard context: a drain (soft cancel) lets the in-flight chunk finish and
+// its result be reported, so a drained worker loses no completed work.
 func (w *Worker) runLease(ctx context.Context, l *Lease) {
 	state, err := w.runChunk(ctx, l)
 	if err != nil {
 		if ctx.Err() != nil {
-			// Shutting down mid-chunk: drop the work; the lease
-			// expires back onto the queue.
+			// Hard abort mid-chunk: drop the work; the lease expires
+			// back onto the queue.
 			return
 		}
 		w.Logf("cluster: worker %s chunk %s failed: %v", w.ID, l.Spec, err)
@@ -226,7 +255,7 @@ func (w *Worker) lease(ctx context.Context) (*Lease, error) {
 // the result of minutes of simulation is worth a few seconds of stubbornness.
 func (w *Worker) complete(ctx context.Context, req completeRequest) {
 	var resp completeResponse
-	delay := 250 * time.Millisecond
+	b := newBackoff(250*time.Millisecond, 4*time.Second, w.backoffSeed(3))
 	for attempt := 0; attempt < 5; attempt++ {
 		err := w.post(ctx, PathComplete, req, &resp)
 		if err == nil {
@@ -240,11 +269,28 @@ func (w *Worker) complete(ctx context.Context, req completeRequest) {
 			return
 		}
 		w.Logf("cluster: worker %s complete %s: %v (retrying)", w.ID, req.LeaseID, err)
-		if !sleep(ctx, delay) {
+		if !sleep(ctx, b.next()) {
 			return
 		}
-		delay *= 2
 	}
+}
+
+// deregister announces a clean departure, best-effort with a short
+// deadline — if it fails, the coordinator drops the worker after a
+// heartbeat timeout anyway. A hard-aborted worker (ctx already cancelled)
+// skips the call entirely.
+func (w *Worker) deregister(ctx context.Context) {
+	if ctx.Err() != nil {
+		return
+	}
+	dctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+	defer cancel()
+	var resp deregisterResponse
+	if err := w.post(dctx, PathDeregister, deregisterRequest{WorkerID: w.ID}, &resp); err != nil {
+		w.Logf("cluster: worker %s deregister: %v", w.ID, err)
+		return
+	}
+	w.Logf("cluster: worker %s deregistered", w.ID)
 }
 
 // permanentError marks coordinator refusals that retrying cannot fix
@@ -253,9 +299,15 @@ type permanentError struct{ msg string }
 
 func (e *permanentError) Error() string { return e.msg }
 
-// post sends one JSON request and decodes the JSON response. 4xx statuses
-// other than 404 are permanent; everything else is transient.
+// post sends one JSON request and decodes the JSON response, bounded by
+// RequestTimeout. 4xx statuses other than 404 are permanent; everything
+// else is transient.
 func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	if w.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, w.RequestTimeout)
+		defer cancel()
+	}
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err

@@ -1,0 +1,314 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ahs/internal/telemetry"
+)
+
+// TestDecideDeterministic: two plans with the same seed draw the same
+// decision sequence per site, and different sites are independent.
+func TestDecideDeterministic(t *testing.T) {
+	mk := func() *Plan {
+		return NewPlan(Config{
+			Seed: 42,
+			Default: Rates{
+				DropRequest: 0.1, DropResponse: 0.1, Delay: 0.1,
+				Duplicate: 0.1, ServerError: 0.1, Reset: 0.1,
+			},
+		})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 200; i++ {
+		ka, da := a.Decide("/cluster/v1/lease")
+		kb, db := b.Decide("/cluster/v1/lease")
+		if ka != kb || da != db {
+			t.Fatalf("draw %d diverged: (%q,%v) vs (%q,%v)", i, ka, da, kb, db)
+		}
+	}
+	// A different seed should (overwhelmingly) diverge somewhere.
+	c := NewPlan(Config{Seed: 43, Default: Rates{DropRequest: 0.5}})
+	diverged := false
+	d := mk()
+	for i := 0; i < 200; i++ {
+		kc, _ := c.Decide("/x")
+		kd, _ := d.Decide("/x")
+		if kc != kd {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 42 and 43 produced identical 200-draw sequences")
+	}
+}
+
+// TestDecideRates: empirical fault frequency tracks the configured rates.
+func TestDecideRates(t *testing.T) {
+	p := NewPlan(Config{Seed: 7, Default: Rates{DropRequest: 0.2, ServerError: 0.1}})
+	const n = 20000
+	counts := map[Kind]int{}
+	for i := 0; i < n; i++ {
+		k, _ := p.Decide("/site")
+		counts[k]++
+	}
+	frac := func(k Kind) float64 { return float64(counts[k]) / n }
+	if f := frac(KindDropRequest); f < 0.17 || f > 0.23 {
+		t.Errorf("drop-request frequency %.3f, want ≈0.2", f)
+	}
+	if f := frac(KindServerError); f < 0.07 || f > 0.13 {
+		t.Errorf("server-error frequency %.3f, want ≈0.1", f)
+	}
+	if f := frac(""); f < 0.65 || f > 0.75 {
+		t.Errorf("pass-through frequency %.3f, want ≈0.7", f)
+	}
+	inj := p.Injected()
+	if got := inj["/site"][KindDropRequest]; got != uint64(counts[KindDropRequest]) {
+		t.Errorf("Injected() drop-request = %d, want %d", got, counts[KindDropRequest])
+	}
+}
+
+// TestTransportFaults drives each fault kind through a real server via a
+// per-site override so every request at a site draws the same kind.
+func TestTransportFaults(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	reg := telemetry.NewRegistry()
+	p := NewPlan(Config{
+		Seed: 1,
+		Sites: map[string]Rates{
+			"/drop-req":  {DropRequest: 1},
+			"/drop-resp": {DropResponse: 1},
+			"/dup":       {Duplicate: 1},
+			"/5xx":       {ServerError: 1},
+			"/reset":     {Reset: 1},
+			"/delay":     {Delay: 1, MaxDelay: 20 * time.Millisecond},
+			"/clean":     {},
+		},
+		Telemetry: reg,
+	})
+	client := &http.Client{Transport: p.Transport(nil)}
+	post := func(path string) (*http.Response, error) {
+		return client.Post(srv.URL+path, "text/plain", strings.NewReader("x"))
+	}
+
+	hits.Store(0)
+	if _, err := post("/drop-req"); err == nil {
+		t.Error("drop-request: want error, got nil")
+	}
+	if hits.Load() != 0 {
+		t.Errorf("drop-request reached the server %d times", hits.Load())
+	}
+
+	hits.Store(0)
+	if _, err := post("/drop-resp"); err == nil {
+		t.Error("drop-response: want error, got nil")
+	}
+	if hits.Load() != 1 {
+		t.Errorf("drop-response server hits = %d, want 1 (delivered, response dropped)", hits.Load())
+	}
+
+	hits.Store(0)
+	resp, err := post("/dup")
+	if err != nil {
+		t.Fatalf("duplicate: %v", err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 2 {
+		t.Errorf("duplicate server hits = %d, want 2", hits.Load())
+	}
+
+	hits.Store(0)
+	resp, err = post("/5xx")
+	if err != nil {
+		t.Fatalf("server-error: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("server-error status = %d, want 503", resp.StatusCode)
+	}
+	if hits.Load() != 0 {
+		t.Errorf("server-error reached the server %d times", hits.Load())
+	}
+
+	if _, err := post("/reset"); err == nil {
+		t.Error("reset: want error, got nil")
+	} else {
+		var ne net.Error
+		if !errors.As(err, &ne) {
+			t.Errorf("reset error %T does not implement net.Error", errors.Unwrap(err))
+		}
+	}
+
+	start := time.Now()
+	resp, err = post("/delay")
+	if err != nil {
+		t.Fatalf("delay: %v", err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("delay took %v, want bounded by MaxDelay plus request time", elapsed)
+	}
+
+	resp, err = post("/clean")
+	if err != nil {
+		t.Fatalf("clean site: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("clean site status = %d, want 200", resp.StatusCode)
+	}
+
+	var dump strings.Builder
+	if err := reg.WriteText(&dump); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if !strings.Contains(dump.String(), "ahs_fault_injected_total{") ||
+		!strings.Contains(dump.String(), `"drop-request"`) {
+		t.Errorf("telemetry missing ahs_fault_injected_total for /drop-req:\n%s", dump.String())
+	}
+}
+
+// TestTransportDelayHonorsContext: a delayed call aborts promptly when its
+// context is cancelled mid-stall.
+func TestTransportDelayHonorsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	p := NewPlan(Config{Seed: 9, Default: Rates{Delay: 1, MaxDelay: 10 * time.Second}})
+	client := &http.Client{Transport: p.Transport(nil)}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/slow", nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("want context error, got nil")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled delay still took %v", elapsed)
+	}
+}
+
+// TestHandlerFaults exercises the server-side wrapper: aborted connections
+// for drops, synthesized 503s, pass-through otherwise.
+func TestHandlerFaults(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.Write([]byte("ok")) })
+
+	p := NewPlan(Config{Seed: 3, Sites: map[string]Rates{
+		"/die":   {Reset: 1},
+		"/5xx":   {ServerError: 1},
+		"/clean": {},
+	}})
+	srv := httptest.NewServer(p.Handler("", inner))
+	defer srv.Close()
+
+	if _, err := http.Get(srv.URL + "/die"); err == nil {
+		t.Error("aborted handler: want transport error, got nil")
+	}
+	resp, err := http.Get(srv.URL + "/5xx")
+	if err != nil {
+		t.Fatalf("5xx: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("5xx status = %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/clean")
+	if err != nil {
+		t.Fatalf("clean: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Errorf("clean body = %q, want ok", body)
+	}
+}
+
+// TestPauser: paused calls block until Resume, and respect cancellation.
+func TestPauser(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.Write([]byte("ok")) }))
+	defer srv.Close()
+
+	pauser := NewPauser(nil)
+	client := &http.Client{Transport: pauser}
+
+	// Running: calls pass.
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("running pauser: %v", err)
+	}
+	resp.Body.Close()
+
+	pauser.Pause()
+	pauser.Pause() // idempotent
+	done := make(chan error, 1)
+	go func() {
+		resp, err := client.Get(srv.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("paused call returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	pauser.Resume()
+	pauser.Resume() // idempotent
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("resumed call: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("resumed call never completed")
+	}
+
+	// A paused call with a cancelled context returns promptly.
+	pauser.Pause()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("paused+cancelled call: want error, got nil")
+	}
+	pauser.Resume()
+}
+
+// TestRandDeterministic: harness streams are reproducible by (seed, purpose).
+func TestRandDeterministic(t *testing.T) {
+	a, b := Rand(5, "kill"), Rand(5, "kill")
+	for i := 0; i < 50; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: %d != %d", i, av, bv)
+		}
+	}
+	c := Rand(5, "pause")
+	same := true
+	d := Rand(5, "kill")
+	for i := 0; i < 50; i++ {
+		if c.Uint64() != d.Uint64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("purposes kill and pause share a stream")
+	}
+}

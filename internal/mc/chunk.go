@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 
 	"ahs/internal/stats"
 )
@@ -269,6 +270,27 @@ func (m *Merger) fold() {
 			}
 		}
 	}
+}
+
+// Covered reports whether the batch range of spec is already accounted for
+// by an added chunk — exactly, as a duplicate of a previous Add. Recovery
+// paths (journal replay) use it to skip re-applying chunks idempotently
+// instead of tripping the overlap rejection.
+func (m *Merger) Covered(spec ChunkSpec) bool {
+	end, ok := m.added[spec.Start]
+	return ok && end == spec.End()
+}
+
+// Added returns the specs of every added chunk in ascending start order,
+// including chunks still pending (not yet part of the contiguous folded
+// prefix). Restores use it to compute which shards still need simulating.
+func (m *Merger) Added() []ChunkSpec {
+	specs := make([]ChunkSpec, 0, len(m.added))
+	for start, end := range m.added {
+		specs = append(specs, ChunkSpec{Start: start, Count: end - start})
+	}
+	sort.Slice(specs, func(a, b int) bool { return specs[a].Start < specs[b].Start })
+	return specs
 }
 
 // Done returns the number of batches folded into the contiguous prefix.

@@ -53,6 +53,8 @@ func ClusterBackend(coord *cluster.Coordinator) func() BackendHealth {
 			Ready:             true, // no workers → transparent local fallback
 			WorkersRegistered: st.WorkersRegistered,
 			WorkersLive:       st.WorkersLive,
+			RecoveredJobs:     st.RecoveredJobs,
+			Draining:          st.Draining,
 		}
 	}
 }

@@ -86,6 +86,13 @@ type BackendHealth struct {
 	// local mode.
 	WorkersRegistered int `json:"workersRegistered,omitempty"`
 	WorkersLive       int `json:"workersLive,omitempty"`
+	// RecoveredJobs counts journal-restored cluster jobs awaiting
+	// re-submission of their scenario (see docs/cluster.md, "Failure
+	// model & recovery"); always zero in local mode and without -journal-dir.
+	RecoveredJobs int `json:"recoveredJobs,omitempty"`
+	// Draining reports a coordinator that has stopped leasing ahead of a
+	// graceful shutdown.
+	Draining bool `json:"draining,omitempty"`
 }
 
 func (c Config) withDefaults() Config {
