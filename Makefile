@@ -3,7 +3,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build vet test race lint tools sanlint serve worker cluster-smoke chaos fuzz bench profile figures figures-full docs clean
+.PHONY: all build vet test race lint tools sanlint serve worker cluster-smoke sweep-smoke chaos fuzz bench profile figures figures-full docs clean
 
 all: build lint test
 
@@ -61,6 +61,31 @@ cluster-smoke:
 	$(GO) test -count=1 ./internal/cluster/ ./internal/mc/ -run 'Chunk|Cluster|Shard|Merger'
 	$(GO) test -count=1 ./internal/service/ ./cmd/ahs-serve/ -run 'Cluster|Backend'
 	$(GO) run ./examples/cluster
+
+# End-to-end check of the parameter-sweep engine: the sweep test suite
+# (expansion goldens, engine scheduling, per-point bit-identity against
+# standalone evaluation, locally and via the cluster backend), then the
+# committed example grid driven through a live ahs-serve by cmd/ahs-sweep.
+# The CLI exits non-zero unless every point completes, and the smoke fails
+# unless the response-surface report actually rendered.
+sweep-smoke:
+	$(GO) test -count=1 ./internal/sweep/
+	$(GO) build -o $(BIN)/ahs-serve ./cmd/ahs-serve
+	$(GO) build -o $(BIN)/ahs-sweep ./cmd/ahs-sweep
+	@set -e; \
+	$(BIN)/ahs-serve -addr 127.0.0.1:18099 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 100); do \
+		curl -fsS http://127.0.0.1:18099/healthz >/dev/null 2>&1 && break; \
+		sleep 0.1; \
+	done; \
+	$(BIN)/ahs-sweep -spec docs/sweep-example.json -server http://127.0.0.1:18099 \
+		-poll 100ms -timeout 5m \
+		-csv $(BIN)/sweep-smoke.csv -html $(BIN)/sweep-smoke.html; \
+	test -s $(BIN)/sweep-smoke.csv; \
+	test -s $(BIN)/sweep-smoke.html; \
+	grep -q "<svg" $(BIN)/sweep-smoke.html; \
+	echo "sweep-smoke: all points completed and the report rendered"
 
 # Crash-safety suite under the race detector: deterministic fault
 # injection, seeded chaos schedules (worker kills/pauses + network

@@ -32,6 +32,7 @@ import (
 
 	"ahs/internal/cluster"
 	"ahs/internal/service"
+	"ahs/internal/sweep"
 	"ahs/internal/telemetry"
 )
 
@@ -63,6 +64,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		leaseTTL      = fs.Duration("lease-ttl", 2*time.Minute, "cluster chunk lease duration before requeue")
 		chunkBatches  = fs.Uint64("chunk-batches", 0, "cluster lease granularity in batches, rounded up to whole accumulation rounds (0 = four rounds)")
 		journalDir    = fs.String("journal-dir", "", "cluster job-journal directory for crash-safe evaluation (requires -cluster; empty = no journal, jobs are lost on crash)")
+		sweepInFlight = fs.Int("sweep-inflight", 4, "default per-sweep bound on concurrently submitted design points")
+		sweepMaxPts   = fs.Int("sweep-max-points", 4096, "reject sweep designs expanding beyond this many points")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,12 +117,23 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		cfg.Backend = service.ClusterBackend(coord)
 	}
 	mgr := service.NewManager(cfg)
-	handler := service.NewHandler(mgr)
+	// The sweep engine fans whole parameter designs out through the same
+	// manager, so sweep points share the dedup table, cache and backend
+	// (cluster included) with direct /v1/evaluate submissions.
+	eng := sweep.NewEngine(sweep.Config{
+		Manager:     mgr,
+		Telemetry:   mgr.Registry(),
+		MaxInFlight: *sweepInFlight,
+		MaxPoints:   *sweepMaxPts,
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/", service.NewHandler(mgr))
+	sweepHandler := sweep.NewHandler(eng)
+	mux.Handle("/v1/sweeps", sweepHandler)
+	mux.Handle("/v1/sweeps/", sweepHandler)
+	var handler http.Handler = mux
 	if coord != nil {
-		mux := http.NewServeMux()
-		mux.Handle("/", handler)
 		mux.Handle("/cluster/v1/", coord.Handler())
-		handler = mux
 	}
 	if *debug {
 		// Profiling endpoints are opt-in: they expose goroutine dumps and
@@ -176,7 +190,15 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	}
 	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancelDrain()
-	if err := mgr.Shutdown(drainCtx); err != nil {
+	err = mgr.Shutdown(drainCtx)
+	// Reap sweep orchestration after the manager drains: settled jobs have
+	// already resolved their points, so Close only stops bookkeeping.
+	closeCtx, cancelClose := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelClose()
+	if cerr := eng.Close(closeCtx); cerr != nil {
+		log.Printf("ahs-serve: sweep engine close: %v", cerr)
+	}
+	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			log.Printf("ahs-serve: drain budget exceeded, in-flight jobs cancelled")
 			return nil

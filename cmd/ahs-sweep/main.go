@@ -1,0 +1,244 @@
+// Command ahs-sweep submits a parameter-sweep spec (internal/sweep JSON
+// schema, see docs/sweep-example.json and docs/api.md) and writes the
+// per-point result table once every design point has settled.
+//
+// Two execution modes share the same spec and outputs:
+//
+//	ahs-sweep -spec docs/sweep-example.json                  # in-process
+//	ahs-sweep -spec design.json -server http://host:8080     # live ahs-serve
+//
+// Against a server the whole design fans out through the service job
+// manager — and through the cluster when the server runs -cluster — with
+// deduplication by canonical scenario hash; either way each point's curve
+// is bit-identical to evaluating that scenario alone. -csv and -html add a
+// machine-readable table and the response-surface report.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ahs/internal/report"
+	"ahs/internal/service"
+	"ahs/internal/sweep"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ahs-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ahs-sweep", flag.ContinueOnError)
+	var (
+		specPath     = fs.String("spec", "", "sweep spec file (required)")
+		server       = fs.String("server", "", "ahs-serve base URL; empty runs the sweep in-process")
+		workers      = fs.Int("workers", 2, "in-process mode: jobs evaluated concurrently")
+		inFlight     = fs.Int("inflight", 4, "default per-sweep bound on concurrently submitted points")
+		poll         = fs.Duration("poll", 500*time.Millisecond, "server mode: status polling interval")
+		timeout      = fs.Duration("timeout", 0, "overall deadline (0 = none)")
+		csvPath      = fs.String("csv", "", "also write the result table as CSV to this file")
+		htmlPath     = fs.String("html", "", "also write the response-surface HTML report to this file")
+		allowPartial = fs.Bool("allow-partial", false, "exit 0 even when some points failed or were cancelled")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *specPath == "" {
+		return fmt.Errorf("-spec is required")
+	}
+	sp, err := sweep.LoadFile(*specPath)
+	if err != nil {
+		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var results []sweep.PointResult
+	var view sweep.View
+	if *server != "" {
+		view, results, err = runRemote(ctx, *server, *specPath, *poll, *htmlPath)
+	} else {
+		view, results, err = runLocal(ctx, sp, *workers, *inFlight)
+	}
+	if err != nil {
+		return err
+	}
+
+	header, rows := sweep.ResultRows(sp, results)
+	fmt.Fprintf(out, "sweep %s: %s — %d points (%d unique, %d deduped), %d completed, %d failed, %d cancelled\n",
+		view.ID, view.Status, view.Points, view.UniquePoints, view.Deduped,
+		view.Completed, view.Failed, view.Cancelled)
+	fmt.Fprint(out, report.Table(header, rows))
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteCSV(f, header, rows); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *htmlPath != "" && *server == "" {
+		f, err := os.Create(*htmlPath)
+		if err != nil {
+			return err
+		}
+		if err := sweep.WriteReport(f, sp, results); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if !*allowPartial && view.Status != sweep.StatusDone {
+		return fmt.Errorf("sweep finished %s: %d failed, %d cancelled", view.Status, view.Failed, view.Cancelled)
+	}
+	return nil
+}
+
+// runLocal evaluates the design in-process through a private job manager.
+func runLocal(ctx context.Context, sp *sweep.Spec, workers, inFlight int) (sweep.View, []sweep.PointResult, error) {
+	mgr := service.NewManager(service.Config{Workers: workers})
+	defer func() {
+		sdCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = mgr.Shutdown(sdCtx)
+	}()
+	eng := sweep.NewEngine(sweep.Config{Manager: mgr, MaxInFlight: inFlight})
+	defer func() {
+		clCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = eng.Close(clCtx)
+	}()
+
+	view, err := eng.Submit(sp)
+	if err != nil {
+		return sweep.View{}, nil, err
+	}
+	if view, err = eng.Wait(ctx, view.ID); err != nil {
+		return sweep.View{}, nil, err
+	}
+	results, err := eng.Results(view.ID)
+	return view, results, err
+}
+
+// runRemote submits the spec file to a live ahs-serve and polls until the
+// sweep settles; htmlPath, when set, downloads the server-rendered report.
+func runRemote(ctx context.Context, server, specPath string, poll time.Duration, htmlPath string) (sweep.View, []sweep.PointResult, error) {
+	raw, err := os.ReadFile(specPath)
+	if err != nil {
+		return sweep.View{}, nil, err
+	}
+	var ack struct {
+		ID         string `json:"id"`
+		StatusURL  string `json:"statusUrl"`
+		ResultsURL string `json:"resultsUrl"`
+		ReportURL  string `json:"reportUrl"`
+		Error      string `json:"error"`
+	}
+	if err := doJSON(ctx, http.MethodPost, server+"/v1/sweeps", raw, &ack); err != nil {
+		return sweep.View{}, nil, err
+	}
+	if ack.Error != "" {
+		return sweep.View{}, nil, fmt.Errorf("server rejected spec: %s", ack.Error)
+	}
+
+	var view sweep.View
+	for {
+		if err := doJSON(ctx, http.MethodGet, server+ack.StatusURL, nil, &view); err != nil {
+			return sweep.View{}, nil, err
+		}
+		if view.Status.Terminal() {
+			break
+		}
+		select {
+		case <-time.After(poll):
+		case <-ctx.Done():
+			return sweep.View{}, nil, ctx.Err()
+		}
+	}
+
+	var results []sweep.PointResult
+	if err := doJSON(ctx, http.MethodGet, server+ack.ResultsURL, nil, &results); err != nil {
+		return sweep.View{}, nil, err
+	}
+	if htmlPath != "" {
+		page, err := doRaw(ctx, server+ack.ReportURL)
+		if err != nil {
+			return sweep.View{}, nil, err
+		}
+		if err := os.WriteFile(htmlPath, page, 0o644); err != nil {
+			return sweep.View{}, nil, err
+		}
+	}
+	return view, results, nil
+}
+
+func doJSON(ctx context.Context, method, url string, body []byte, v any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("%s %s: %s: %s", method, url, resp.Status, bytes.TrimSpace(data))
+	}
+	return json.Unmarshal(data, v)
+}
+
+func doRaw(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+}

@@ -37,7 +37,7 @@ func Chart(res *experiments.Result, width, height int) string {
 	for si, s := range res.Series {
 		mark := chartMarks[si%len(chartMarks)]
 		for i := range s.X {
-			if s.Y[i] <= 0 {
+			if !plottable(s.X[i], s.Y[i]) {
 				skipped++
 				continue
 			}
@@ -96,7 +96,14 @@ func Chart(res *experiments.Result, width, height int) string {
 		fmt.Fprintf(&b, "  %c %s\n", chartMarks[si%len(chartMarks)], s.Label)
 	}
 	if skipped > 0 {
-		fmt.Fprintf(&b, "  (%d zero estimates not plotted)\n", skipped)
+		fmt.Fprintf(&b, "  (%d zero or non-finite estimates not plotted)\n", skipped)
 	}
 	return b.String()
+}
+
+// plottable reports whether a point can live on a log-y chart: finite x,
+// strictly positive finite y. NaN and ±Inf estimates (degenerate sweeps,
+// zero-hit rare events) are skipped rather than corrupting the axes.
+func plottable(x, y float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0) && y > 0 && !math.IsInf(y, 1)
 }

@@ -145,7 +145,7 @@ func TestChartRendersAllSeries(t *testing.T) {
 		t.Fatalf("marks missing:\n%s", out)
 	}
 	// One zero estimate is reported as skipped.
-	if !strings.Contains(out, "1 zero estimates not plotted") {
+	if !strings.Contains(out, "1 zero or non-finite estimates not plotted") {
 		t.Fatalf("skip note missing:\n%s", out)
 	}
 }

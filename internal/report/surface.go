@@ -1,0 +1,167 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"ahs/internal/experiments"
+	"ahs/internal/stats"
+)
+
+// SurfacePoint is one evaluated point of a parameter sweep, flattened to
+// the response measure: the unsafety estimate Y at sweep coordinate X,
+// grouped into the series named Series (typically the coordination
+// strategy, or any categorical-axis combination).
+type SurfacePoint struct {
+	Series  string
+	X       float64
+	Y       float64
+	CILo    float64
+	CIHi    float64
+	Batches uint64
+}
+
+// Surface assembles sweep points into a figure result: one series per
+// distinct Series label (in first-appearance order, so mixed-strategy
+// sweeps keep their design order), each sorted by X. The result renders
+// through the same table/SVG/HTML pipeline as the paper figures, turning
+// hand-picked points into a generated response surface.
+func Surface(id, title, xLabel, yLabel string, pts []SurfacePoint) *experiments.Result {
+	res := &experiments.Result{ID: id, Title: title, XLabel: xLabel, YLabel: yLabel}
+	order := []string{}
+	grouped := map[string][]SurfacePoint{}
+	for _, p := range pts {
+		if _, ok := grouped[p.Series]; !ok {
+			order = append(order, p.Series)
+		}
+		grouped[p.Series] = append(grouped[p.Series], p)
+	}
+	for _, label := range order {
+		group := grouped[label]
+		sort.SliceStable(group, func(i, j int) bool { return group[i].X < group[j].X })
+		s := experiments.Series{Label: label}
+		for _, p := range group {
+			s.X = append(s.X, p.X)
+			s.Y = append(s.Y, p.Y)
+			s.CI = append(s.CI, stats.Interval{Lo: p.CILo, Hi: p.CIHi})
+			// Batches reports the per-series total simulation effort.
+			s.Batches += p.Batches
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res
+}
+
+// SensitivityRows summarizes each series of a response surface: the
+// minimum and maximum response over the swept range, their spread, and the
+// max/min ratio (the dynamic range of the safety claim under that series).
+// Non-finite and non-positive estimates are excluded from the extremes; a
+// series with no usable points renders dashes.
+func SensitivityRows(res *experiments.Result) (header []string, rows [][]string) {
+	header = []string{"series", "points", "min " + res.YLabel, "max " + res.YLabel, "spread", "max/min"}
+	for _, s := range res.Series {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		usable := 0
+		for _, y := range s.Y {
+			if !(y > 0) || math.IsInf(y, 0) { // excludes NaN and zero/negative
+				continue
+			}
+			usable++
+			lo, hi = math.Min(lo, y), math.Max(hi, y)
+		}
+		if usable == 0 {
+			rows = append(rows, []string{s.Label, "0", "-", "-", "-", "-"})
+			continue
+		}
+		rows = append(rows, []string{
+			s.Label,
+			fmt.Sprintf("%d", usable),
+			FormatProb(lo),
+			FormatProb(hi),
+			FormatProb(hi - lo),
+			fmt.Sprintf("%.3g", hi/lo),
+		})
+	}
+	return header, rows
+}
+
+// WriteSurfaceHTML renders response surfaces as one self-contained HTML
+// page: per surface the SVG chart, the sensitivity table, and the full
+// data table. An empty surface (no points at all) renders an explicit
+// empty-state note instead of a chart, so reports of failed or degenerate
+// sweeps stay self-describing.
+func WriteSurfaceHTML(w io.Writer, title string, results []*experiments.Result) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
+	b.WriteString(`<style>
+body { font-family: sans-serif; margin: 2rem auto; max-width: 860px; color: #222; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2.5rem; }
+h3 { font-size: 0.95rem; margin-bottom: 0.25rem; }
+table { border-collapse: collapse; font-size: 0.85rem; margin-top: 0.75rem; }
+th, td { border: 1px solid #ccc; padding: 0.25rem 0.6rem; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+p.empty { font-style: italic; color: #666; }
+</style>
+</head>
+<body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(title))
+	if len(results) == 0 {
+		b.WriteString("<p class=\"empty\">No response surfaces: the sweep produced no renderable points.</p>\n")
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+
+	writeTable := func(b *strings.Builder, cols []string, rows [][]string) {
+		b.WriteString("<table>\n<tr>")
+		for _, h := range cols {
+			fmt.Fprintf(b, "<th>%s</th>", html.EscapeString(h))
+		}
+		b.WriteString("</tr>\n")
+		for _, row := range rows {
+			b.WriteString("<tr>")
+			for _, cell := range row {
+				fmt.Fprintf(b, "<td>%s</td>", html.EscapeString(cell))
+			}
+			b.WriteString("</tr>\n")
+		}
+		b.WriteString("</table>\n")
+	}
+
+	for _, res := range results {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "<h2 id=%q>%s — %s</h2>\n",
+			res.ID, html.EscapeString(strings.ToUpper(res.ID)), html.EscapeString(res.Title))
+		if len(res.Series) == 0 {
+			sb.WriteString("<p class=\"empty\">Empty sweep: no points to plot.</p>\n")
+			if _, err := io.WriteString(w, sb.String()); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := io.WriteString(w, sb.String()); err != nil {
+			return err
+		}
+		if err := WriteSVG(w, res); err != nil {
+			return err
+		}
+		sb.Reset()
+		sb.WriteString("<h3>Sensitivity</h3>\n")
+		sh, srows := SensitivityRows(res)
+		writeTable(&sb, sh, srows)
+		sb.WriteString("<h3>Data</h3>\n")
+		cols, rows := ResultRows(res)
+		writeTable(&sb, cols, rows)
+		if _, err := io.WriteString(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "</body>\n</html>\n")
+	return err
+}

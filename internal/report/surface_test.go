@@ -1,0 +1,154 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ahs/internal/experiments"
+)
+
+func TestSurfaceGroupsInFirstAppearanceOrderAndSortsByX(t *testing.T) {
+	pts := []SurfacePoint{
+		{Series: "strategy=DC", X: 2, Y: 0.2, Batches: 100},
+		{Series: "strategy=DD", X: 3, Y: 0.3, Batches: 100},
+		{Series: "strategy=DC", X: 1, Y: 0.1, Batches: 100},
+		{Series: "strategy=DD", X: 2, Y: 0.25, Batches: 100},
+	}
+	res := Surface("sweep", "t", "lambda", "unsafety", pts)
+	if len(res.Series) != 2 {
+		t.Fatalf("got %d series", len(res.Series))
+	}
+	if res.Series[0].Label != "strategy=DC" || res.Series[1].Label != "strategy=DD" {
+		t.Fatalf("series order: %q, %q", res.Series[0].Label, res.Series[1].Label)
+	}
+	dc := res.Series[0]
+	if dc.X[0] != 1 || dc.X[1] != 2 { //ahsvet:ignore floateq exact literal round-trip, no arithmetic involved
+		t.Fatalf("series not sorted by X: %v", dc.X)
+	}
+	if dc.Y[0] != 0.1 { //ahsvet:ignore floateq exact literal round-trip, no arithmetic involved
+		t.Fatalf("Y not reordered with X: %v", dc.Y)
+	}
+	if dc.Batches != 200 {
+		t.Fatalf("per-series batches not accumulated: %d", dc.Batches)
+	}
+	if len(dc.CI) != len(dc.X) {
+		t.Fatalf("CI length %d != X length %d", len(dc.CI), len(dc.X))
+	}
+}
+
+func TestSensitivityRowsExcludesDegenerateEstimates(t *testing.T) {
+	res := &experiments.Result{
+		YLabel: "unsafety",
+		Series: []experiments.Series{
+			{Label: "ok", Y: []float64{0.1, 0.5, math.NaN(), 0, math.Inf(1)}},
+			{Label: "dead", Y: []float64{math.NaN(), 0}},
+		},
+	}
+	header, rows := SensitivityRows(res)
+	if len(header) != 6 || header[0] != "series" {
+		t.Fatalf("header: %v", header)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	ok := rows[0]
+	if ok[1] != "2" {
+		t.Fatalf("usable count: %v", ok)
+	}
+	if ok[5] != "5" {
+		t.Fatalf("max/min ratio: %v", ok)
+	}
+	dead := rows[1]
+	for _, cell := range dead[2:] {
+		if cell != "-" {
+			t.Fatalf("series with no usable points must render dashes: %v", dead)
+		}
+	}
+}
+
+func TestWriteSurfaceHTMLEmptyStates(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSurfaceHTML(&b, "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "No response surfaces") {
+		t.Fatalf("no-results page lacks the empty-state note:\n%s", b.String())
+	}
+
+	b.Reset()
+	res := Surface("sweep", "t", "x", "y", nil)
+	if err := WriteSurfaceHTML(&b, "empty sweep", []*experiments.Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Empty sweep: no points to plot.") {
+		t.Fatalf("empty-series page lacks the empty-state note:\n%s", out)
+	}
+	if strings.Contains(out, "<svg") {
+		t.Fatal("empty sweep must not render a chart")
+	}
+}
+
+func TestWriteSurfaceHTMLSinglePointSweep(t *testing.T) {
+	res := Surface("sweep", "one point", "lambda", "unsafety", []SurfacePoint{
+		{Series: "strategy=DD", X: 0.01, Y: 0.002, CILo: 0.001, CIHi: 0.003, Batches: 100},
+	})
+	var b strings.Builder
+	if err := WriteSurfaceHTML(&b, "single", []*experiments.Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, "strategy=DD") {
+		t.Fatalf("single-point sweep failed to render a chart:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatal("degenerate single-point axis produced non-finite coordinates")
+	}
+}
+
+// TestWriteSurfaceHTMLRobustToNaNAndZeroWidthCIs pins the renderer against
+// the degenerate outputs a sweep can produce: NaN estimates from zero-hit
+// points, zero-width confidence intervals from fully converged ones, and
+// infinite CI bounds. None of these may corrupt the SVG coordinates.
+func TestWriteSurfaceHTMLRobustToNaNAndZeroWidthCIs(t *testing.T) {
+	pts := []SurfacePoint{
+		{Series: "s", X: 1, Y: 0.1, CILo: 0.1, CIHi: 0.1},                      // zero-width CI
+		{Series: "s", X: 2, Y: math.NaN(), CILo: math.NaN(), CIHi: math.NaN()}, // zero-hit point
+		{Series: "s", X: 3, Y: 0.2, CILo: 0.1, CIHi: math.Inf(1)},              // unbounded CI
+		{Series: "s", X: math.NaN(), Y: 0.3},                                   // broken coordinate
+	}
+	res := Surface("sweep", "degenerate", "x", "y", pts)
+	var b strings.Builder
+	if err := WriteSurfaceHTML(&b, "degenerate", []*experiments.Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	svgStart := strings.Index(out, "<svg")
+	svgEnd := strings.Index(out, "</svg>")
+	if svgStart < 0 || svgEnd < 0 {
+		t.Fatalf("chart missing:\n%s", out)
+	}
+	svg := out[svgStart:svgEnd]
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatalf("SVG contains non-finite coordinates:\n%s", svg)
+	}
+}
+
+func TestChartSkipsNaNPoints(t *testing.T) {
+	res := &experiments.Result{
+		ID: "sweep", Title: "t", XLabel: "x", YLabel: "y",
+		Series: []experiments.Series{{
+			Label: "s",
+			X:     []float64{1, 2, 3},
+			Y:     []float64{0.1, math.NaN(), 0.2},
+		}},
+	}
+	out := Chart(res, 40, 10)
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("ASCII chart leaked NaN:\n%s", out)
+	}
+	if !strings.Contains(out, "1 zero or non-finite estimates not plotted") {
+		t.Fatalf("skipped-point note missing:\n%s", out)
+	}
+}

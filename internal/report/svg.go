@@ -38,12 +38,12 @@ func WriteSVG(w io.Writer, res *experiments.Result) error {
 	yLo, yHi := math.Inf(1), math.Inf(-1)
 	for _, s := range res.Series {
 		for i := range s.X {
-			if s.Y[i] <= 0 {
+			if !plottable(s.X[i], s.Y[i]) {
 				continue
 			}
 			xLo, xHi = math.Min(xLo, s.X[i]), math.Max(xHi, s.X[i])
 			yLo, yHi = math.Min(yLo, s.Y[i]), math.Max(yHi, s.Y[i])
-			if i < len(s.CI) && s.CI[i].Hi > 0 {
+			if i < len(s.CI) && s.CI[i].Hi > 0 && !math.IsInf(s.CI[i].Hi, 1) {
 				yHi = math.Max(yHi, s.CI[i].Hi)
 			}
 		}
@@ -94,6 +94,9 @@ func WriteSVG(w io.Writer, res *experiments.Result) error {
 	// X ticks at each distinct grid value of the first series.
 	if len(res.Series) > 0 {
 		for _, x := range res.Series[0].X {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
 			px := xPix(x)
 			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#444"/>`+"\n",
 				px, float64(l.marginT)+plotH, px, float64(l.marginT)+plotH+5)
@@ -112,13 +115,13 @@ func WriteSVG(w io.Writer, res *experiments.Result) error {
 		color := svgPalette[si%len(svgPalette)]
 		var points []string
 		for i := range s.X {
-			if s.Y[i] <= 0 {
+			if !plottable(s.X[i], s.Y[i]) {
 				continue
 			}
 			px, py := xPix(s.X[i]), yPix(s.Y[i])
 			points = append(points, fmt.Sprintf("%.1f,%.1f", px, py))
 			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", px, py, color)
-			if i < len(s.CI) && s.CI[i].Lo > 0 && s.CI[i].Hi > s.CI[i].Lo {
+			if i < len(s.CI) && s.CI[i].Lo > 0 && s.CI[i].Hi > s.CI[i].Lo && !math.IsInf(s.CI[i].Hi, 1) {
 				fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
 					px, yPix(s.CI[i].Lo), px, yPix(s.CI[i].Hi), color)
 			}

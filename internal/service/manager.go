@@ -264,6 +264,15 @@ func (m *Manager) Submit(sc *config.Scenario) (JobView, error) {
 	}
 	if res, ok := m.cache.Get(hash); ok {
 		m.metrics.CacheHits.Add(1)
+		// The cache is keyed by the canonical hash, which ignores the
+		// cosmetic name — a sweep point and a direct submission share one
+		// entry. Hand each submitter the result under its own name so a
+		// shared entry never mislabels a point.
+		if res.Name != sc.Name {
+			relabeled := *res
+			relabeled.Name = sc.Name
+			res = &relabeled
+		}
 		j := m.newJobLocked(sc, hash)
 		j.cached = true
 		j.result = res
@@ -272,6 +281,7 @@ func (m *Manager) Submit(sc *config.Scenario) (JobView, error) {
 		j.batchesDone.Store(res.Batches)
 		j.maxBatches.Store(res.Batches)
 		close(j.done)
+		j.cancel() // born terminal: release the context immediately
 		m.jobs[j.id] = j
 		m.rememberFinishedLocked(j.id)
 		return j.view(), nil
@@ -484,6 +494,10 @@ func (m *Manager) finishIf(j *job, from, to Status, res *Result, err error) {
 	j.finished = time.Now()
 	close(j.done)
 	j.mu.Unlock()
+	// Release the job's context registration on the manager's base
+	// context; without this every finished job would stay reachable from
+	// baseCtx until shutdown — a real leak on a long-lived server.
+	j.cancel()
 
 	switch to {
 	case StatusDone:

@@ -449,3 +449,57 @@ func TestManagerRunsRealEvaluation(t *testing.T) {
 		t.Fatalf("final progress %+v", view.Progress)
 	}
 }
+
+// TestCacheHitRelabelsResultPerSubmitter pins the duplicate-scenario
+// contract across differently named submissions: the cache is keyed by the
+// canonical hash, which excludes the cosmetic name, so a sweep point and a
+// direct submission of the same scenario share one cache entry — but each
+// submitter must see the result under its own scenario name, and the shared
+// entry itself must never be renamed in place.
+func TestCacheHitRelabelsResultPerSubmitter(t *testing.T) {
+	eval := newScriptedEval()
+	close(eval.release) // never block
+	m := NewManager(Config{Workers: 1, Eval: eval.fn})
+	defer m.Shutdown(context.Background())
+
+	first := testScenario(5)
+	first.Name = "alpha"
+	fv, err := m.Submit(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(waitCtx(t), fv.ID); err != nil {
+		t.Fatal(err)
+	}
+	firstRes, _, err := m.Result(fv.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	second := testScenario(5)
+	second.Name = "beta"
+	sv, err := m.Submit(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sv.Cached {
+		t.Fatalf("same canonical scenario missed the cache: %+v", sv)
+	}
+	secondRes, _, err := m.Result(sv.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secondRes.Name != "beta" {
+		t.Fatalf("cached result served under name %q, want the submitter's %q", secondRes.Name, "beta")
+	}
+	if firstRes.Name != "" {
+		t.Fatalf("shared cache entry was renamed in place to %q", firstRes.Name)
+	}
+	// Only the label differs; the curve is the shared entry's, evaluated once.
+	if secondRes.ScenarioHash != firstRes.ScenarioHash || secondRes.Batches != firstRes.Batches {
+		t.Fatalf("relabeled copy diverged: %+v vs %+v", secondRes, firstRes)
+	}
+	if got := eval.invoked.Load(); got != 1 {
+		t.Fatalf("eval invoked %d times, want 1", got)
+	}
+}

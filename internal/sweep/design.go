@@ -1,0 +1,256 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"ahs/internal/config"
+	"ahs/internal/rng"
+)
+
+// Coord is one axis coordinate of an expanded point, in display form.
+type Coord struct {
+	Param string `json:"param"`
+	Value string `json:"value"`
+}
+
+// Point is one concrete scenario of an expanded design.
+type Point struct {
+	// Index is the point's position in the deterministic expansion order.
+	Index int `json:"index"`
+	// Label is the point's human-readable coordinate string, also used as
+	// the scenario's cosmetic name ("<sweep>/strategy=DD,n=8,...").
+	Label string `json:"label"`
+	// Coords are the axis coordinates in spec order.
+	Coords []Coord `json:"coords"`
+	// Scenario is the fully applied scenario.
+	Scenario *config.Scenario `json:"-"`
+	// Hash is the scenario's canonical hash — the dedup and cache key.
+	Hash string `json:"hash"`
+	// DedupOf is the index of the earlier point with the same hash, or -1
+	// when this point is scheduled itself.
+	DedupOf int `json:"dedupOf"`
+}
+
+// Design is a fully expanded sweep: every point in order, plus the indices
+// of the unique (actually scheduled) points.
+type Design struct {
+	Spec   *Spec
+	Points []Point
+	// Unique indexes the representative points in expansion order; points
+	// not listed here are deduplicated onto an earlier twin.
+	Unique []int
+}
+
+// Deduped reports how many points were coalesced onto an earlier twin.
+func (d *Design) Deduped() int { return len(d.Points) - len(d.Unique) }
+
+// level is one concrete axis setting during expansion.
+type level struct {
+	num float64
+	str string
+}
+
+// display renders the level for labels and coords: categorical levels
+// verbatim, numeric ones in shortest round-trip form.
+func (l level) display() string {
+	if l.str != "" {
+		return l.str
+	}
+	return strconv.FormatFloat(l.num, 'g', -1, 64)
+}
+
+// Expand applies the design deterministically: the explicit axes form a
+// row-major cartesian product (first axis slowest), and — for the lhs
+// design — each grid cell is crossed with one shared Latin-hypercube
+// sample of Spec.Samples points over the ranged axes. Points whose
+// canonical scenario hash repeats an earlier point are marked deduplicated
+// rather than dropped, so per-point reporting still covers the full
+// design.
+func (sp *Spec) Expand() (*Design, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	design := sp.Design
+	if design == "" {
+		design = DesignGrid
+	}
+
+	// Partition axes: explicit ones enumerate levels, ranged ones share
+	// the LHS sample matrix.
+	type axisLevels struct {
+		axis   *Axis
+		def    axisDef
+		levels []level
+	}
+	var explicit []axisLevels
+	var rangedAxes []*Axis
+	for i := range sp.Axes {
+		a := &sp.Axes[i]
+		def, err := lookupAxisDef(a.Param)
+		if err != nil {
+			return nil, err
+		}
+		if a.ranged() {
+			rangedAxes = append(rangedAxes, a)
+			continue
+		}
+		levels := make([]level, 0, a.levels())
+		for _, s := range a.Strings {
+			levels = append(levels, level{str: s})
+		}
+		for _, v := range a.Values {
+			levels = append(levels, level{num: v})
+		}
+		explicit = append(explicit, axisLevels{axis: a, def: def, levels: levels})
+	}
+
+	// The Latin-hypercube sample: one matrix of Samples rows over the
+	// ranged axes, shared by every explicit grid cell. Stream j of the
+	// design seed drives axis j alone, so adding an axis never reshuffles
+	// the others.
+	var sample [][]level // sample[i][j] = level of ranged axis j in row i
+	if design == DesignLHS && len(rangedAxes) > 0 {
+		sample = lhsSample(sp.DesignSeed, sp.Samples, rangedAxes)
+	}
+
+	total := 1
+	for _, ax := range explicit {
+		total *= len(ax.levels)
+	}
+	if len(sample) > 0 {
+		total *= len(sample)
+	}
+
+	d := &Design{Spec: sp, Points: make([]Point, 0, total)}
+	byHash := make(map[string]int, total)
+	name := sp.Name
+	if name == "" {
+		name = "sweep"
+	}
+
+	// counters enumerates the explicit grid row-major.
+	counters := make([]int, len(explicit))
+	for {
+		rows := 1
+		if len(sample) > 0 {
+			rows = len(sample)
+		}
+		for row := 0; row < rows; row++ {
+			sc := sp.Base // copy; pointer fields are never written through
+			coords := make([]Coord, 0, len(sp.Axes))
+			// Apply in spec order so labels read like the spec.
+			ei, ri := 0, 0
+			for ai := range sp.Axes {
+				a := &sp.Axes[ai]
+				var lv level
+				var def axisDef
+				if a.ranged() {
+					lv = sample[row][ri]
+					def, _ = lookupAxisDef(a.Param)
+					ri++
+				} else {
+					lv = explicit[ei].levels[counters[ei]]
+					def = explicit[ei].def
+					ei++
+				}
+				def.set(&sc, lv.num, lv.str)
+				coords = append(coords, Coord{Param: a.Param, Value: lv.display()})
+			}
+			parts := make([]string, len(coords))
+			for i, c := range coords {
+				parts[i] = c.Param + "=" + c.Value
+			}
+			sc.Name = name + "/" + strings.Join(parts, ",")
+			hash, err := sc.Hash()
+			if err != nil {
+				return nil, fmt.Errorf("sweep: hash point %d: %w", len(d.Points), err)
+			}
+			p := Point{
+				Index:    len(d.Points),
+				Label:    sc.Name,
+				Coords:   coords,
+				Scenario: &sc,
+				Hash:     hash,
+				DedupOf:  -1,
+			}
+			if first, ok := byHash[hash]; ok {
+				p.DedupOf = first
+			} else {
+				byHash[hash] = p.Index
+				d.Unique = append(d.Unique, p.Index)
+			}
+			d.Points = append(d.Points, p)
+		}
+		// Advance the row-major counters, last axis fastest.
+		i := len(counters) - 1
+		for ; i >= 0; i-- {
+			counters[i]++
+			if counters[i] < len(explicit[i].levels) {
+				break
+			}
+			counters[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return d, nil
+}
+
+// lhsSample draws a Latin-hypercube sample: samples rows over the ranged
+// axes, each axis stratified into samples equal slices (in its scale) with
+// one jittered draw per slice, independently permuted per axis. Axis j
+// consumes only rng stream j of the design seed, keeping the sample stable
+// under axis addition and removal.
+func lhsSample(designSeed uint64, samples int, axes []*Axis) [][]level {
+	if designSeed == 0 {
+		designSeed = 1
+	}
+	src := rng.NewSource(designSeed)
+	cols := make([][]level, len(axes))
+	for j, a := range axes {
+		stream := src.Stream(uint64(j))
+		def, _ := lookupAxisDef(a.Param)
+		// Jitter within each stratum, then a Fisher-Yates shuffle of the
+		// strata; both from the axis's own stream, jitters first so the
+		// draw count per phase is fixed.
+		jitter := make([]float64, samples)
+		for i := range jitter {
+			jitter[i] = stream.Float64()
+		}
+		perm := make([]int, samples)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := samples - 1; i > 0; i-- {
+			k := stream.Intn(i + 1)
+			perm[i], perm[k] = perm[k], perm[i]
+		}
+		col := make([]level, samples)
+		for i := 0; i < samples; i++ {
+			q := (float64(perm[i]) + jitter[i]) / float64(samples)
+			v := a.Min + (a.Max-a.Min)*q
+			if a.Scale == "log" {
+				lo, hi := math.Log(a.Min), math.Log(a.Max)
+				v = math.Exp(lo + (hi-lo)*q)
+			}
+			if def.integral {
+				v = math.Round(v)
+			}
+			col[i] = level{num: v}
+		}
+		cols[j] = col
+	}
+	rows := make([][]level, samples)
+	for i := range rows {
+		row := make([]level, len(axes))
+		for j := range axes {
+			row[j] = cols[j][i]
+		}
+		rows[i] = row
+	}
+	return rows
+}

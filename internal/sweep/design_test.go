@@ -1,0 +1,269 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestGridExpansionOrderAndLabels(t *testing.T) {
+	sp := &Spec{
+		Name: "g",
+		Base: baseScenario(),
+		Axes: []Axis{
+			{Param: "strategy", Strings: []string{"DD", "DC"}},
+			{Param: "lambdaPerHour", Values: []float64{0.01, 0.02}},
+		},
+	}
+	d, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLabels := []string{
+		"g/strategy=DD,lambdaPerHour=0.01",
+		"g/strategy=DD,lambdaPerHour=0.02",
+		"g/strategy=DC,lambdaPerHour=0.01",
+		"g/strategy=DC,lambdaPerHour=0.02",
+	}
+	if len(d.Points) != len(wantLabels) {
+		t.Fatalf("got %d points, want %d", len(d.Points), len(wantLabels))
+	}
+	for i, p := range d.Points {
+		if p.Label != wantLabels[i] {
+			t.Errorf("point %d label %q, want %q (first axis must vary slowest)", i, p.Label, wantLabels[i])
+		}
+		if p.Index != i || p.DedupOf != -1 {
+			t.Errorf("point %d: index %d dedupOf %d", i, p.Index, p.DedupOf)
+		}
+		if p.Scenario.Name != p.Label {
+			t.Errorf("point %d scenario name %q != label", i, p.Scenario.Name)
+		}
+		if p.Scenario.N != 2 || len(p.Scenario.TripHours) != 2 {
+			t.Errorf("point %d lost base fields: %+v", i, p.Scenario)
+		}
+	}
+	if d.Points[2].Scenario.Strategy != "DC" {
+		t.Errorf("axis not applied: %+v", d.Points[2].Scenario)
+	}
+	if got := d.Points[3].Scenario.LambdaPerHour; got != 0.02 { //ahsvet:ignore floateq exact literal round-trip, no arithmetic involved
+		t.Errorf("lambda axis not applied: %v", got)
+	}
+	if len(d.Unique) != 4 || d.Deduped() != 0 {
+		t.Fatalf("unexpected dedup: unique %v", d.Unique)
+	}
+}
+
+func TestGridExpansionDoesNotMutateBase(t *testing.T) {
+	sp := &Spec{
+		Base: baseScenario(),
+		Axes: []Axis{{Param: "joinRatePerHour", Values: []float64{1, 2}}},
+	}
+	if _, err := sp.Expand(); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Base.JoinRatePerHour != nil || sp.Base.Name != "" {
+		t.Fatalf("Expand mutated the base scenario: %+v", sp.Base)
+	}
+}
+
+func TestGridDedupByCanonicalHash(t *testing.T) {
+	sp := &Spec{
+		Name: "d",
+		Base: baseScenario(),
+		Axes: []Axis{{Param: "lambdaPerHour", Values: []float64{0.01, 0.02, 0.01}}},
+	}
+	d, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Points) != 3 || len(d.Unique) != 2 || d.Deduped() != 1 {
+		t.Fatalf("points %d unique %d deduped %d, want 3/2/1", len(d.Points), len(d.Unique), d.Deduped())
+	}
+	if d.Points[2].DedupOf != 0 {
+		t.Fatalf("repeat level must dedup onto its first twin, got DedupOf=%d", d.Points[2].DedupOf)
+	}
+	if d.Points[2].Hash != d.Points[0].Hash {
+		t.Fatal("twin hashes differ")
+	}
+	// The cosmetic per-point name must not defeat deduplication.
+	if d.Points[0].Scenario.Name == d.Points[2].Scenario.Name && d.Points[0].Label != d.Points[2].Label {
+		t.Fatal("labels inconsistent")
+	}
+}
+
+func TestLHSStratification(t *testing.T) {
+	const samples = 16
+	sp := &Spec{
+		Design:  DesignLHS,
+		Samples: samples,
+		Base:    baseScenario(),
+		Axes:    []Axis{{Param: "lambdaPerHour", Min: 0, Max: 1}},
+	}
+	d, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Points) != samples {
+		t.Fatalf("got %d points, want %d", len(d.Points), samples)
+	}
+	// Latin-hypercube property: exactly one draw per stratum per axis.
+	occupied := make([]bool, samples)
+	for _, p := range d.Points {
+		v := p.Scenario.LambdaPerHour
+		if v < 0 || v >= 1 {
+			t.Fatalf("sample %v outside [0,1)", v)
+		}
+		k := int(v * samples)
+		if occupied[k] {
+			t.Fatalf("stratum %d drawn twice (not a Latin hypercube)", k)
+		}
+		occupied[k] = true
+	}
+}
+
+func TestLHSLogScaleStratification(t *testing.T) {
+	const samples = 8
+	lo, hi := 1e-4, 1e-2
+	sp := &Spec{
+		Design:  DesignLHS,
+		Samples: samples,
+		Base:    baseScenario(),
+		Axes:    []Axis{{Param: "lambdaPerHour", Min: lo, Max: hi, Scale: "log"}},
+	}
+	d, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	occupied := make([]bool, samples)
+	for _, p := range d.Points {
+		v := p.Scenario.LambdaPerHour
+		if v < lo || v > hi {
+			t.Fatalf("sample %v outside [%v,%v]", v, lo, hi)
+		}
+		// Strata are equal slices of log space.
+		q := (math.Log(v) - math.Log(lo)) / (math.Log(hi) - math.Log(lo))
+		k := min(int(q*samples), samples-1)
+		if occupied[k] {
+			t.Fatalf("log stratum %d drawn twice", k)
+		}
+		occupied[k] = true
+	}
+}
+
+func TestLHSIntegralAxisRounds(t *testing.T) {
+	sp := &Spec{
+		Design:  DesignLHS,
+		Samples: 6,
+		Base:    baseScenario(),
+		Axes:    []Axis{{Param: "n", Min: 2, Max: 10}},
+	}
+	d, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Points {
+		n := p.Scenario.N
+		if n < 2 || n > 10 {
+			t.Fatalf("n=%d outside the axis range", n)
+		}
+	}
+}
+
+func TestLHSDeterministicAndSeedSensitive(t *testing.T) {
+	mk := func(seed uint64) *Design {
+		sp := &Spec{
+			Design:     DesignLHS,
+			Samples:    5,
+			DesignSeed: seed,
+			Base:       baseScenario(),
+			Axes:       []Axis{{Param: "lambdaPerHour", Min: 0.001, Max: 0.1}},
+		}
+		d, err := sp.Expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a, b := mk(3), mk(3)
+	for i := range a.Points {
+		if fmt.Sprintf("%b", a.Points[i].Scenario.LambdaPerHour) != fmt.Sprintf("%b", b.Points[i].Scenario.LambdaPerHour) {
+			t.Fatalf("point %d differs across identical expansions", i)
+		}
+		if a.Points[i].Hash != b.Points[i].Hash {
+			t.Fatalf("point %d hash differs across identical expansions", i)
+		}
+	}
+	c := mk(4)
+	same := true
+	for i := range a.Points {
+		if a.Points[i].Hash != c.Points[i].Hash {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("designSeed has no effect on the sample")
+	}
+}
+
+func TestLHSSampleStableUnderAxisAddition(t *testing.T) {
+	one := &Spec{
+		Design: DesignLHS, Samples: 5, DesignSeed: 2,
+		Base: baseScenario(),
+		Axes: []Axis{{Param: "lambdaPerHour", Min: 0.001, Max: 0.1}},
+	}
+	two := &Spec{
+		Design: DesignLHS, Samples: 5, DesignSeed: 2,
+		Base: baseScenario(),
+		Axes: []Axis{
+			{Param: "lambdaPerHour", Min: 0.001, Max: 0.1},
+			{Param: "participantFailure", Min: 0.01, Max: 0.2},
+		},
+	}
+	da, err := one.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := two.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range da.Points {
+		va := da.Points[i].Scenario.LambdaPerHour
+		vb := db.Points[i].Scenario.LambdaPerHour
+		if fmt.Sprintf("%b", va) != fmt.Sprintf("%b", vb) {
+			t.Fatalf("adding an axis reshuffled axis 0: row %d %v vs %v", i, va, vb)
+		}
+	}
+}
+
+func TestLHSCrossedWithExplicitAxesSharesSample(t *testing.T) {
+	sp := &Spec{
+		Name:    "x",
+		Design:  DesignLHS,
+		Samples: 3,
+		Base:    baseScenario(),
+		Axes: []Axis{
+			{Param: "strategy", Strings: []string{"DD", "DC"}},
+			{Param: "lambdaPerHour", Min: 0.001, Max: 0.1},
+		},
+	}
+	d, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Points) != 6 {
+		t.Fatalf("got %d points, want 2 strategies x 3 samples", len(d.Points))
+	}
+	// Every explicit grid cell crosses the SAME Latin-hypercube rows, so the
+	// strategies are compared at identical lambda values.
+	for row := 0; row < 3; row++ {
+		dd := d.Points[row].Scenario
+		dc := d.Points[3+row].Scenario
+		if dd.Strategy != "DD" || dc.Strategy != "DC" {
+			t.Fatalf("row %d strategies %q/%q", row, dd.Strategy, dc.Strategy)
+		}
+		if fmt.Sprintf("%b", dd.LambdaPerHour) != fmt.Sprintf("%b", dc.LambdaPerHour) {
+			t.Fatalf("row %d lambda differs across strategies: %v vs %v", row, dd.LambdaPerHour, dc.LambdaPerHour)
+		}
+	}
+}

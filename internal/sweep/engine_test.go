@@ -1,0 +1,448 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ahs/internal/config"
+	"ahs/internal/service"
+)
+
+// countingEval is a fast fake evaluation that counts invocations per
+// canonical scenario hash — the probe for the no-double-work contract.
+type countingEval struct {
+	mu    sync.Mutex
+	calls map[string]int
+	// block, when non-nil, stalls every evaluation until closed (or the
+	// job context is cancelled).
+	block   chan struct{}
+	started chan string
+}
+
+func newCountingEval() *countingEval {
+	return &countingEval{calls: map[string]int{}, started: make(chan string, 64)}
+}
+
+func (e *countingEval) fn(ctx context.Context, sc *config.Scenario, workers int, progress func(done, max uint64)) (*service.Result, error) {
+	hash, _ := sc.Hash()
+	e.mu.Lock()
+	e.calls[hash]++
+	e.mu.Unlock()
+	select {
+	case e.started <- hash:
+	default:
+	}
+	if e.block != nil {
+		select {
+		case <-e.block:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if progress != nil {
+		progress(sc.Batches, sc.Batches)
+	}
+	unsafety := make([]float64, len(sc.TripHours))
+	lo := make([]float64, len(sc.TripHours))
+	hi := make([]float64, len(sc.TripHours))
+	for i := range sc.TripHours {
+		unsafety[i] = sc.LambdaPerHour * sc.TripHours[i]
+		lo[i], hi[i] = unsafety[i]*0.9, unsafety[i]*1.1
+	}
+	return &service.Result{
+		Name:         sc.Name,
+		ScenarioHash: hash,
+		Times:        sc.TripHours,
+		Unsafety:     unsafety,
+		CILo:         lo,
+		CIHi:         hi,
+		Batches:      sc.Batches,
+		Converged:    true,
+		FailureBias:  1,
+	}, nil
+}
+
+func (e *countingEval) total() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, c := range e.calls {
+		n += c
+	}
+	return n
+}
+
+func newTestEngine(t *testing.T, scfg service.Config, ecfg Config) (*service.Manager, *Engine) {
+	t.Helper()
+	if scfg.Workers == 0 {
+		scfg.Workers = 2
+	}
+	mgr := service.NewManager(scfg)
+	ecfg.Manager = mgr
+	eng := NewEngine(ecfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := mgr.Shutdown(ctx); err != nil {
+			t.Errorf("manager shutdown: %v", err)
+		}
+		if err := eng.Close(ctx); err != nil {
+			t.Errorf("engine close: %v", err)
+		}
+	})
+	return mgr, eng
+}
+
+func waitCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestSweepRunsAllPointsToDone(t *testing.T) {
+	eval := newCountingEval()
+	_, eng := newTestEngine(t, service.Config{Eval: eval.fn}, Config{})
+	view, err := eng.Submit(&Spec{
+		Name: "t",
+		Base: baseScenario(),
+		Axes: []Axis{
+			{Param: "strategy", Strings: []string{"DD", "DC"}},
+			{Param: "lambdaPerHour", Values: []float64{0.01, 0.02}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != StatusRunning && view.Status != StatusDone {
+		t.Fatalf("submit view status %q", view.Status)
+	}
+	if view.Points != 4 || view.UniquePoints != 4 {
+		t.Fatalf("submit view points %d unique %d", view.Points, view.UniquePoints)
+	}
+
+	final, err := eng.Wait(waitCtx(t), view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusDone || final.Completed != 4 || final.Failed != 0 {
+		t.Fatalf("final view: %+v", final)
+	}
+	if final.Progress.BatchesDone != 4*200 || final.Progress.MaxBatches != 4*200 {
+		t.Fatalf("aggregate progress: %+v", final.Progress)
+	}
+	results, err := eng.Results(view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range results {
+		if pr.Status != PointDone || pr.Result == nil {
+			t.Fatalf("point %d: %+v", pr.Index, pr)
+		}
+		if pr.Result.Name != pr.Label {
+			t.Errorf("point %d result named %q, want its label %q", pr.Index, pr.Result.Name, pr.Label)
+		}
+	}
+	if got := eval.total(); got != 4 {
+		t.Fatalf("evaluation ran %d times for 4 unique points", got)
+	}
+	if m := eng.Metrics(); m.PointsCompleted.Value() != 4 || m.PointsExpanded.Value() != 4 {
+		t.Fatalf("metrics: completed %d expanded %d", m.PointsCompleted.Value(), m.PointsExpanded.Value())
+	}
+}
+
+// TestNoDoubleWorkAcrossSweepAndDirectSubmission is the duplicate-scenario
+// contract at the service layer: a sweep's repeated points, and a sweep
+// point colliding with a direct /v1/evaluate-style submission, must share
+// one job/cache entry — the evaluation runs exactly once per canonical
+// hash, and each submitter still sees the result under its own name.
+func TestNoDoubleWorkAcrossSweepAndDirectSubmission(t *testing.T) {
+	eval := newCountingEval()
+	mgr, eng := newTestEngine(t, service.Config{Eval: eval.fn}, Config{})
+
+	// A direct submission of the same canonical scenario, first.
+	direct := baseScenario()
+	direct.Name = "direct"
+	jv, err := mgr.Submit(&direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Wait(waitCtx(t), jv.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// The sweep contains that scenario twice (lambda axis repeats the base
+	// value): one in-sweep dedup twin plus one cache hit against "direct".
+	view, err := eng.Submit(&Spec{
+		Name: "dup",
+		Base: baseScenario(),
+		Axes: []Axis{{Param: "lambdaPerHour", Values: []float64{0.01, 0.01}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Points != 2 || view.UniquePoints != 1 || view.Deduped != 1 {
+		t.Fatalf("dedup accounting: %+v", view)
+	}
+	final, err := eng.Wait(waitCtx(t), view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusDone || final.Completed != 1 {
+		t.Fatalf("final view: %+v", final)
+	}
+	results, err := eng.Results(view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range results {
+		if pr.Status != PointDone || pr.Result == nil {
+			t.Fatalf("point %d: %+v", pr.Index, pr)
+		}
+		// The shared cache entry must not leak the direct submitter's name
+		// into the sweep point (or vice versa).
+		if pr.Result.Name != pr.Label {
+			t.Errorf("point %d result named %q, want %q", pr.Index, pr.Result.Name, pr.Label)
+		}
+	}
+	if got := eval.total(); got != 1 {
+		t.Fatalf("evaluation ran %d times for one canonical scenario across a direct job and a 2-point sweep", got)
+	}
+
+	// And the direct job's own result keeps its own name.
+	res, _, err := mgr.Result(jv.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "direct" {
+		t.Fatalf("direct result renamed to %q", res.Name)
+	}
+}
+
+func TestDedupedPointsWithinSweepScheduledOnce(t *testing.T) {
+	eval := newCountingEval()
+	_, eng := newTestEngine(t, service.Config{Eval: eval.fn}, Config{})
+	view, err := eng.Submit(&Spec{
+		Name: "twins",
+		Base: baseScenario(),
+		Axes: []Axis{{Param: "lambdaPerHour", Values: []float64{0.01, 0.02, 0.01, 0.02}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := eng.Wait(waitCtx(t), view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusDone {
+		t.Fatalf("final status %q", final.Status)
+	}
+	if got := eval.total(); got != 2 {
+		t.Fatalf("evaluation ran %d times for 2 unique points", got)
+	}
+	detail, err := eng.Sweep(view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pv := range detail.PointViews {
+		if pv.Status != PointDone || pv.JobID == "" {
+			t.Fatalf("point view %+v", pv)
+		}
+	}
+	// Twins adopt the representative's job.
+	if detail.PointViews[2].JobID != detail.PointViews[0].JobID {
+		t.Fatalf("twin got its own job: %q vs %q", detail.PointViews[2].JobID, detail.PointViews[0].JobID)
+	}
+}
+
+func TestPoisonedPointFailsPointNotSweep(t *testing.T) {
+	eval := newCountingEval()
+	_, eng := newTestEngine(t, service.Config{Eval: eval.fn}, Config{})
+	view, err := eng.Submit(&Spec{
+		Name: "poison",
+		Base: baseScenario(),
+		Axes: []Axis{{Param: "strategy", Strings: []string{"DD", "XX"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := eng.Wait(waitCtx(t), view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusPartial {
+		t.Fatalf("final status %q, want partial", final.Status)
+	}
+	if final.Completed != 1 || final.Failed != 1 {
+		t.Fatalf("final counts: %+v", final)
+	}
+	results, err := eng.Results(view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Status != PointDone || results[0].Result == nil {
+		t.Fatalf("healthy point: %+v", results[0])
+	}
+	if results[1].Status != PointFailed || results[1].Error == "" || results[1].Result != nil {
+		t.Fatalf("poisoned point: %+v", results[1])
+	}
+}
+
+func TestCancelStopsSchedulingAndSettlesPoints(t *testing.T) {
+	eval := newCountingEval()
+	eval.block = make(chan struct{})
+	_, eng := newTestEngine(t, service.Config{Workers: 1, Eval: eval.fn}, Config{})
+	view, err := eng.Submit(&Spec{
+		Name:        "c",
+		Base:        baseScenario(),
+		MaxInFlight: 1,
+		Axes:        []Axis{{Param: "lambdaPerHour", Values: []float64{0.01, 0.02, 0.03}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first point to reach evaluation, then cancel the sweep
+	// while it is blocked.
+	select {
+	case <-eval.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first point never started")
+	}
+	if _, err := eng.Cancel(view.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := eng.Wait(waitCtx(t), view.ID)
+	close(eval.block) // release the stalled job so the manager can drain
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusCancelled {
+		t.Fatalf("final status %q, want cancelled", final.Status)
+	}
+	if final.Cancelled == 0 {
+		t.Fatalf("no points marked cancelled: %+v", final)
+	}
+	if got := eval.total(); got > 1 {
+		t.Fatalf("cancellation still scheduled %d evaluations", got)
+	}
+}
+
+func TestSubmitRejectsOversizedDesigns(t *testing.T) {
+	_, eng := newTestEngine(t, service.Config{Eval: newCountingEval().fn}, Config{MaxPoints: 2})
+	_, err := eng.Submit(&Spec{
+		Base: baseScenario(),
+		Axes: []Axis{{Param: "lambdaPerHour", Values: []float64{0.01, 0.02, 0.03}}},
+	})
+	if !errors.Is(err, ErrTooManyPoints) {
+		t.Fatalf("got %v, want ErrTooManyPoints", err)
+	}
+}
+
+func TestSubmitAfterCloseRejected(t *testing.T) {
+	mgr := service.NewManager(service.Config{Workers: 1, Eval: newCountingEval().fn})
+	eng := NewEngine(Config{Manager: mgr})
+	ctx := waitCtx(t)
+	if err := eng.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, err := eng.Submit(&Spec{Base: baseScenario(), Axes: []Axis{{Param: "lambdaPerHour", Values: []float64{0.01}}}})
+	if !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("got %v, want ErrShuttingDown", err)
+	}
+}
+
+func TestSweepsListsInSubmissionOrder(t *testing.T) {
+	eval := newCountingEval()
+	_, eng := newTestEngine(t, service.Config{Eval: eval.fn}, Config{})
+	spec := func(name string) *Spec {
+		return &Spec{Name: name, Base: baseScenario(), Axes: []Axis{{Param: "lambdaPerHour", Values: []float64{0.01}}}}
+	}
+	a, err := eng.Submit(spec("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Submit(spec("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Wait(waitCtx(t), a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Wait(waitCtx(t), b.ID); err != nil {
+		t.Fatal(err)
+	}
+	views := eng.Sweeps()
+	if len(views) != 2 || views[0].ID != a.ID || views[1].ID != b.ID {
+		t.Fatalf("listing out of order: %+v", views)
+	}
+	if _, err := eng.Sweep("sweep-999"); !errors.Is(err, ErrUnknownSweep) {
+		t.Fatalf("unknown sweep lookup: %v", err)
+	}
+}
+
+func TestHistoryPruning(t *testing.T) {
+	eval := newCountingEval()
+	_, eng := newTestEngine(t, service.Config{Eval: eval.fn}, Config{HistorySize: 1})
+	var last View
+	for i, lam := range []float64{0.01, 0.02, 0.03} {
+		v, err := eng.Submit(&Spec{
+			Base: baseScenario(),
+			Axes: []Axis{{Param: "lambdaPerHour", Values: []float64{lam}}},
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if last, err = eng.Wait(waitCtx(t), v.ID); err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+	}
+	views := eng.Sweeps()
+	if len(views) != 1 || views[0].ID != last.ID {
+		t.Fatalf("history not pruned to the newest sweep: %+v", views)
+	}
+}
+
+// TestConcurrentSubmitters exercises the engine under parallel sweep
+// submissions sharing overlapping scenarios; the race detector and the
+// per-hash call counts both guard it.
+func TestConcurrentSubmitters(t *testing.T) {
+	eval := newCountingEval()
+	_, eng := newTestEngine(t, service.Config{Workers: 4, Eval: eval.fn}, Config{})
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := eng.Submit(&Spec{
+				Base: baseScenario(),
+				Axes: []Axis{{Param: "lambdaPerHour", Values: []float64{0.01, 0.02}}},
+			})
+			if err != nil {
+				failures.Add(1)
+				return
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if final, err := eng.Wait(ctx, v.ID); err != nil || final.Status != StatusDone {
+				failures.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d concurrent sweeps failed", failures.Load())
+	}
+	// 4 sweeps x 2 points collapse onto 2 canonical scenarios; the manager
+	// dedup/cache must keep evaluations at exactly 2.
+	if got := eval.total(); got != 2 {
+		t.Fatalf("evaluation ran %d times for 2 canonical scenarios", got)
+	}
+}

@@ -1,0 +1,80 @@
+package sweep
+
+import "testing"
+
+// goldenPoint pins one expanded point of a committed spec: its position,
+// label, canonical scenario hash and dedup target.
+type goldenPoint struct {
+	index   int
+	label   string
+	hash    string
+	dedupOf int
+}
+
+// TestGoldenSpecExpansion pins the full expansion — ordering, labels,
+// canonical hashes and dedup structure — of the committed example specs.
+// A diff here means previously submitted sweeps would expand to different
+// scenarios under the new code: deliberate changes must bump the golden
+// table and be called out as a compatibility break, anything else is a
+// regression in the expansion or in scenario canonicalization.
+func TestGoldenSpecExpansion(t *testing.T) {
+	cases := []struct {
+		file   string
+		unique int
+		points []goldenPoint
+	}{
+		{
+			file:   "testdata/grid-golden.json",
+			unique: 4,
+			points: []goldenPoint{
+				{0, "grid-golden/strategy=DD,lambdaPerHour=0.01", "aded8ab51c19df52945b8887b08fc699559259be5d5f00d9775f04c448f60bc3", -1},
+				{1, "grid-golden/strategy=DD,lambdaPerHour=0.02", "77c752b588d64ba8bbfdf118a4901306300cbd0d84530218eede68154a4463a1", -1},
+				{2, "grid-golden/strategy=DD,lambdaPerHour=0.01", "aded8ab51c19df52945b8887b08fc699559259be5d5f00d9775f04c448f60bc3", 0},
+				{3, "grid-golden/strategy=DC,lambdaPerHour=0.01", "060d0724972ec5d02ecfe9e266b25a07856ee91e53cbdf6f214a26b65eaba252", -1},
+				{4, "grid-golden/strategy=DC,lambdaPerHour=0.02", "b492a3cbb90cc83f3a8be7045fec8941f786832e249981d6faab2d0903f5cc4c", -1},
+				{5, "grid-golden/strategy=DC,lambdaPerHour=0.01", "060d0724972ec5d02ecfe9e266b25a07856ee91e53cbdf6f214a26b65eaba252", 3},
+			},
+		},
+		{
+			file:   "testdata/lhs-golden.json",
+			unique: 8,
+			points: []goldenPoint{
+				{0, "lhs-golden/strategy=DD,lambdaPerHour=0.01947514933966401", "9cd308a01b85406e0cae4dbd4fabc1f4f03880ca2f48b8bcda2d0f9b9362484a", -1},
+				{1, "lhs-golden/strategy=DD,lambdaPerHour=0.00865779700870905", "8f4aa878297ffe9032f76726846b4eb87dbb0e17798731c8b6082062aceb84a7", -1},
+				{2, "lhs-golden/strategy=DD,lambdaPerHour=0.03926912710617233", "7c2823db2aaf482478f02f2aa250e4ca47827fa6590f6c2ecc3e14173bdffeab", -1},
+				{3, "lhs-golden/strategy=DD,lambdaPerHour=0.0022628306117832638", "5661130f43c94110f2fdfb78bd62ce34b179e4d0f1ecfc26bad997a67ed7769e", -1},
+				{4, "lhs-golden/strategy=CC,lambdaPerHour=0.01947514933966401", "1a06cf7d235ea759979165693c42a2bd7dffe715151179675dcd927e6282b072", -1},
+				{5, "lhs-golden/strategy=CC,lambdaPerHour=0.00865779700870905", "d063bebf05acb850e4b5916e19b59fc756c621c8cc6d45341ad0e60174ebcc7b", -1},
+				{6, "lhs-golden/strategy=CC,lambdaPerHour=0.03926912710617233", "93a9ba8f7a8bd0f4d60645acb5989ada6d90b29c028ec6cc8fc2602a2f13a2d2", -1},
+				{7, "lhs-golden/strategy=CC,lambdaPerHour=0.0022628306117832638", "80fd55b70cfb10e5028c6627130a4cf2012a0f0b03b778ab166554f4bfd72df8", -1},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			sp, err := LoadFile(tc.file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := sp.Expand()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(d.Points) != len(tc.points) {
+				t.Fatalf("got %d points, want %d", len(d.Points), len(tc.points))
+			}
+			if len(d.Unique) != tc.unique {
+				t.Fatalf("got %d unique points, want %d", len(d.Unique), tc.unique)
+			}
+			for i, want := range tc.points {
+				got := d.Points[i]
+				if got.Index != want.index || got.Label != want.label ||
+					got.Hash != want.hash || got.DedupOf != want.dedupOf {
+					t.Errorf("point %d:\n got  {%d, %q, %q, %d}\n want {%d, %q, %q, %d}",
+						i, got.Index, got.Label, got.Hash, got.DedupOf,
+						want.index, want.label, want.hash, want.dedupOf)
+				}
+			}
+		})
+	}
+}

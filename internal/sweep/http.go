@@ -1,0 +1,156 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"ahs/internal/service"
+	"ahs/internal/telemetry"
+)
+
+// maxSpecBytes bounds the request body of POST /v1/sweeps; even a spec
+// with hundreds of explicit levels is a few KiB.
+const maxSpecBytes = 1 << 20
+
+// submitResponse acknowledges a sweep submission.
+type submitResponse struct {
+	ID           string `json:"id"`
+	Status       Status `json:"status"`
+	Points       int    `json:"points"`
+	UniquePoints int    `json:"uniquePoints"`
+	Deduped      int    `json:"deduped"`
+	StatusURL    string `json:"statusUrl"`
+	ResultsURL   string `json:"resultsUrl"`
+	ReportURL    string `json:"reportUrl"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler exposes the engine over the HTTP JSON API mounted by
+// cmd/ahs-serve under /v1/sweeps; docs/api.md documents the endpoints.
+// Routes share the service's ahs_http_request_duration_seconds histogram
+// family, so one scrape covers evaluate and sweep latency alike.
+func NewHandler(e *Engine) http.Handler {
+	s := &server{e: e}
+	latency := e.cfg.Telemetry.HistogramVec(telemetry.Opts{
+		Name:    "ahs_http_request_duration_seconds",
+		Help:    "API request latency by route pattern.",
+		Buckets: service.RequestDurationBuckets,
+	}, "endpoint")
+	mux := http.NewServeMux()
+	handle := func(pattern string, h http.HandlerFunc) {
+		hist := latency.With(pattern)
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			h(w, r)
+			hist.Observe(time.Since(start).Seconds())
+		})
+	}
+	handle("POST /v1/sweeps", s.handleSubmit)
+	handle("GET /v1/sweeps", s.handleList)
+	handle("GET /v1/sweeps/{id}", s.handleSweep)
+	handle("DELETE /v1/sweeps/{id}", s.handleCancel)
+	handle("GET /v1/sweeps/{id}/results", s.handleResults)
+	handle("GET /v1/sweeps/{id}/report", s.handleReport)
+	return mux
+}
+
+type server struct {
+	e *Engine
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// handleSubmit accepts a sweep Spec JSON body and answers 202 with the
+// sweep ack, 400 on a malformed or invalid spec (including designs beyond
+// the point budget) and 503 during shutdown.
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	sp, err := Load(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	view, err := s.e.Submit(sp)
+	switch {
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID:           view.ID,
+		Status:       view.Status,
+		Points:       view.Points,
+		UniquePoints: view.UniquePoints,
+		Deduped:      view.Deduped,
+		StatusURL:    "/v1/sweeps/" + view.ID,
+		ResultsURL:   "/v1/sweeps/" + view.ID + "/results",
+		ReportURL:    "/v1/sweeps/" + view.ID + "/report",
+	})
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.e.Sweeps())
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	view, err := s.e.Sweep(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	view, err := s.e.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
+	results, err := s.e.Results(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, results)
+}
+
+// handleReport renders the live response surface as HTML; a sweep still
+// running renders its completed region (the page says so via the figure's
+// point counts, and re-fetching refreshes it).
+func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.e.lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	results, err := s.e.Results(rec.id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = WriteReport(w, rec.spec, results)
+}

@@ -1,0 +1,205 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ahs/internal/cluster"
+	"ahs/internal/config"
+	"ahs/internal/service"
+)
+
+// curveBits renders every float of a result curve in exact bit form; two
+// results compare equal here only if they are bit-identical.
+func curveBits(res *service.Result) string {
+	return fmt.Sprintf("times=%b unsafety=%b cilo=%b cihi=%b batches=%d bias=%b",
+		res.Times, res.Unsafety, res.CILo, res.CIHi, res.Batches, res.FailureBias)
+}
+
+// standaloneResult evaluates one scenario on a fresh manager with the given
+// backend config, as a direct submission would.
+func standaloneResult(t *testing.T, cfg service.Config, sc *config.Scenario) *service.Result {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	mgr := service.NewManager(cfg)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = mgr.Shutdown(ctx)
+	}()
+	jv, err := mgr.Submit(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := mgr.Wait(ctx, jv.ID); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := mgr.Result(jv.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// runSweepResults drives a spec through a sweep engine on a manager with
+// the given backend config and returns the per-point results.
+func runSweepResults(t *testing.T, cfg service.Config, sp *Spec) []PointResult {
+	t.Helper()
+	mgr, eng := newTestEngine(t, cfg, Config{})
+	_ = mgr
+	view, err := eng.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := eng.Wait(waitCtx(t), view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusDone {
+		t.Fatalf("sweep finished %q: %+v", final.Status, final)
+	}
+	results, err := eng.Results(view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+// assertPointsBitIdentical checks every sweep point's curve against a
+// standalone submission of the same scenario under a different cosmetic
+// name — the tentpole contract: expanding a design must not change a single
+// bit of any point's result.
+func assertPointsBitIdentical(t *testing.T, sp *Spec, results []PointResult, standaloneCfg func() service.Config) {
+	t.Helper()
+	d, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range d.Unique {
+		pr := results[idx]
+		if pr.Status != PointDone || pr.Result == nil {
+			t.Fatalf("point %d not done: %+v", idx, pr)
+		}
+		alone := *d.Points[idx].Scenario
+		alone.Name = "standalone-check"
+		ref := standaloneResult(t, standaloneCfg(), &alone)
+		if got, want := curveBits(pr.Result), curveBits(ref); got != want {
+			t.Errorf("point %d (%s) diverges from standalone evaluation:\nsweep:      %s\nstandalone: %s",
+				idx, pr.Label, got, want)
+		}
+	}
+	// Deduplicated twins carry their representative's bits.
+	for _, p := range d.Points {
+		if p.DedupOf < 0 {
+			continue
+		}
+		if results[p.Index].Result == nil ||
+			curveBits(results[p.Index].Result) != curveBits(results[p.DedupOf].Result) {
+			t.Errorf("twin %d does not match its representative %d", p.Index, p.DedupOf)
+		}
+	}
+}
+
+func gridIdentitySpec() *Spec {
+	return &Spec{
+		Name: "grid-id",
+		Base: baseScenario(),
+		Axes: []Axis{
+			{Param: "strategy", Strings: []string{"DD", "DC"}},
+			{Param: "lambdaPerHour", Values: []float64{20, 40, 20}},
+		},
+	}
+}
+
+func lhsIdentitySpec() *Spec {
+	return &Spec{
+		Name:       "lhs-id",
+		Design:     DesignLHS,
+		Samples:    3,
+		DesignSeed: 5,
+		Base:       baseScenario(),
+		Axes: []Axis{
+			{Param: "strategy", Strings: []string{"DD"}},
+			{Param: "lambdaPerHour", Min: 10, Max: 100, Scale: "log"},
+		},
+	}
+}
+
+func TestGridSweepBitIdenticalToStandalone(t *testing.T) {
+	sp := gridIdentitySpec()
+	results := runSweepResults(t, service.Config{}, sp)
+	assertPointsBitIdentical(t, sp, results, func() service.Config { return service.Config{} })
+}
+
+func TestLHSSweepBitIdenticalToStandalone(t *testing.T) {
+	sp := lhsIdentitySpec()
+	results := runSweepResults(t, service.Config{}, sp)
+	assertPointsBitIdentical(t, sp, results, func() service.Config { return service.Config{} })
+}
+
+// startCluster brings up an in-process coordinator with one worker, as the
+// -cluster server would, and returns a manager config using it.
+func startCluster(t *testing.T) service.Config {
+	t.Helper()
+	coord := cluster.New(cluster.Config{
+		PollInterval:  10 * time.Millisecond,
+		SweepInterval: 25 * time.Millisecond,
+	})
+	srv := httptest.NewServer(coord.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	w := &cluster.Worker{Coordinator: srv.URL, ID: "sweep-w0", SimWorkers: 1}
+	go func() {
+		defer close(done)
+		if err := w.Run(ctx); err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+		srv.Close()
+		coord.Close()
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.Status().WorkersLive == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("cluster worker never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return service.Config{
+		Eval:    service.ClusterEval(coord),
+		Backend: service.ClusterBackend(coord),
+	}
+}
+
+// TestSweepBitIdenticalViaCluster runs the same designs with the cluster
+// backend and pins every point against a LOCAL standalone evaluation: the
+// full chain sweep → manager → cluster fan-out must reproduce the local
+// bits exactly.
+func TestSweepBitIdenticalViaCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster identity check is not short")
+	}
+	for _, tc := range []struct {
+		name string
+		spec func() *Spec
+	}{
+		{"grid", gridIdentitySpec},
+		{"lhs", lhsIdentitySpec},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := tc.spec()
+			results := runSweepResults(t, startCluster(t), sp)
+			assertPointsBitIdentical(t, sp, results, func() service.Config { return service.Config{} })
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package sweep
+
+import "ahs/internal/telemetry"
+
+// DurationBuckets is the latency layout of ahs_sweep_duration_seconds:
+// sub-second smoke grids to multi-hour response surfaces.
+var DurationBuckets = telemetry.ExponentialBuckets(0.25, 4, 10)
+
+// Metrics are the sweep engine's telemetry families (docs/observability.md
+// catalogues them under "Sweep").
+type Metrics struct {
+	// Submitted counts accepted sweep specs; Rejected counts specs
+	// refused at submission (invalid, too many points, shutdown).
+	Submitted *telemetry.Counter
+	Rejected  *telemetry.Counter
+	// PointsExpanded counts design points produced by expansion,
+	// deduplicated twins included; PointsDeduped counts the twins that
+	// were coalesced onto an earlier point instead of being scheduled.
+	PointsExpanded *telemetry.Counter
+	PointsDeduped  *telemetry.Counter
+	// PointsCompleted / PointsFailed / PointsCancelled count scheduled
+	// points by outcome (deduplicated twins resolve with their
+	// representative and are not re-counted).
+	PointsCompleted *telemetry.Counter
+	PointsFailed    *telemetry.Counter
+	PointsCancelled *telemetry.Counter
+	// Active is the number of sweeps currently expanding or running.
+	Active *telemetry.Gauge
+	// Duration observes the wall-clock seconds from sweep submission to
+	// its last point settling.
+	Duration *telemetry.Histogram
+}
+
+func newMetrics(reg *telemetry.Registry) Metrics {
+	counter := func(name, help string) *telemetry.Counter {
+		return reg.Counter(telemetry.Opts{Name: name, Help: help})
+	}
+	return Metrics{
+		Submitted:       counter("ahs_sweep_submitted_total", "Accepted sweep specs."),
+		Rejected:        counter("ahs_sweep_rejected_total", "Sweep specs refused at submission."),
+		PointsExpanded:  counter("ahs_sweep_points_expanded_total", "Design points produced by expansion (dedup twins included)."),
+		PointsDeduped:   counter("ahs_sweep_points_deduped_total", "Expanded points coalesced onto an earlier identical point."),
+		PointsCompleted: counter("ahs_sweep_points_completed_total", "Scheduled sweep points that finished with a result."),
+		PointsFailed:    counter("ahs_sweep_points_failed_total", "Scheduled sweep points that failed."),
+		PointsCancelled: counter("ahs_sweep_points_cancelled_total", "Scheduled sweep points cancelled before completion."),
+		Active:          reg.Gauge(telemetry.Opts{Name: "ahs_sweep_active", Help: "Sweeps currently running."}),
+		Duration: reg.Histogram(telemetry.Opts{
+			Name:    "ahs_sweep_duration_seconds",
+			Help:    "Wall-clock time from sweep submission to the last point settling.",
+			Buckets: DurationBuckets,
+		}),
+	}
+}

@@ -1,0 +1,148 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ahs/internal/experiments"
+	"ahs/internal/report"
+)
+
+// SurfaceID is the figure id of generated response surfaces.
+const SurfaceID = "sweep"
+
+// SurfaceResult flattens a sweep's point results into the comparative
+// response-surface figure: the response (unsafety at the last trip-hour
+// grid point) against the sweep's primary numeric axis, one series per
+// combination of categorical-axis levels — e.g. unsafety vs λ, one line
+// per strategy, the paper's headline figures as a generated surface.
+//
+// The x axis is the first numeric axis of the spec (explicit or ranged);
+// designs with no numeric axis fall back to the point index. Only points
+// that completed contribute; failed, cancelled and pending points are
+// skipped, so a partial sweep still renders its evaluated region.
+func SurfaceResult(sp *Spec, results []PointResult) *experiments.Result {
+	xParam := ""
+	for i := range sp.Axes {
+		def, err := lookupAxisDef(sp.Axes[i].Param)
+		if err == nil && !def.categorical {
+			xParam = sp.Axes[i].Param
+			break
+		}
+	}
+	var categorical []string
+	for i := range sp.Axes {
+		if def, err := lookupAxisDef(sp.Axes[i].Param); err == nil && def.categorical {
+			categorical = append(categorical, sp.Axes[i].Param)
+		}
+	}
+
+	name := sp.Name
+	if name == "" {
+		name = "sweep"
+	}
+	var pts []report.SurfacePoint
+	yLabel := "unsafety"
+	for _, pr := range results {
+		if pr.Status != PointDone || pr.Result == nil || len(pr.Result.Unsafety) == 0 {
+			continue
+		}
+		last := len(pr.Result.Unsafety) - 1
+		if len(pr.Result.Times) > last {
+			yLabel = fmt.Sprintf("unsafety at t=%gh", pr.Result.Times[last])
+		}
+		x := float64(pr.Index)
+		if xParam != "" {
+			for _, c := range pr.Coords {
+				if c.Param == xParam {
+					if v, err := strconv.ParseFloat(c.Value, 64); err == nil {
+						x = v
+					}
+					break
+				}
+			}
+		}
+		series := name
+		if len(categorical) > 0 {
+			parts := make([]string, 0, len(categorical))
+			for _, param := range categorical {
+				for _, c := range pr.Coords {
+					if c.Param == param {
+						parts = append(parts, c.Param+"="+c.Value)
+						break
+					}
+				}
+			}
+			series = strings.Join(parts, ",")
+		}
+		p := report.SurfacePoint{
+			Series:  series,
+			X:       x,
+			Y:       pr.Result.Unsafety[last],
+			Batches: pr.Result.Batches,
+		}
+		if len(pr.Result.CILo) > last && len(pr.Result.CIHi) > last {
+			p.CILo, p.CIHi = pr.Result.CILo[last], pr.Result.CIHi[last]
+		}
+		pts = append(pts, p)
+	}
+
+	xLabel := xParam
+	if xLabel == "" {
+		xLabel = "point"
+	}
+	title := fmt.Sprintf("%s — %s vs %s", name, yLabel, xLabel)
+	return report.Surface(SurfaceID, title, xLabel, yLabel, pts)
+}
+
+// ResultRows flattens per-point results into a header and one row per
+// point for the CLI table and CSV outputs: index, axis coordinates, point
+// status, the response at the last grid point with its confidence bounds,
+// and the simulation effort. Deduplicated points render like their
+// representative (same hash, same result).
+func ResultRows(sp *Spec, results []PointResult) (header []string, rows [][]string) {
+	header = []string{"point"}
+	for i := range sp.Axes {
+		header = append(header, sp.Axes[i].Param)
+	}
+	header = append(header, "status", "unsafety", "ci_lo", "ci_hi", "batches", "error")
+	for _, pr := range results {
+		row := []string{strconv.Itoa(pr.Index)}
+		for i := range sp.Axes {
+			val := ""
+			for _, c := range pr.Coords {
+				if c.Param == sp.Axes[i].Param {
+					val = c.Value
+					break
+				}
+			}
+			row = append(row, val)
+		}
+		y, lo, hi, batches := "", "", "", ""
+		if pr.Result != nil && len(pr.Result.Unsafety) > 0 {
+			last := len(pr.Result.Unsafety) - 1
+			y = report.FormatProb(pr.Result.Unsafety[last])
+			if len(pr.Result.CILo) > last && len(pr.Result.CIHi) > last {
+				lo = report.FormatProb(pr.Result.CILo[last])
+				hi = report.FormatProb(pr.Result.CIHi[last])
+			}
+			batches = strconv.FormatUint(pr.Result.Batches, 10)
+		}
+		row = append(row, string(pr.Status), y, lo, hi, batches, pr.Error)
+		rows = append(rows, row)
+	}
+	return header, rows
+}
+
+// WriteReport renders the sweep's response surface and sensitivity tables
+// as a self-contained HTML page.
+func WriteReport(w io.Writer, sp *Spec, results []PointResult) error {
+	res := SurfaceResult(sp, results)
+	name := sp.Name
+	if name == "" {
+		name = "sweep"
+	}
+	return report.WriteSurfaceHTML(w, "Parameter sweep: "+name, []*experiments.Result{res})
+}

@@ -1,0 +1,178 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"ahs/internal/service"
+)
+
+// fakeResults fabricates done results for every point of a design, with the
+// response derived from the point index so series are distinguishable.
+func fakeResults(t *testing.T, sp *Spec) []PointResult {
+	t.Helper()
+	d, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]PointResult, len(d.Points))
+	for i, p := range d.Points {
+		y := 0.001 * float64(i+1)
+		out[i] = PointResult{
+			Index:  p.Index,
+			Label:  p.Label,
+			Coords: p.Coords,
+			Status: PointDone,
+			Result: &service.Result{
+				Name:     p.Label,
+				Times:    []float64{0.5, 1},
+				Unsafety: []float64{y / 2, y},
+				CILo:     []float64{y / 4, y / 2},
+				CIHi:     []float64{y, 2 * y},
+				Batches:  100,
+			},
+		}
+	}
+	return out
+}
+
+func TestSurfaceResultMixedStrategySeries(t *testing.T) {
+	sp := &Spec{
+		Name: "mix",
+		Base: baseScenario(),
+		Axes: []Axis{
+			{Param: "strategy", Strings: []string{"DD", "DC"}},
+			{Param: "lambdaPerHour", Values: []float64{0.01, 0.02}},
+		},
+	}
+	results := fakeResults(t, sp)
+	res := SurfaceResult(sp, results)
+	if res.XLabel != "lambdaPerHour" {
+		t.Fatalf("x axis %q, want the first numeric axis", res.XLabel)
+	}
+	if res.YLabel != "unsafety at t=1h" {
+		t.Fatalf("y label %q", res.YLabel)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("got %d series, want one per strategy", len(res.Series))
+	}
+	if res.Series[0].Label != "strategy=DD" || res.Series[1].Label != "strategy=DC" {
+		t.Fatalf("series labels: %q, %q", res.Series[0].Label, res.Series[1].Label)
+	}
+	for _, s := range res.Series {
+		if len(s.X) != 2 {
+			t.Fatalf("series %q has %d points", s.Label, len(s.X))
+		}
+		if s.X[0] != 0.01 || s.X[1] != 0.02 { //ahsvet:ignore floateq exact literal round-trip, no arithmetic involved
+			t.Fatalf("series %q x: %v", s.Label, s.X)
+		}
+	}
+}
+
+func TestSurfaceResultSkipsUnfinishedPoints(t *testing.T) {
+	sp := &Spec{
+		Name: "skip",
+		Base: baseScenario(),
+		Axes: []Axis{{Param: "lambdaPerHour", Values: []float64{0.01, 0.02, 0.03}}},
+	}
+	results := fakeResults(t, sp)
+	results[1].Status = PointFailed
+	results[1].Result = nil
+	res := SurfaceResult(sp, results)
+	if len(res.Series) != 1 || len(res.Series[0].X) != 2 {
+		t.Fatalf("failed point not skipped: %+v", res.Series)
+	}
+}
+
+func TestSurfaceResultCategoricalOnlyFallsBackToPointIndex(t *testing.T) {
+	sp := &Spec{
+		Name: "cat",
+		Base: baseScenario(),
+		Axes: []Axis{{Param: "strategy", Strings: []string{"DD", "DC", "CC"}}},
+	}
+	res := SurfaceResult(sp, fakeResults(t, sp))
+	if res.XLabel != "point" {
+		t.Fatalf("x label %q, want index fallback", res.XLabel)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("got %d series, want one per strategy level", len(res.Series))
+	}
+	for i, s := range res.Series {
+		if len(s.X) != 1 || s.X[0] != float64(i) { //ahsvet:ignore floateq small-int index round-trips exactly through float64
+			t.Fatalf("series %q x: %v", s.Label, s.X)
+		}
+	}
+}
+
+func TestResultRowsShape(t *testing.T) {
+	sp := &Spec{
+		Name: "rows",
+		Base: baseScenario(),
+		Axes: []Axis{
+			{Param: "strategy", Strings: []string{"DD"}},
+			{Param: "lambdaPerHour", Values: []float64{0.01, 0.02}},
+		},
+	}
+	results := fakeResults(t, sp)
+	results[1].Status = PointFailed
+	results[1].Result = nil
+	results[1].Error = "boom"
+	header, rows := ResultRows(sp, results)
+	want := []string{"point", "strategy", "lambdaPerHour", "status", "unsafety", "ci_lo", "ci_hi", "batches", "error"}
+	if strings.Join(header, "|") != strings.Join(want, "|") {
+		t.Fatalf("header %v, want %v", header, want)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0][1] != "DD" || rows[0][2] != "0.01" || rows[0][3] != string(PointDone) {
+		t.Fatalf("row 0: %v", rows[0])
+	}
+	if rows[0][4] == "" || rows[0][7] != "100" {
+		t.Fatalf("row 0 response cells: %v", rows[0])
+	}
+	if rows[1][3] != string(PointFailed) || rows[1][8] != "boom" || rows[1][4] != "" {
+		t.Fatalf("row 1: %v", rows[1])
+	}
+}
+
+func TestWriteReportRendersPartialSweep(t *testing.T) {
+	sp := &Spec{
+		Name: "partial",
+		Base: baseScenario(),
+		Axes: []Axis{
+			{Param: "strategy", Strings: []string{"DD", "DC"}},
+			{Param: "lambdaPerHour", Values: []float64{0.01, 0.02}},
+		},
+	}
+	results := fakeResults(t, sp)
+	results[3].Status = PointFailed
+	results[3].Result = nil
+	var b strings.Builder
+	if err := WriteReport(&b, sp, results); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Parameter sweep: partial", "<svg", "strategy=DD", "Sensitivity"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteReportEmptySweep(t *testing.T) {
+	sp := &Spec{
+		Name: "empty",
+		Base: baseScenario(),
+		Axes: []Axis{{Param: "lambdaPerHour", Values: []float64{0.01}}},
+	}
+	// No point finished — the report must render the explicit empty state.
+	results := []PointResult{{Index: 0, Status: PointFailed, Error: "boom"}}
+	var b strings.Builder
+	if err := WriteReport(&b, sp, results); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Empty sweep: no points to plot.") {
+		t.Fatalf("empty sweep report lacks the empty-state note:\n%s", b.String())
+	}
+}
