@@ -3,7 +3,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build vet test race lint tools sanlint serve worker cluster-smoke sweep-smoke chaos fuzz bench profile figures figures-full docs clean
+.PHONY: all build vet test race lint tools sanlint facts-golden serve worker cluster-smoke sweep-smoke chaos fuzz bench profile figures figures-full docs clean
 
 all: build lint test
 
@@ -28,14 +28,22 @@ tools:
 	$(GO) build -o $(BIN)/ahs-vet ./cmd/ahs-vet
 	$(GO) build -o $(BIN)/ahs-lint ./cmd/ahs-lint
 
-# Lint the models: structural checks (SAN001..SAN011, docs/linting.md) over
+# Lint the models: structural checks (SAN001..SAN014, docs/linting.md) over
 # every coordination strategy.
 sanlint: tools
 	$(BIN)/ahs-lint
 
+# Regenerate the certified structural-facts golden for the four paper
+# models (cmd/ahs-lint/testdata/facts.golden). CI diffs the live output
+# against the committed file; run this after an intended model change and
+# review the diff like any other golden update.
+facts-golden: tools
+	$(BIN)/ahs-lint -facts > cmd/ahs-lint/testdata/facts.golden
+	@echo "facts golden regenerated; review with: git diff cmd/ahs-lint/testdata/facts.golden"
+
 # Full static pass: formatting, standard vet, the repo's custom analyzers
-# (ahsrand, ctxloop, floateq) via the vettool protocol, staticcheck when
-# installed, and the SAN model linter.
+# (ahsrand, ctxloop, floateq, locklabel) via the vettool protocol,
+# staticcheck when installed, and the SAN model linter.
 lint: tools
 	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then echo "gofmt needed:"; echo "$$fmtout"; exit 1; fi
 	$(GO) vet ./...

@@ -15,6 +15,7 @@
 //	ahs-lint -strategy CC -n 2    # one strategy, larger reduced model
 //	ahs-lint -json                # machine-readable diagnostics
 //	ahs-lint -checks              # print the check catalogue
+//	ahs-lint -facts               # certified structural facts as JSON
 package main
 
 import (
@@ -27,7 +28,9 @@ import (
 
 	"ahs"
 	"ahs/internal/core"
+	"ahs/internal/san"
 	"ahs/internal/sanlint"
+	"ahs/internal/structural"
 )
 
 func main() {
@@ -56,6 +59,7 @@ func run(args []string, out io.Writer) error {
 		jsonOut   = fs.Bool("json", false, "emit machine-readable JSON diagnostics")
 		strict    = fs.Bool("strict", false, "exit non-zero on warnings too, not only errors")
 		checks    = fs.Bool("checks", false, "print the check catalogue and exit")
+		factsOut  = fs.Bool("facts", false, "emit certified structural model facts as JSON (cross-validated against the linter's exploration)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +94,10 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	if *factsOut {
+		return emitFacts(out, systems, *maxStates)
+	}
+
 	reports := make([]*sanlint.Report, 0, len(systems))
 	failed := false
 	for _, sys := range systems {
@@ -120,4 +128,56 @@ func run(args []string, out io.Writer) error {
 		return errFindings
 	}
 	return nil
+}
+
+// emitFacts computes structural model facts for every system, cross-validates
+// them against the linter's own exhaustive exploration (a bound or invariant
+// the exploration contradicts is a bug in one of the two engines), and emits
+// them as a deterministic JSON array.
+func emitFacts(out io.Writer, systems []*core.AHS, maxStates int) error {
+	all := make([]*structural.ModelFacts, 0, len(systems))
+	for _, sys := range systems {
+		// Absorb exactly where the linter does: any goal place marked.
+		var goalIDs []san.PlaceID
+		for _, name := range sys.GoalPlaces() {
+			id, ok := sys.Model.PlaceByName(name)
+			if !ok {
+				return fmt.Errorf("goal place %q not in model %q", name, sys.Model.Name())
+			}
+			goalIDs = append(goalIDs, id)
+		}
+		absorb := func(mk *san.Marking) bool {
+			for _, id := range goalIDs {
+				if mk.Tokens(id) > 0 {
+					return true
+				}
+			}
+			return false
+		}
+		facts, err := structural.Analyze(sys.Model, structural.Options{
+			MaxStates: maxStates,
+			Absorb:    absorb,
+		})
+		if err != nil {
+			return err
+		}
+		rep, err := sanlint.Run(sys.Model, sanlint.Config{
+			MaxStates: maxStates,
+			Observed:  sys.ObservablePlaces(),
+			Goals:     sys.GoalPlaces(),
+			Facts:     facts,
+		})
+		if err != nil {
+			return err
+		}
+		for _, d := range rep.Diagnostics {
+			if d.Check == sanlint.CheckBoundViolation || d.Check == sanlint.CheckNonConservative {
+				return fmt.Errorf("facts for %s contradicted by exploration: %s", sys.Model.Name(), d)
+			}
+		}
+		all = append(all, facts)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(all)
 }

@@ -3,12 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
 	"ahs"
 	"ahs/internal/core"
 	"ahs/internal/sanlint"
+	"ahs/internal/structural"
 )
 
 // TestPaperModelsLintClean is the acceptance gate of the static
@@ -105,5 +107,39 @@ func TestTruncationExitsZeroWithoutStrict(t *testing.T) {
 	}
 	if err := run([]string{"-strategy", "DD", "-max-states", "50", "-strict"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("-strict should fail on warnings")
+	}
+}
+
+// TestFactsGolden pins the certified structural facts of all four paper
+// models. A diff here means either an intended model change (regenerate with
+// `go run ./cmd/ahs-lint -facts > cmd/ahs-lint/testdata/facts.golden`) or a
+// regression in the structural analyzer.
+func TestFactsGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-facts"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/facts.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("facts output differs from testdata/facts.golden (regenerate if the change is intended)\ngot %d bytes, want %d", out.Len(), len(want))
+	}
+	// The golden must cover every strategy and be certified.
+	var facts []structural.ModelFacts
+	if err := json.Unmarshal(want, &facts); err != nil {
+		t.Fatalf("golden is not a facts array: %v", err)
+	}
+	if len(facts) != 4 {
+		t.Fatalf("golden has %d models, want 4", len(facts))
+	}
+	for _, f := range facts {
+		if !f.Exhaustive {
+			t.Errorf("%s: golden facts not exhaustive", f.Model)
+		}
+		if f.StateBound() <= 0 {
+			t.Errorf("%s: no certified state bound", f.Model)
+		}
 	}
 }

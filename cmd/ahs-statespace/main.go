@@ -20,6 +20,7 @@ import (
 	"ahs/internal/core"
 	"ahs/internal/ctmc"
 	"ahs/internal/report"
+	"ahs/internal/structural"
 )
 
 func main() {
@@ -63,10 +64,27 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	g, err := ctmc.Explore(sys.Model, ctmc.ExploreOptions{
+
+	// A cheap structural pass first: when it certifies a state-space bound
+	// (exhaustive walk of the same absorbed graph), reachability analysis
+	// pre-sizes its state maps from it and asserts it never explores more.
+	exploreOpts := ctmc.ExploreOptions{
 		Absorb:    sys.Unsafe,
 		MaxStates: *maxStates,
+	}
+	facts, err := structural.Analyze(sys.Model, structural.Options{
+		MaxStates: *maxStates,
+		Absorb:    sys.Unsafe,
 	})
+	if err != nil {
+		return err
+	}
+	if bound := facts.StateBound(); bound > 0 {
+		exploreOpts.ExpectedStates = bound
+		exploreOpts.StateBound = bound
+	}
+
+	g, err := ctmc.Explore(sys.Model, exploreOpts)
 	if err != nil {
 		return err
 	}
@@ -75,6 +93,10 @@ func run(args []string) error {
 	}
 	unsafe := g.StatesWhere(sys.Unsafe)
 	fmt.Printf("model: %s\n", sys.Model.Name())
+	if exploreOpts.StateBound > 0 {
+		fmt.Printf("certified state bound: %d (stiffness spread %.3g)\n",
+			exploreOpts.StateBound, facts.Stiffness.Spread)
+	}
 	fmt.Printf("states: %d (unsafe: %d), transitions: %d\n",
 		g.NumStates(), len(unsafe), g.NumTransitions())
 

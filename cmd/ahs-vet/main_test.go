@@ -52,7 +52,7 @@ func TestFlagsJSON(t *testing.T) {
 	if err := json.Unmarshal(out, &defs); err != nil {
 		t.Fatalf("-flags output is not the JSON array cmd/go expects: %v\n%s", err, out)
 	}
-	want := map[string]bool{"ahsrand": false, "ctxloop": false, "floateq": false, "json": false}
+	want := map[string]bool{"ahsrand": false, "ctxloop": false, "floateq": false, "locklabel": false, "json": false}
 	for _, d := range defs {
 		if _, ok := want[d.Name]; ok {
 			want[d.Name] = true
@@ -99,16 +99,39 @@ func TestVetFindsSeededViolations(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name, content string) {
 		t.Helper()
-		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
 	write("go.mod", "module scratch\n\ngo 1.21\n")
+	// A fake instrumentation package: its import-path suffix matches the
+	// locklabel exemption, so the variable label inside it must NOT fire.
+	write("internal/telemetry/telemetry.go", `package telemetry
+
+type Sink interface {
+	Count(metric, label string)
+	Observe(metric, label string, v float64)
+}
+
+type fan struct{ sinks []Sink }
+
+func (f *fan) Count(metric, label string) {
+	for _, s := range f.sinks {
+		s.Count(metric, label)
+	}
+}
+`)
 	write("bad.go", `package scratch
 
 import (
 	"context"
 	"math/rand"
+
+	"scratch/internal/telemetry"
 )
 
 func Roll() int { return rand.Intn(6) }
@@ -122,6 +145,14 @@ func Burn(ctx context.Context, work func()) {
 func Same(a, b float64) bool { return a == b }
 
 func Fine(p float64) bool { return p == 0 } //ahsvet:ignore floateq (not needed: constant comparand)
+
+func Leak(s telemetry.Sink, jobID string) {
+	s.Count("jobs", jobID)
+}
+
+func Bounded(s telemetry.Sink, strategy string) {
+	s.Count("runs", strategy) //ahsvet:ignore locklabel strategy ranges over the four paper codes
+}
 `)
 	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
 	cmd.Dir = dir
@@ -129,13 +160,18 @@ func Fine(p float64) bool { return p == 0 } //ahsvet:ignore floateq (not needed:
 	if err == nil {
 		t.Fatalf("expected findings to fail the vet run:\n%s", out)
 	}
-	for _, want := range []string{"ahsrand", "ctxloop", "floateq"} {
+	for _, want := range []string{"ahsrand", "ctxloop", "floateq", "locklabel"} {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("vet output missing %s finding:\n%s", want, out)
 		}
 	}
 	if strings.Count(string(out), "floateq") != 1 {
 		t.Errorf("want exactly one floateq finding (constant comparand exempt):\n%s", out)
+	}
+	// Exactly one locklabel finding: the suppressed site and the exempt
+	// telemetry package must stay quiet.
+	if strings.Count(string(out), "locklabel:") != 1 {
+		t.Errorf("want exactly one locklabel finding (directive and telemetry package exempt):\n%s", out)
 	}
 }
 

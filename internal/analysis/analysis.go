@@ -12,6 +12,8 @@
 //     cancellation requests stall for an entire estimation round.
 //   - floateq: ==/!= on computed probabilities is almost always a latent
 //     bug; comparisons must use an epsilon or exact bit patterns.
+//   - locklabel: telemetry label values must be compile-time constants;
+//     computed labels create unbounded metric cardinality.
 //
 // The suite runs under the standard toolchain as
 //
@@ -68,7 +70,7 @@ type Diagnostic struct {
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{AHSRandAnalyzer, CtxLoopAnalyzer, FloatEqAnalyzer}
+	return []*Analyzer{AHSRandAnalyzer, CtxLoopAnalyzer, FloatEqAnalyzer, LockLabelAnalyzer}
 }
 
 // isTestFile reports whether the file is a _test.go file. ctxloop and

@@ -20,6 +20,12 @@ import (
 // ErrStateSpaceTooLarge is returned when exploration exceeds MaxStates.
 var ErrStateSpaceTooLarge = errors.New("ctmc: state space exceeds MaxStates")
 
+// ErrStateBoundExceeded is returned when exploration exceeds a certified
+// StateBound. Unlike ErrStateSpaceTooLarge (a budget), this is a
+// consistency failure: the structural facts promised fewer states than
+// reachability analysis found, so the facts or the model are wrong.
+var ErrStateBoundExceeded = errors.New("ctmc: exploration exceeded the certified state bound")
+
 // Arc is one rate transition of the generator matrix.
 type Arc struct {
 	To   int
@@ -49,6 +55,15 @@ type ExploreOptions struct {
 	// outgoing transitions are dropped. Use it to compute first-passage
 	// ("unsafety") measures as transient probabilities.
 	Absorb san.Predicate
+	// ExpectedStates, when positive, pre-sizes the state interning map —
+	// typically from a certified structural.ModelFacts state-space bound,
+	// avoiding rehash churn on large graphs. Purely an optimisation.
+	ExpectedStates int
+	// StateBound, when positive, asserts that exploration stays within a
+	// certified bound (structural.ModelFacts.StateBound). Exceeding it
+	// fails with ErrStateBoundExceeded: the facts were computed with a
+	// mismatched absorption, or something is deeply wrong.
+	StateBound int
 }
 
 // Explore builds the CTMC reachable from the model's initial marking.
@@ -59,7 +74,7 @@ func Explore(model *san.Model, opts ExploreOptions) (*Graph, error) {
 	if opts.MaxInstantDepth == 0 {
 		opts.MaxInstantDepth = 10_000
 	}
-	e := &explorer{model: model, opts: opts, index: make(map[string]int)}
+	e := &explorer{model: model, opts: opts, index: make(map[string]int, opts.ExpectedStates)}
 
 	init, err := e.stabilize(model.InitialMarking())
 	if err != nil {
@@ -112,6 +127,9 @@ func Explore(model *san.Model, opts ExploreOptions) (*Graph, error) {
 					if fresh {
 						if len(g.States) > opts.MaxStates {
 							return nil, fmt.Errorf("%w (%d)", ErrStateSpaceTooLarge, opts.MaxStates)
+						}
+						if opts.StateBound > 0 && len(g.States) > opts.StateBound {
+							return nil, fmt.Errorf("%w (%d)", ErrStateBoundExceeded, opts.StateBound)
 						}
 						queue = append(queue, idx)
 					}

@@ -197,6 +197,26 @@ func TestExploreMaxStates(t *testing.T) {
 	}
 }
 
+func TestExploreStateBound(t *testing.T) {
+	m, _ := buildMM1K(4, 1, 2) // 5 states
+	// A correct certified bound passes (and pre-sizing is harmless).
+	g, err := Explore(m, ExploreOptions{StateBound: 5, ExpectedStates: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumStates() != 5 {
+		t.Fatalf("got %d states, want 5", g.NumStates())
+	}
+	// An understated bound is a consistency failure, not a budget stop.
+	_, err = Explore(m, ExploreOptions{StateBound: 3})
+	if !errors.Is(err, ErrStateBoundExceeded) {
+		t.Fatalf("expected ErrStateBoundExceeded, got %v", err)
+	}
+	if errors.Is(err, ErrStateSpaceTooLarge) {
+		t.Fatal("bound violation must be distinct from the MaxStates budget error")
+	}
+}
+
 func TestTransientDistributionSumsToOne(t *testing.T) {
 	m, _ := buildMM1K(5, 3, 2)
 	g, err := Explore(m, ExploreOptions{})

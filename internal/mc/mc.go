@@ -416,7 +416,7 @@ func recordTrajectory(job *Job, runner *sim.Runner, res sim.Result) {
 	if job.Cause != nil {
 		// The runner's marking still holds the absorbing state here; the
 		// worker only reuses it for the next batch after recording.
-		t.Count(telemetry.MetricCatastrophes, job.Cause(runner.Marking()))
+		t.Count(telemetry.MetricCatastrophes, job.Cause(runner.Marking())) //ahsvet:ignore locklabel Cause classifies into the model's fixed catastrophe-cause set
 	}
 }
 

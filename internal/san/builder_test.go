@@ -103,3 +103,52 @@ func TestCaseWeightErrorNamesActivityAndMarking(t *testing.T) {
 		t.Errorf("message %q should report the zero total", err)
 	}
 }
+
+// TestBuildZeroPlaceModels pins the boundary between "degenerate but legal"
+// and "rejected": a model needs at least one activity (an empty model has no
+// behaviour to analyze), but zero places are fine — a pure event source
+// with constant-rate activities is a legitimate SAN.
+func TestBuildZeroPlaceModels(t *testing.T) {
+	empty := NewBuilder("empty")
+	if _, err := empty.Build(); err == nil || !strings.Contains(err.Error(), "no activities") {
+		t.Fatalf("zero places + zero activities must be rejected, got %v", err)
+	}
+
+	pure := NewBuilder("pure-source")
+	pure.Timed(TimedActivity{Name: "tick", Rate: ConstRate(1)})
+	m, err := pure.Build()
+	if err != nil {
+		t.Fatalf("zero-place model with activities must build: %v", err)
+	}
+	if m.NumPlaces() != 0 || m.NumTimed() != 1 {
+		t.Fatalf("unexpected shape: %d places, %d timed", m.NumPlaces(), m.NumTimed())
+	}
+	// The degenerate marking must round-trip through the usual machinery.
+	FireTimed(m.Timed(0), 0, m.InitialMarking())
+}
+
+// TestBuildAcceptsSelfLoops documents that self-loop arcs — an activity that
+// consumes and reproduces the same tokens, or reads a place it writes — are
+// deliberately NOT a build error. Gates are opaque closures, so the builder
+// cannot see arc structure; the structural analyzer observes self-loops as
+// zero-delta firings instead.
+func TestBuildAcceptsSelfLoops(t *testing.T) {
+	b := NewBuilder("selfloop")
+	p := b.Place("p", 1)
+	b.Timed(TimedActivity{
+		Name:    "spin",
+		Rate:    ConstRate(1),
+		Enabled: HasTokens(p, 1),
+		// Consume and reproduce: net effect zero, a pure self-loop.
+		Input: Seq(Consume(p, 1), Produce(p, 1)),
+	})
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("self-loop must build: %v", err)
+	}
+	mk := m.InitialMarking()
+	FireTimed(m.Timed(0), 0, mk)
+	if mk.Tokens(p) != 1 {
+		t.Fatalf("self-loop changed the marking: p=%d", mk.Tokens(p))
+	}
+}

@@ -57,6 +57,8 @@ type linter struct {
 	enabledInstant []bool
 
 	weight map[string]*weightRecord
+
+	facts *resolvedFacts
 }
 
 // diag records a finding once per (check, object) pair.
@@ -105,6 +107,9 @@ func (l *linter) intern(mk *san.Marking) (fresh, absorbing bool) {
 		return false, absorbing
 	}
 	l.seen[key] = struct{}{}
+	if l.facts != nil {
+		l.quiet(mk, func() { l.factsChecks(mk) })
+	}
 	return true, absorbing
 }
 
@@ -315,7 +320,8 @@ func (l *linter) caseWeights(activity string, cases []san.Case, mk *san.Marking)
 func (l *linter) absenceChecks() {
 	if l.report.Truncated {
 		l.diag(CheckTruncated, SeverityWarning, "", "",
-			"exploration stopped at MaxStates=%d; dead-place, stuck-place, never-enabled and reachability checks were suppressed", l.cfg.MaxStates)
+			"exploration stopped at MaxStates=%d; suppressed checks: %s (dead place), %s (stuck place), %s (never enabled), %s (goal unreachable)",
+			l.cfg.MaxStates, CheckDeadPlace, CheckStuckPlace, CheckNeverEnabled, CheckGoalUnreachable)
 		return
 	}
 	m := l.model

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"ahs/internal/san"
+	"ahs/internal/structural"
 )
 
 // Severity ranks a diagnostic.
@@ -89,6 +90,17 @@ const (
 	// CheckInstantLivelock: the instantaneous closure exceeded
 	// MaxInstantDepth — instantaneous activities likely re-enable forever.
 	CheckInstantLivelock CheckID = "SAN011"
+	// CheckBoundViolation: a reachable marking exceeds a token bound
+	// certified by the structural analyzer (Config.Facts) — the facts and
+	// the explorer disagree, so one of them is wrong.
+	CheckBoundViolation CheckID = "SAN012"
+	// CheckNonConservative: a reachable marking violates a conservation
+	// invariant (P-semiflow) certified by the structural analyzer.
+	CheckNonConservative CheckID = "SAN013"
+	// CheckStiffness: the spread between the fastest and slowest observed
+	// exponential rates exceeds the stiffness threshold; both uniformization
+	// and naive Monte Carlo degrade on such models.
+	CheckStiffness CheckID = "SAN014"
 )
 
 // CheckInfo describes one catalogue entry.
@@ -112,6 +124,9 @@ func Catalog() []CheckInfo {
 		{CheckInvalidRate, SeverityError, "invalid rate while enabled"},
 		{CheckTruncated, SeverityWarning, "exploration truncated at MaxStates"},
 		{CheckInstantLivelock, SeverityError, "instantaneous-activity livelock"},
+		{CheckBoundViolation, SeverityError, "reachable marking exceeds a certified token bound"},
+		{CheckNonConservative, SeverityError, "reachable marking violates a certified conservation invariant"},
+		{CheckStiffness, SeverityWarning, "exponential rate spread exceeds the stiffness threshold"},
 	}
 }
 
@@ -160,6 +175,17 @@ type Config struct {
 	// (SAN007). Markings with a marked goal place are treated as absorbing,
 	// exactly like ExploreOptions.Absorb in the exact CTMC solver.
 	Goals []string
+	// Facts, when set, enables the facts-driven cross-checks SAN012–SAN014
+	// against a structural.ModelFacts artifact for the same model. Certified
+	// bounds and invariants (Facts.Exhaustive) are asserted on every
+	// explored marking; a violation means the structural analyzer and the
+	// explorer disagree about the model. The facts should have been
+	// computed with an absorption matching Goals — a facts walk absorbed
+	// earlier than this exploration can legitimately disagree.
+	Facts *structural.ModelFacts
+	// StiffnessThreshold overrides the SAN014 rate-spread threshold;
+	// 0 means 1e6. Only consulted when Facts is set.
+	StiffnessThreshold float64
 }
 
 // Report is the outcome of linting one model.
@@ -279,9 +305,16 @@ func Run(model *san.Model, cfg Config) (*Report, error) {
 	}
 	l.goalReached = make([]bool, len(l.goals))
 	l.observed = observed
+	if cfg.Facts != nil {
+		if cfg.Facts.Model != model.Name() {
+			return nil, fmt.Errorf("sanlint: facts are for model %q, linting %q", cfg.Facts.Model, model.Name())
+		}
+		l.facts = resolveFacts(model, cfg.Facts)
+	}
 
 	l.explore()
 	l.absenceChecks()
+	l.stiffnessCheck()
 	l.normalizationChecks()
 	l.report.States = len(l.seen)
 	l.report.sortDiagnostics()

@@ -195,6 +195,15 @@ type Options struct {
 	// activity name, which keeps the disabled path to a single nil check
 	// and the enabled path allocation-free.
 	Sink telemetry.Sink
+	// ConstantGates maps timed-activity names to statically certified
+	// constant enabling-predicate values (typically structural
+	// ModelFacts.ConstantTimedGates). Listed activities skip the predicate
+	// call on every scan: true means always enabled, false means the
+	// activity is dropped from the race entirely. Certification is the
+	// caller's burden — a wrong entry silently changes trajectories.
+	// Names that are not timed activities of the model are rejected by
+	// NewRunner.
+	ConstantGates map[string]bool
 }
 
 // Result summarises one executed trajectory.
@@ -290,7 +299,18 @@ type Runner struct {
 	enabled []int
 	marking *san.Marking
 	initial *san.Marking
+
+	// gates[i] tells scanTimed how to treat timed activity i's predicate.
+	gates []gateMode
 }
+
+type gateMode int8
+
+const (
+	gateDynamic   gateMode = iota // evaluate EnabledIn as usual
+	gateAlwaysOn                  // certified constant true: skip the call
+	gateAlwaysOff                 // certified constant false: skip the activity
+)
 
 // NewRunner validates options and returns a Runner for the model.
 func NewRunner(model *san.Model, opts Options) (*Runner, error) {
@@ -314,8 +334,40 @@ func NewRunner(model *san.Model, opts Options) (*Runner, error) {
 		initial:  model.InitialMarking(),
 		instants: newInstantEngine(model, opts.MaxInstantFirings),
 	}
+	if len(opts.ConstantGates) > 0 {
+		r.gates = make([]gateMode, model.NumTimed())
+		matched := 0
+		for i := 0; i < model.NumTimed(); i++ {
+			v, ok := opts.ConstantGates[model.Timed(i).Name]
+			if !ok {
+				continue
+			}
+			matched++
+			if v {
+				r.gates[i] = gateAlwaysOn
+			} else {
+				r.gates[i] = gateAlwaysOff
+			}
+		}
+		if matched != len(opts.ConstantGates) {
+			for name := range opts.ConstantGates {
+				if !hasTimed(model, name) {
+					return nil, fmt.Errorf("sim: ConstantGates names unknown timed activity %q", name)
+				}
+			}
+		}
+	}
 	r.marking = r.initial.Clone()
 	return r, nil
+}
+
+func hasTimed(model *san.Model, name string) bool {
+	for i := 0; i < model.NumTimed(); i++ {
+		if model.Timed(i).Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Model returns the model being executed.
@@ -329,7 +381,18 @@ func (r *Runner) scanTimed() (total, biasedTotal float64, err error) {
 	r.biased = r.biased[:0]
 	for i := 0; i < r.model.NumTimed(); i++ {
 		act := r.model.Timed(i)
-		if !act.EnabledIn(r.marking) {
+		if r.gates != nil {
+			switch r.gates[i] {
+			case gateAlwaysOff:
+				continue
+			case gateAlwaysOn:
+				// certified enabled: skip the predicate call
+			default:
+				if !act.EnabledIn(r.marking) {
+					continue
+				}
+			}
+		} else if !act.EnabledIn(r.marking) {
 			continue
 		}
 		rate, rerr := act.RateIn(r.marking)
@@ -442,7 +505,7 @@ func (r *Runner) RunFrom(start *san.Marking, t0 float64, stream *rng.Stream, pro
 		san.FireTimed(act, caseIdx, r.marking)
 		res.Steps++
 		if r.opts.Sink != nil {
-			r.opts.Sink.Count(telemetry.MetricActivityFirings, act.Name)
+			r.opts.Sink.Count(telemetry.MetricActivityFirings, act.Name) //ahsvet:ignore locklabel activity names are fixed at model build time
 		}
 		if r.opts.Observer != nil {
 			r.opts.Observer.OnEvent(t, act.Name, r.marking)

@@ -715,3 +715,107 @@ func TestRunFromProbeBeforeStartLeftAtDefault(t *testing.T) {
 		t.Fatalf("probe after start time not filled: %v", probe.Values[1])
 	}
 }
+
+// buildGated returns a birth model with an always-true guard on the arrival
+// activity and a never-true guard on a poison activity, both instrumented to
+// count predicate evaluations.
+func buildGated(alwaysCalls, neverCalls *int) (*san.Model, san.PlaceID) {
+	b := san.NewBuilder("gated")
+	c := b.Place("count", 0)
+	b.Timed(san.TimedActivity{
+		Name: "arrive",
+		Enabled: func(mk *san.Marking) bool {
+			*alwaysCalls++
+			return true
+		},
+		Rate:  san.ConstRate(3),
+		Input: san.Produce(c, 1),
+	})
+	b.Timed(san.TimedActivity{
+		Name: "poison",
+		Enabled: func(mk *san.Marking) bool {
+			*neverCalls++
+			return false
+		},
+		Rate:  san.ConstRate(1e9),
+		Input: san.Produce(c, 1000),
+	})
+	return b.MustBuild(), c
+}
+
+func TestConstantGatesBitIdenticalTrajectories(t *testing.T) {
+	// Skipping certified-constant gates must not perturb the trajectory:
+	// same stream, same probes, bit-identical values.
+	var a1, n1, a2, n2 int
+	m1, c1 := buildGated(&a1, &n1)
+	m2, c2 := buildGated(&a2, &n2)
+	plain, err := NewRunner(m1, Options{MaxTime: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated, err := NewRunner(m2, Options{
+		MaxTime:       5,
+		ConstantGates: map[string]bool{"arrive": true, "poison": false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeFor := func(c san.PlaceID) *Probe {
+		return &Probe{
+			Times: []float64{1, 2.5, 5},
+			Value: func(mk *san.Marking) float64 { return float64(mk.Tokens(c)) },
+		}
+	}
+	src := rng.NewSource(77)
+	for i := 0; i < 50; i++ {
+		p1, p2 := probeFor(c1), probeFor(c2)
+		r1, err := plain.Run(src.Stream(uint64(i)), p1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := gated.Run(src.Stream(uint64(i)), p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Steps != r2.Steps || r1.End != r2.End {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, r1, r2)
+		}
+		for j := range p1.Values {
+			if p1.Values[j] != p2.Values[j] {
+				t.Fatalf("run %d probe %d: %v vs %v", i, j, p1.Values[j], p2.Values[j])
+			}
+		}
+	}
+}
+
+func TestConstantGatesSkipPredicateCalls(t *testing.T) {
+	var always, never int
+	m, _ := buildGated(&always, &never)
+	r, err := NewRunner(m, Options{
+		MaxTime:       2,
+		ConstantGates: map[string]bool{"arrive": true, "poison": false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Builder probing during Build may have evaluated the predicates;
+	// only calls made while running count.
+	always, never = 0, 0
+	if _, err := r.Run(rng.NewStream(9)); err != nil {
+		t.Fatal(err)
+	}
+	if always != 0 || never != 0 {
+		t.Fatalf("constant gates still evaluated: arrive=%d poison=%d", always, never)
+	}
+}
+
+func TestConstantGatesUnknownActivityRejected(t *testing.T) {
+	m, _ := buildPoisson(1)
+	_, err := NewRunner(m, Options{
+		MaxTime:       1,
+		ConstantGates: map[string]bool{"no-such-activity": true},
+	})
+	if err == nil {
+		t.Fatal("unknown ConstantGates name must be rejected")
+	}
+}

@@ -1,0 +1,198 @@
+package structural
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Replica-symmetry (lumpability) detection. The core model builds its
+// per-vehicle submodels through san.Builder.Rep, which names everything
+// with a bracketed replica index: "vehicle[3].fm", "one_vehicle[3].L2".
+// When every replica index has an identical canonical signature — same
+// local places and initial markings, same observed incidence columns and
+// rate ranges up to renaming "[i]" to "[*]" — swapping two replicas is an
+// automorphism of the marking graph, so the chain lumps over replica
+// multisets: the L^R local-state product collapses to C(L+R-1, R).
+// Extended-place contents (vehicle ids stored in the platoon arrays) are
+// treated as exchangeable tokens; core's deterministic slot reuse keeps
+// id assignment a function of the abstract state, which is what justifies
+// the exchange.
+
+// parseIndexed splits a bracketed replica name: "vehicle[3].fm" yields
+// canonical "vehicle[*].fm" and index 3.
+func parseIndexed(name string) (canon string, idx int, ok bool) {
+	i := strings.IndexByte(name, '[')
+	if i < 0 {
+		return "", 0, false
+	}
+	j := strings.IndexByte(name[i:], ']')
+	if j < 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(name[i+1 : i+j])
+	if err != nil {
+		return "", 0, false
+	}
+	return name[:i+1] + "*" + name[i+j:], n, true
+}
+
+// replicaTracker accumulates per-replica local-state projections during
+// the walk and derives the symmetry facts afterwards.
+type replicaTracker struct {
+	indices  []int       // sorted distinct replica indices
+	pos      map[int]int // replica index -> position in indices
+	dimCanon []string    // per dim: canonical name ("" when unindexed)
+	dimIdx   []int       // per dim: replica index, -1 when unindexed
+	dimsOf   [][]int     // per position: dim ids sorted by canonical name
+	proj     map[string]struct{}
+}
+
+// newReplicaTracker inspects the dimension names; it returns nil when the
+// model has no bracketed replicas.
+func newReplicaTracker(dimNames []string) *replicaTracker {
+	t := &replicaTracker{
+		pos:      make(map[int]int),
+		dimCanon: make([]string, len(dimNames)),
+		dimIdx:   make([]int, len(dimNames)),
+		proj:     make(map[string]struct{}),
+	}
+	seen := make(map[int]bool)
+	for d, name := range dimNames {
+		t.dimIdx[d] = -1
+		if canon, idx, ok := parseIndexed(name); ok {
+			t.dimCanon[d] = canon
+			t.dimIdx[d] = idx
+			seen[idx] = true
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	for idx := range seen {
+		t.indices = append(t.indices, idx)
+	}
+	sort.Ints(t.indices)
+	for p, idx := range t.indices {
+		t.pos[idx] = p
+	}
+	t.dimsOf = make([][]int, len(t.indices))
+	for d, idx := range t.dimIdx {
+		if idx < 0 {
+			continue
+		}
+		p := t.pos[idx]
+		t.dimsOf[p] = append(t.dimsOf[p], d)
+	}
+	for p := range t.dimsOf {
+		dims := t.dimsOf[p]
+		sort.Slice(dims, func(a, b int) bool { return t.dimCanon[dims[a]] < t.dimCanon[dims[b]] })
+	}
+	return t
+}
+
+// project records the local-state projection of every replica in one
+// visited state vector.
+func (t *replicaTracker) project(v []int) {
+	var b strings.Builder
+	for p := range t.dimsOf {
+		b.Reset()
+		for _, d := range t.dimsOf[p] {
+			b.WriteString(t.dimCanon[d])
+			b.WriteByte('=')
+			b.WriteString(strconv.Itoa(v[d]))
+			b.WriteByte(';')
+		}
+		t.proj[b.String()] = struct{}{}
+	}
+}
+
+// signature builds the canonical structural signature of one replica
+// position: its local dims with initial markings, the incidence columns of
+// its activities (deltas rendered with "[i]" canonicalised away), and the
+// observed rate range of each of its exponential activities.
+func (t *replicaTracker) signature(p *prober, pos int) string {
+	idx := t.indices[pos]
+	var parts []string
+	for _, d := range t.dimsOf[pos] {
+		parts = append(parts, fmt.Sprintf("dim:%s=%d", t.dimCanon[d], p.initVec[d]))
+	}
+	canonDim := func(d int) string {
+		if t.dimIdx[d] == idx {
+			return t.dimCanon[d]
+		}
+		return p.dimNames[d] // cross-replica coupling stays literal and breaks symmetry
+	}
+	for _, c := range p.cols {
+		canonAct, actIdx, ok := parseIndexed(c.activity)
+		if !ok || actIdx != idx {
+			continue
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "col:%s/%d:", canonAct, c.caseIdx)
+		for d, v := range c.delta {
+			if v == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%s=%d;", canonDim(d), v)
+		}
+		parts = append(parts, b.String())
+	}
+	for name, rr := range p.rates {
+		canonAct, actIdx, ok := parseIndexed(name)
+		if !ok || actIdx != idx {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("rate:%s=%v..%v", canonAct, rr.min, rr.max))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\n")
+}
+
+// facts derives the ReplicaFacts, or nil for replica-free models.
+func (t *replicaTracker) facts(p *prober, exhaustive bool) *ReplicaFacts {
+	if t == nil || len(t.indices) == 0 {
+		return nil
+	}
+	famSet := make(map[string]bool)
+	for d, idx := range t.dimIdx {
+		if idx >= 0 {
+			famSet[p.dimNames[d][:strings.IndexByte(p.dimNames[d], '[')]] = true
+		}
+	}
+	for _, c := range p.cols {
+		if _, _, ok := parseIndexed(c.activity); ok {
+			famSet[c.activity[:strings.IndexByte(c.activity, '[')]] = true
+		}
+	}
+	families := make([]string, 0, len(famSet))
+	for f := range famSet {
+		families = append(families, f)
+	}
+	sort.Strings(families)
+
+	rf := &ReplicaFacts{
+		Replicas:    len(t.indices),
+		Families:    families,
+		LocalStates: len(t.proj),
+	}
+	// Symmetry is only claimed on an exhaustive walk: a truncated one may
+	// simply not have reached the states that distinguish two replicas.
+	if exhaustive && len(t.indices) >= 2 {
+		sig := t.signature(p, 0)
+		rf.Symmetric = true
+		for pos := 1; pos < len(t.indices); pos++ {
+			if t.signature(p, pos) != sig {
+				rf.Symmetric = false
+				break
+			}
+		}
+	}
+	L := int64(rf.LocalStates)
+	R := int64(rf.Replicas)
+	rf.FullLocalProduct = new(big.Int).Exp(big.NewInt(L), big.NewInt(R), nil).String()
+	rf.QuotientBound = new(big.Int).Binomial(L+R-1, R).String()
+	return rf
+}

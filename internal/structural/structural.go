@@ -1,0 +1,263 @@
+// Package structural computes structural facts about a built san.Model
+// without spending any simulation budget on it: conservation invariants
+// (P-semiflows) and the per-place token bounds they certify, T-semiflows,
+// a state-space size bound, a stiffness report over the exponential rate
+// scales, replica-symmetry (lumpability) detection over the bracketed
+// replica families, and dead-arc / constant-gate elimination facts.
+//
+// SAN gates in this codebase are opaque Go closures, so the incidence
+// matrix cannot be read off a net description. Instead Analyze walks the
+// bounded marking graph deterministically (the same reachability machinery
+// as internal/ctmc, see ctmc.MarkingKey) and observes, for every activity
+// case, the distinct marking-delta vectors its firing produces; each
+// distinct delta is one incidence column. Extended places contribute their
+// lengths as pseudo-places ("len(platoon1)"), which is how the paper's
+// platoon-composition arrays enter the linear-algebraic invariants. When
+// the walk reaches a fixpoint within Options.MaxStates the facts are
+// certified: every reachable transition effect has been observed, so a
+// P-semiflow of the observed incidence columns is a genuine conservation
+// law of the model and the token bounds derived from it hold in every
+// reachable marking. A truncated walk still reports facts, but they
+// describe only the explored prefix (Exhaustive is false) and downstream
+// consumers must not treat them as certified.
+//
+// The result is the serializable ModelFacts artifact consumed by
+// internal/sanlint (SAN012–SAN014 cross-checks), internal/ctmc (state-map
+// pre-sizing and a certified state bound), internal/sim (statically
+// constant gates) and cmd/ahs-lint (-facts JSON output with committed
+// goldens). See docs/linting.md for the JSON schema.
+package structural
+
+import (
+	"fmt"
+	"math/big"
+
+	"ahs/internal/san"
+)
+
+// Options tunes an analysis run.
+type Options struct {
+	// MaxStates bounds the probed stable markings; 0 means 20000. When the
+	// bound is hit the facts describe only the explored prefix and
+	// Exhaustive is false.
+	MaxStates int
+	// MaxInstantDepth bounds the instantaneous closure; 0 means 1000.
+	MaxInstantDepth int
+	// StiffnessThreshold is the rate spread above which Stiffness.Flagged
+	// is set; 0 means 1e6 (the spread at which uniformization and naive
+	// Monte Carlo both degrade noticeably).
+	StiffnessThreshold float64
+	// MaxSemiflows caps the number of P- and T-semiflows kept; 0 means 64.
+	MaxSemiflows int
+	// MaxEliminationRows caps the working set of the Farkas elimination;
+	// 0 means 4096. Hitting the cap abandons the affected semiflow family
+	// (fewer invariants, never wrong ones).
+	MaxEliminationRows int
+	// Absorb, when non-nil, marks absorbing markings: they are recorded
+	// but not expanded, mirroring ctmc.ExploreOptions.Absorb and the goal
+	// places of sanlint.Config. Facts are then certified for the absorbed
+	// reachable graph — the graph every consumer passing the same
+	// absorption actually explores. The predicate must not mutate the
+	// marking.
+	Absorb func(mk *san.Marking) bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxStates <= 0 {
+		o.MaxStates = 20_000
+	}
+	if o.MaxInstantDepth <= 0 {
+		o.MaxInstantDepth = 1000
+	}
+	if o.StiffnessThreshold <= 0 {
+		o.StiffnessThreshold = 1e6
+	}
+	if o.MaxSemiflows <= 0 {
+		o.MaxSemiflows = 64
+	}
+	if o.MaxEliminationRows <= 0 {
+		o.MaxEliminationRows = 4096
+	}
+	return o
+}
+
+// Term is one weighted place (or transition, in a T-semiflow) of an
+// invariant. Extended places appear through their length pseudo-place,
+// named "len(<place>)".
+type Term struct {
+	Place string `json:"place"`
+	Coeff int    `json:"coeff"`
+}
+
+// Invariant is one P-semiflow y ≥ 0 with y·C = 0: the weighted token sum
+// over Terms equals Value (= y·M0) in every reachable marking.
+type Invariant struct {
+	Terms []Term `json:"terms"`
+	Value int    `json:"value"`
+}
+
+// TSemiflow is one T-semiflow x ≥ 0 with C·x = 0: firing every listed
+// transition the given number of times reproduces the starting marking.
+// Transition labels are "<activity>/<case>" plus "#<variant>" when an
+// activity case was observed with several distinct marking deltas.
+type TSemiflow struct {
+	Terms []Term `json:"terms"`
+}
+
+// PlaceFact is the per-place bound report.
+type PlaceFact struct {
+	Name    string `json:"name"`
+	Initial int    `json:"initial"`
+	// ObservedMax is the largest token count seen during the probe walk
+	// (the exact bound when Exhaustive).
+	ObservedMax int `json:"observedMax"`
+	// CertifiedBound is the tightest certified token bound: the exact
+	// supremum from an exhaustive walk, tightened against the semiflow
+	// bound; -1 when nothing is certified (truncated walk).
+	CertifiedBound int `json:"certifiedBound"`
+	// InvariantBound is the bound derived purely algebraically from the
+	// P-semiflows, min over covering flows y of floor(y·M0 / y_p); -1 when
+	// no semiflow covers the place. It is certified only alongside
+	// Exhaustive (the incidence columns are complete then) and is always
+	// ≥ ObservedMax in that case.
+	InvariantBound int `json:"invariantBound"`
+}
+
+// StiffnessFact reports the spread of the exponential rate scales observed
+// while activities were enabled. A spread beyond the threshold degrades
+// both uniformization (internal/ctmc: the Poisson truncation point grows
+// with Λ·t) and naive Monte Carlo (internal/mc: rare slow events under
+// many fast ones), which is why the paper's λ = 1e-5/hr study needs
+// importance sampling.
+type StiffnessFact struct {
+	MinRate     float64 `json:"minRate"`
+	MaxRate     float64 `json:"maxRate"`
+	MinActivity string  `json:"minActivity"`
+	MaxActivity string  `json:"maxActivity"`
+	// Spread is MaxRate/MinRate (0 when no exponential activity was
+	// enabled anywhere).
+	Spread  float64 `json:"spread"`
+	Flagged bool    `json:"flagged"`
+}
+
+// ReplicaFacts reports the index-permutation symmetry over the bracketed
+// replica families ("one_vehicle[3].L2", "vehicle[3].fm", ...). When every
+// replica index has an identical canonical signature — same local initial
+// markings, same observed transition deltas and rate values up to renaming
+// "[i]" — the model is lumpable by replica exchange and the per-replica
+// local-state product L^R collapses to the multiset bound C(L+R-1, R).
+// Extended-place contents (vehicle ids) are treated as exchangeable
+// tokens, which core's deterministic slot reuse justifies.
+type ReplicaFacts struct {
+	Replicas  int      `json:"replicas"`
+	Families  []string `json:"families"`
+	Symmetric bool     `json:"symmetric"`
+	// LocalStates counts the distinct per-replica local-state projections
+	// observed (exact when Exhaustive).
+	LocalStates int `json:"localStates"`
+	// FullLocalProduct is L^R, the local-state product without lumping,
+	// and QuotientBound the multiset bound C(L+R-1, R) it collapses to
+	// when Symmetric. Decimal strings: the values overflow int64 quickly.
+	FullLocalProduct string `json:"fullLocalProduct"`
+	QuotientBound    string `json:"quotientBound"`
+}
+
+// GateFact records an enabling predicate whose read set is disjoint from
+// every effect's write set: its value can never change, so executors may
+// skip re-evaluating it (see sim.Options.ConstantGates).
+type GateFact struct {
+	Activity string `json:"activity"`
+	Kind     string `json:"kind"` // "timed" or "instant"
+	Enabled  bool   `json:"enabled"`
+}
+
+// DeadArcFact records an activity case that never fired during an
+// exhaustive walk: its output arc is dead and can be eliminated.
+type DeadArcFact struct {
+	Activity string `json:"activity"`
+	Case     int    `json:"case"`
+	Reason   string `json:"reason"`
+}
+
+// ModelFacts is the serializable structural-analysis artifact. All slices
+// are deterministically ordered, so the JSON encoding is reproducible and
+// can be pinned by golden tests.
+type ModelFacts struct {
+	Model string `json:"model"`
+	// Exhaustive reports that the probe walk reached a fixpoint within
+	// MaxStates: every fact below is certified for the whole reachable
+	// behaviour, not just an explored prefix.
+	Exhaustive bool `json:"exhaustive"`
+	// StatesProbed counts the stable markings visited (the exact
+	// reachable-state count when Exhaustive).
+	StatesProbed int `json:"statesProbed"`
+	// TransitionColumns counts the distinct (activity, case, delta)
+	// incidence columns observed.
+	TransitionColumns int `json:"transitionColumns"`
+
+	Places     []PlaceFact `json:"places"`
+	Invariants []Invariant `json:"invariants"`
+	TSemiflows []TSemiflow `json:"tSemiflows,omitempty"`
+
+	// StateSpaceBound is a certified upper bound on the stable reachable
+	// states, as a decimal string: the exact probed count when Exhaustive,
+	// the product of the certified place bounds for ext-place-free models,
+	// or "unknown".
+	StateSpaceBound string `json:"stateSpaceBound"`
+
+	Stiffness StiffnessFact `json:"stiffness"`
+	Replicas  *ReplicaFacts `json:"replicas,omitempty"`
+
+	ConstantGates []GateFact    `json:"constantGates,omitempty"`
+	DeadArcs      []DeadArcFact `json:"deadArcs,omitempty"`
+}
+
+// PlaceBound returns the certified token bound for the named simple place
+// (-1 when none is certified or the place is unknown).
+func (f *ModelFacts) PlaceBound(name string) int {
+	for i := range f.Places {
+		if f.Places[i].Name == name {
+			return f.Places[i].CertifiedBound
+		}
+	}
+	return -1
+}
+
+// StateBound returns the certified state-space bound as an int, or 0 when
+// the bound is unknown or does not fit.
+func (f *ModelFacts) StateBound() int {
+	n, ok := new(big.Int).SetString(f.StateSpaceBound, 10)
+	if !ok || !n.IsInt64() {
+		return 0
+	}
+	v := n.Int64()
+	if v <= 0 || v > int64(int(^uint(0)>>1)) {
+		return 0
+	}
+	return int(v)
+}
+
+// ConstantTimedGates returns the statically-constant timed gates as the
+// activity-name → value map consumed by sim.Options.ConstantGates.
+func (f *ModelFacts) ConstantTimedGates() map[string]bool {
+	out := make(map[string]bool)
+	for _, g := range f.ConstantGates {
+		if g.Kind == "timed" {
+			out[g.Activity] = g.Enabled
+		}
+	}
+	return out
+}
+
+// Analyze probes the model's bounded marking graph and derives the
+// structural facts. The returned error reports an unanalyzable model (a
+// marking function panicking or producing invalid weights during the
+// probe); use internal/sanlint to diagnose such defects.
+func Analyze(model *san.Model, opts Options) (*ModelFacts, error) {
+	opts = opts.withDefaults()
+	p := newProber(model, opts)
+	if err := p.walk(); err != nil {
+		return nil, fmt.Errorf("structural: %w", err)
+	}
+	return p.facts(), nil
+}

@@ -18,6 +18,11 @@ var (
 	ErrUnknownSweep  = errors.New("sweep: unknown sweep id")
 	ErrTooManyPoints = errors.New("sweep: design expands to more points than the engine allows")
 	ErrShuttingDown  = errors.New("sweep: engine is shutting down")
+	// ErrInvalidPoint means an expanded point's scenario fails static
+	// parameter validation; the whole sweep is rejected at submission,
+	// before any job is created. Runtime evaluation failures, by contrast,
+	// fail only their point (partial-failure contract).
+	ErrInvalidPoint = errors.New("sweep: design expands to an invalid scenario")
 )
 
 // Status is the lifecycle state of a sweep.
@@ -223,6 +228,17 @@ func (e *Engine) Submit(sp *Spec) (View, error) {
 	if len(design.Points) > e.cfg.MaxPoints {
 		e.metrics.Rejected.Add(1)
 		return View{}, fmt.Errorf("%w (%d > %d)", ErrTooManyPoints, len(design.Points), e.cfg.MaxPoints)
+	}
+	// Pre-validate every unique point's scenario parameters. A design that
+	// expands to a statically invalid point (bad strategy code, negative
+	// rate, infeasible platoon size) is rejected here, before any job is
+	// created; the HTTP layer answers 400. Only runtime failures are left
+	// to the per-point partial-failure path.
+	for _, idx := range design.Unique {
+		if _, err := design.Points[idx].Scenario.Params(); err != nil {
+			e.metrics.Rejected.Add(1)
+			return View{}, fmt.Errorf("%w: point %d (%s): %v", ErrInvalidPoint, idx, design.Points[idx].Label, err)
+		}
 	}
 
 	e.mu.Lock()

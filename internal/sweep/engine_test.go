@@ -259,13 +259,47 @@ func TestDedupedPointsWithinSweepScheduledOnce(t *testing.T) {
 	}
 }
 
-func TestPoisonedPointFailsPointNotSweep(t *testing.T) {
+func TestInvalidPointRejectedAtSubmit(t *testing.T) {
+	// A statically invalid point (unknown strategy code) rejects the whole
+	// sweep at submission — before any job exists — rather than burning an
+	// evaluation slot on a point that can never build.
 	eval := newCountingEval()
 	_, eng := newTestEngine(t, service.Config{Eval: eval.fn}, Config{})
-	view, err := eng.Submit(&Spec{
+	_, err := eng.Submit(&Spec{
 		Name: "poison",
 		Base: baseScenario(),
 		Axes: []Axis{{Param: "strategy", Strings: []string{"DD", "XX"}}},
+	})
+	if !errors.Is(err, ErrInvalidPoint) {
+		t.Fatalf("Submit error = %v, want ErrInvalidPoint", err)
+	}
+	if got := eval.total(); got != 0 {
+		t.Fatalf("evaluation ran %d times for a rejected sweep", got)
+	}
+	if sweeps := eng.Sweeps(); len(sweeps) != 0 {
+		t.Fatalf("rejected sweep was registered: %+v", sweeps)
+	}
+	if got := eng.Metrics().Rejected.Value(); got != 1 {
+		t.Fatalf("Rejected metric = %d, want 1", got)
+	}
+}
+
+func TestRuntimeFailureFailsPointNotSweep(t *testing.T) {
+	// Both points pass static validation; one fails at evaluation time.
+	// The partial-failure contract applies: that point fails, the sweep
+	// finishes partial.
+	eval := newCountingEval()
+	failing := func(ctx context.Context, sc *config.Scenario, workers int, progress func(done, max uint64)) (*service.Result, error) {
+		if sc.LambdaPerHour == 0.02 {
+			return nil, errors.New("synthetic runtime failure")
+		}
+		return eval.fn(ctx, sc, workers, progress)
+	}
+	_, eng := newTestEngine(t, service.Config{Eval: failing}, Config{})
+	view, err := eng.Submit(&Spec{
+		Name: "poison",
+		Base: baseScenario(),
+		Axes: []Axis{{Param: "lambdaPerHour", Values: []float64{0.01, 0.02}}},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -141,6 +141,15 @@ func TestHTTPSweepErrors(t *testing.T) {
 	if code := post(`{"axes":[]}`); code != http.StatusBadRequest {
 		t.Fatalf("invalid spec: %d", code)
 	}
+	// A structurally valid spec expanding to a statically invalid point is
+	// rejected with 400 before any job is created.
+	invalidPoint := `{
+		"base": {"n": 2, "tripHours": [1], "batches": 100, "seed": 1},
+		"axes": [{"param": "strategy", "strings": ["DD", "XX"]}]
+	}`
+	if code := post(invalidPoint); code != http.StatusBadRequest {
+		t.Fatalf("statically invalid point: %d", code)
+	}
 	if code := getJSON(t, srv.URL+"/v1/sweeps/sweep-404", nil); code != http.StatusNotFound {
 		t.Fatalf("unknown sweep: %d", code)
 	}

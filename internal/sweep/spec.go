@@ -189,8 +189,11 @@ func LoadFile(path string) (*Spec, error) {
 }
 
 // Validate checks the spec's structure. Per-point scenario validity
-// (parameter ranges, model constraints) is deliberately not checked here:
-// a poisoned point fails that point at submission, not the sweep.
+// (parameter ranges, model constraints) is not checked here because the
+// points do not exist yet; Engine.Submit validates every expanded point's
+// parameters statically after expansion and rejects the sweep with
+// ErrInvalidPoint before any job is created. Failures that only manifest
+// at evaluation time still fail just their point, never the sweep.
 func (sp *Spec) Validate() error {
 	var errs []error
 	design := sp.Design
