@@ -14,6 +14,13 @@
 // falling back to local simulation when none are registered; results are
 // bit-identical either way. See docs/api.md for the endpoint reference and
 // metrics names, and docs/cluster.md for the cluster protocol.
+//
+// Every request is traced: one submit yields a single distributed trace
+// covering dedup, sweep expansion, chunk leases, worker execution, fault
+// injections and merge, browsable at GET /debug/traces and exportable as
+// Chrome trace JSON from GET /v1/jobs/{id}/trace?format=chrome (see
+// docs/observability.md). Logs go through log/slog with trace_id/job
+// fields; -log-format json emits one object per line for log shippers.
 package main
 
 import (
@@ -21,7 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -31,6 +38,7 @@ import (
 	"time"
 
 	"ahs/internal/cluster"
+	"ahs/internal/obs"
 	"ahs/internal/service"
 	"ahs/internal/sweep"
 	"ahs/internal/telemetry"
@@ -66,6 +74,10 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		journalDir    = fs.String("journal-dir", "", "cluster job-journal directory for crash-safe evaluation (requires -cluster; empty = no journal, jobs are lost on crash)")
 		sweepInFlight = fs.Int("sweep-inflight", 4, "default per-sweep bound on concurrently submitted design points")
 		sweepMaxPts   = fs.Int("sweep-max-points", 4096, "reject sweep designs expanding beyond this many points")
+		logFormat     = fs.String("log-format", "text", "log output format: text or json (one slog object per line)")
+		traceSample   = fs.Int("trace-sample", 1, "record every Nth trace (1 = all, 0 = tracing disabled)")
+		traceMaxTr    = fs.Int("trace-max-traces", 256, "finished traces kept in the in-memory ring for GET /debug/traces")
+		traceMaxSpans = fs.Int("trace-max-spans", 512, "span cap per trace; spans past it are counted as dropped")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +88,26 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	if *workers < 1 || *queueSize < 1 {
 		return fmt.Errorf("workers and queue must be positive (got %d, %d)", *workers, *queueSize)
 	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		return err
+	}
+	logf := obs.Logf(context.Background(), logger)
+
+	// One registry for everything this process exports — service, sweep,
+	// cluster, tracing and runtime families all come out of GET /metrics.
+	registry := telemetry.NewRegistry()
+	telemetry.RegisterRuntime(registry)
+	var tracer *obs.Tracer
+	if *traceSample > 0 {
+		tracer = obs.NewTracer(obs.Config{
+			SampleEvery: *traceSample,
+			MaxTraces:   *traceMaxTr,
+			MaxSpans:    *traceMaxSpans,
+			Telemetry:   registry,
+			Logger:      logger,
+		})
+	}
 
 	cfg := service.Config{
 		Workers:       *workers,
@@ -83,6 +115,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		QueueSize:     *queueSize,
 		CacheSize:     *cacheSize,
 		JobTimeout:    *jobTimeout,
+		Telemetry:     registry,
+		Tracer:        tracer,
 	}
 	if *journalDir != "" && !*clusterMode {
 		return fmt.Errorf("-journal-dir requires -cluster")
@@ -90,15 +124,11 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	var coord *cluster.Coordinator
 	var journal *cluster.Journal
 	if *clusterMode {
-		// Share one registry so ahs_cluster_* and the manager's families
-		// come out of the same GET /metrics.
-		cfg.Telemetry = telemetry.NewRegistry()
 		if *journalDir != "" {
-			var err error
 			journal, err = cluster.OpenJournal(cluster.JournalConfig{
 				Dir:       *journalDir,
-				Telemetry: cfg.Telemetry,
-				Logf:      log.Printf,
+				Telemetry: registry,
+				Logf:      logf,
 			})
 			if err != nil {
 				return err
@@ -109,12 +139,21 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 			LeaseTTL:     *leaseTTL,
 			ChunkBatches: *chunkBatches,
 			Journal:      journal,
-			Telemetry:    cfg.Telemetry,
-			Logf:         log.Printf,
+			Telemetry:    registry,
+			Tracer:       tracer,
+			Logf:         logf,
 		})
 		defer coord.Close()
 		cfg.Eval = service.ClusterEval(coord)
 		cfg.Backend = service.ClusterBackend(coord)
+	}
+	if journal != nil {
+		// Surface journal durability in GET /healthz: operators watching a
+		// crash-safe deployment can see the directory, live-job count and
+		// the last compaction outcome without reading coordinator logs.
+		cfg.ExtraHealth = func() map[string]any {
+			return map[string]any{"journal": journal.Stats()}
+		}
 	}
 	mgr := service.NewManager(cfg)
 	// The sweep engine fans whole parameter designs out through the same
@@ -125,6 +164,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		Telemetry:   mgr.Registry(),
 		MaxInFlight: *sweepInFlight,
 		MaxPoints:   *sweepMaxPts,
+		Tracer:      tracer,
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/", service.NewHandler(mgr))
@@ -158,8 +198,13 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("ahs-serve: listening on %s (workers=%d queue=%d cache=%d)",
-		ln.Addr(), *workers, *queueSize, *cacheSize)
+	logger.Info("ahs-serve: listening",
+		slog.String("addr", ln.Addr().String()),
+		slog.Int("workers", *workers),
+		slog.Int("queue", *queueSize),
+		slog.Int("cache", *cacheSize),
+		slog.Bool("cluster", *clusterMode),
+		slog.Bool("tracing", tracer != nil))
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -176,7 +221,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	// Graceful shutdown: stop accepting connections, then drain the job
 	// pool; past the drain budget, in-flight estimations are cancelled
 	// (they stop within one simulation batch).
-	log.Printf("ahs-serve: shutting down, draining jobs (budget %v)", *drainTimeout)
+	logger.Info("ahs-serve: shutting down, draining jobs", slog.Duration("budget", *drainTimeout))
 	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelHTTP()
 	if err := srv.Shutdown(httpCtx); err != nil {
@@ -196,15 +241,15 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	closeCtx, cancelClose := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelClose()
 	if cerr := eng.Close(closeCtx); cerr != nil {
-		log.Printf("ahs-serve: sweep engine close: %v", cerr)
+		logger.Error("ahs-serve: sweep engine close failed", slog.Any("err", cerr))
 	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			log.Printf("ahs-serve: drain budget exceeded, in-flight jobs cancelled")
+			logger.Warn("ahs-serve: drain budget exceeded, in-flight jobs cancelled")
 			return nil
 		}
 		return err
 	}
-	log.Printf("ahs-serve: drained cleanly")
+	logger.Info("ahs-serve: drained cleanly")
 	return nil
 }

@@ -16,13 +16,19 @@
 // deadline) aborts immediately; the abandoned lease simply expires back
 // onto the coordinator's queue. See docs/cluster.md for the protocol and
 // deployment recipe.
+//
+// Each leased chunk runs inside a span parented to the coordinator's lease
+// span (W3C traceparent on the lease), so worker-side execution appears in
+// the job's distributed trace; with -health-addr the worker also serves
+// GET /metrics (runtime + trace families) and GET /debug/traces alongside
+// /healthz. Logs go through log/slog; -log-format json for log shippers.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -31,6 +37,8 @@ import (
 	"time"
 
 	"ahs/internal/cluster"
+	"ahs/internal/obs"
+	"ahs/internal/telemetry"
 )
 
 func main() {
@@ -47,14 +55,35 @@ func run(args []string) error {
 		id          = fs.String("id", "", "stable worker identity (default: a random one)")
 		simWorkers  = fs.Int("sim-workers", 0, "simulation goroutines per chunk (0 = GOMAXPROCS)")
 		poll        = fs.Duration("poll", 0, "idle poll interval override (0 = coordinator's suggestion)")
-		healthAddr  = fs.String("health-addr", "", "serve GET /healthz on this address and advertise it for coordinator liveness probes (empty = disabled)")
+		healthAddr  = fs.String("health-addr", "", "serve GET /healthz, /metrics and /debug/traces on this address and advertise it for coordinator liveness probes (empty = disabled)")
 		drainGrace  = fs.Duration("drain-grace", 10*time.Minute, "after the first SIGTERM/SIGINT, how long the in-flight chunk may keep running before it is aborted (0 = abort immediately)")
+		logFormat   = fs.String("log-format", "text", "log output format: text or json (one slog object per line)")
+		traceSample = fs.Int("trace-sample", 1, "record every Nth locally rooted trace (1 = all, 0 = tracing disabled); coordinator-parented chunk spans always follow the coordinator's sampling decision")
+		traceMaxTr  = fs.Int("trace-max-traces", 256, "finished traces kept in the in-memory ring for GET /debug/traces")
+		traceMaxSp  = fs.Int("trace-max-spans", 512, "span cap per trace; spans past it are counted as dropped")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		return err
+	}
+
+	registry := telemetry.NewRegistry()
+	telemetry.RegisterRuntime(registry)
+	var tracer *obs.Tracer
+	if *traceSample > 0 {
+		tracer = obs.NewTracer(obs.Config{
+			SampleEvery: *traceSample,
+			MaxTraces:   *traceMaxTr,
+			MaxSpans:    *traceMaxSp,
+			Telemetry:   registry,
+			Logger:      logger,
+		})
 	}
 
 	// Two-phase shutdown wiring: the first signal cancels the soft
@@ -72,18 +101,19 @@ func run(args []string) error {
 	go func() {
 		<-sigc
 		if grace <= 0 {
-			log.Printf("ahs-worker: signal received, aborting immediately (-drain-grace 0)")
+			logger.Info("ahs-worker: signal received, aborting immediately (-drain-grace 0)")
 			hardCancel()
 			softCancel()
 			return
 		}
-		log.Printf("ahs-worker: signal received, draining (finishing in-flight chunk; again to abort, grace %v)", grace)
+		logger.Info("ahs-worker: signal received, draining (finishing in-flight chunk; again to abort)",
+			slog.Duration("grace", grace))
 		softCancel()
 		select {
 		case <-sigc:
-			log.Printf("ahs-worker: second signal, aborting in-flight chunk")
+			logger.Info("ahs-worker: second signal, aborting in-flight chunk")
 		case <-time.After(grace):
-			log.Printf("ahs-worker: drain grace %v exceeded, aborting in-flight chunk", grace)
+			logger.Warn("ahs-worker: drain grace exceeded, aborting in-flight chunk", slog.Duration("grace", grace))
 		case <-hard.Done():
 		}
 		hardCancel()
@@ -95,7 +125,8 @@ func run(args []string) error {
 		SimWorkers:  *simWorkers,
 		Poll:        *poll,
 		HardContext: hard,
-		Logf:        log.Printf,
+		Logf:        obs.Logf(context.Background(), logger),
+		Tracer:      tracer,
 	}
 
 	if *healthAddr != "" {
@@ -108,6 +139,12 @@ func run(args []string) error {
 			rw.WriteHeader(http.StatusOK)
 			fmt.Fprintln(rw, `{"status":"ok"}`)
 		})
+		mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, _ *http.Request) {
+			rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = registry.WriteText(rw)
+		})
+		mux.Handle("GET /debug/traces", obs.DebugHandler(tracer, "/debug/traces"))
+		mux.Handle("GET /debug/traces/{id...}", obs.DebugHandler(tracer, "/debug/traces"))
 		hs := &http.Server{Handler: mux, ReadTimeout: 5 * time.Second, WriteTimeout: 5 * time.Second}
 		go hs.Serve(ln)
 		defer hs.Close()
@@ -120,9 +157,9 @@ func run(args []string) error {
 			}
 		}
 		w.HealthURL = fmt.Sprintf("http://%s/healthz", net.JoinHostPort(host, port))
-		log.Printf("ahs-worker: health endpoint on %s", w.HealthURL)
+		logger.Info("ahs-worker: health endpoint up", slog.String("url", w.HealthURL))
 	}
 
-	log.Printf("ahs-worker: joining %s", *coordinator)
+	logger.Info("ahs-worker: joining coordinator", slog.String("coordinator", *coordinator))
 	return w.Run(soft)
 }

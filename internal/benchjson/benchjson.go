@@ -1,0 +1,163 @@
+// Package benchjson parses the `go test -json -bench` event stream into
+// benchmark results. The committed BENCH_baseline.json at the repository
+// root (regenerated with `make bench-json`) is such a stream; pinning its
+// schema here keeps regression tooling — and CI — honest about what the
+// baseline file actually contains.
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Event is one line of the test2json stream emitted by `go test -json`.
+// Fields mirror cmd/test2json's event type; unknown fields are rejected so
+// a toolchain schema change is noticed, not silently dropped.
+type Event struct {
+	Time        time.Time `json:"Time,omitempty"`
+	Action      string    `json:"Action"`
+	Package     string    `json:"Package,omitempty"`
+	Test        string    `json:"Test,omitempty"`
+	Elapsed     float64   `json:"Elapsed,omitempty"`
+	Output      string    `json:"Output,omitempty"`
+	FailedBuild string    `json:"FailedBuild,omitempty"`
+}
+
+// actions is the closed set of test2json actions; an unknown action means
+// the stream is not what `make bench-json` produces.
+var actions = map[string]bool{
+	"start": true, "run": true, "pause": true, "cont": true,
+	"pass": true, "bench": true, "fail": true, "output": true, "skip": true,
+}
+
+// Result is one parsed benchmark measurement.
+type Result struct {
+	// Package is the Go import path the benchmark ran in.
+	Package string
+	// Name is the benchmark name without the -P GOMAXPROCS suffix.
+	Name string
+	// Procs is the -P suffix (GOMAXPROCS during the run; 1 if unsuffixed).
+	Procs int
+	// Iterations is b.N for the measurement.
+	Iterations uint64
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64
+	// BytesPerOp and AllocsPerOp are reported only under -benchmem;
+	// -1 when absent.
+	BytesPerOp, AllocsPerOp float64
+}
+
+// resultLine matches a benchmark result line reassembled from output
+// events, e.g. "BenchmarkMCBaseline-16   100   12345 ns/op   0 B/op".
+var resultLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+// Parse decodes a `go test -json` stream, validating every line against
+// the Event schema (strict field set, known actions).
+func Parse(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		dec := json.NewDecoder(strings.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("benchjson: line %d: %w", line, err)
+		}
+		if !actions[ev.Action] {
+			return nil, fmt.Errorf("benchjson: line %d: unknown action %q", line, ev.Action)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	return events, nil
+}
+
+// Results extracts benchmark measurements from a parsed stream. test2json
+// may split one result line across several output events (the benchmark
+// name is flushed before the measurements), so output is reassembled per
+// package before scanning.
+func Results(events []Event) []Result {
+	perPkg := map[string]*strings.Builder{}
+	var order []string
+	for _, ev := range events {
+		if ev.Action != "output" {
+			continue
+		}
+		b, ok := perPkg[ev.Package]
+		if !ok {
+			b = &strings.Builder{}
+			perPkg[ev.Package] = b
+			order = append(order, ev.Package)
+		}
+		b.WriteString(ev.Output)
+	}
+	var out []Result
+	for _, pkg := range order {
+		for _, line := range strings.Split(perPkg[pkg].String(), "\n") {
+			m := resultLine.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil {
+				continue
+			}
+			res := Result{
+				Package:     pkg,
+				Name:        m[1],
+				Procs:       1,
+				BytesPerOp:  -1,
+				AllocsPerOp: -1,
+			}
+			if m[2] != "" {
+				res.Procs, _ = strconv.Atoi(m[2])
+			}
+			res.Iterations, _ = strconv.ParseUint(m[3], 10, 64)
+			res.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
+			for _, metric := range []struct {
+				unit string
+				dst  *float64
+			}{{"B/op", &res.BytesPerOp}, {"allocs/op", &res.AllocsPerOp}} {
+				if v, ok := trailingMetric(m[5], metric.unit); ok {
+					*metric.dst = v
+				}
+			}
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// ParseResults is Parse followed by Results.
+func ParseResults(r io.Reader) ([]Result, error) {
+	events, err := Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return Results(events), nil
+}
+
+// trailingMetric finds "<value> <unit>" in the tail of a result line.
+func trailingMetric(tail, unit string) (float64, bool) {
+	fields := strings.Fields(tail)
+	for i := 0; i+1 < len(fields); i++ {
+		if fields[i+1] == unit {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,85 @@
+package benchjson
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestParseSplitOutput pins the parser against test2json's habit of
+// flushing the benchmark name in one output event and the measurements in
+// the next.
+func TestParseSplitOutput(t *testing.T) {
+	stream := `{"Time":"2026-08-08T12:00:00Z","Action":"start","Package":"ahs/internal/mc"}
+{"Time":"2026-08-08T12:00:01Z","Action":"output","Package":"ahs/internal/mc","Output":"BenchmarkMCBaseline-16 "}
+{"Time":"2026-08-08T12:00:02Z","Action":"output","Package":"ahs/internal/mc","Output":"\t     100\t    250000 ns/op\t  1024 B/op\t     12 allocs/op\n"}
+{"Time":"2026-08-08T12:00:03Z","Action":"output","Package":"ahs/internal/mc","Output":"BenchmarkMCInstrumented \t      50\t    500000 ns/op\n"}
+{"Time":"2026-08-08T12:00:04Z","Action":"pass","Package":"ahs/internal/mc","Elapsed":1.5}
+`
+	results, err := ParseResults(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkMCBaseline" || r.Procs != 16 || r.Iterations != 100 ||
+		r.NsPerOp != 250000 || r.BytesPerOp != 1024 || r.AllocsPerOp != 12 {
+		t.Errorf("split-output result misparsed: %+v", r)
+	}
+	r = results[1]
+	if r.Name != "BenchmarkMCInstrumented" || r.Procs != 1 || r.BytesPerOp != -1 {
+		t.Errorf("unsuffixed result misparsed: %+v", r)
+	}
+}
+
+func TestParseRejectsForeignSchema(t *testing.T) {
+	for name, stream := range map[string]string{
+		"unknown action": `{"Action":"explode","Package":"p"}`,
+		"unknown field":  `{"Action":"output","Package":"p","Output":"x\n","Bogus":1}`,
+		"not json":       `BenchmarkMCBaseline-16   100   250000 ns/op`,
+	} {
+		if _, err := Parse(strings.NewReader(stream)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestCommittedBaseline pins the schema of the committed benchmark
+// baseline: it must parse as a go test -json stream and contain the
+// Monte-Carlo baseline plus sim, cluster and tracing measurements.
+// Regenerate with `make bench-json` after an intentional change.
+func TestCommittedBaseline(t *testing.T) {
+	f, err := os.Open("../../BENCH_baseline.json")
+	if err != nil {
+		t.Fatalf("committed baseline missing (run `make bench-json`): %v", err)
+	}
+	defer f.Close()
+	results, err := ParseResults(f)
+	if err != nil {
+		t.Fatalf("baseline does not parse: %v", err)
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+		if r.Iterations == 0 || r.NsPerOp <= 0 {
+			t.Errorf("degenerate measurement: %+v", r)
+		}
+	}
+	for name, pkg := range map[string]string{
+		"BenchmarkMCBaseline":           "ahs/internal/mc",
+		"BenchmarkPoissonTrajectory":    "ahs/internal/sim",
+		"BenchmarkCoordinatorNoJournal": "ahs/internal/cluster",
+		"BenchmarkStartDisabled":        "ahs/internal/obs",
+	} {
+		r, ok := byName[name]
+		if !ok {
+			t.Errorf("baseline missing %s", name)
+			continue
+		}
+		if r.Package != pkg {
+			t.Errorf("%s recorded under %q, want %q", name, r.Package, pkg)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"ahs/internal/config"
 	"ahs/internal/core"
 	"ahs/internal/mc"
+	"ahs/internal/obs"
 	"ahs/internal/telemetry"
 )
 
@@ -62,6 +63,10 @@ type Config struct {
 	Journal *Journal
 	// Telemetry, when non-nil, receives the ahs_cluster_* families.
 	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records a span per job, lease and merge, all
+	// parented under the submitting request's trace (carried in through
+	// UnsafetyCurve's context and out to workers via Lease.TraceParent).
+	Tracer *obs.Tracer
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -143,6 +148,9 @@ type lease struct {
 	spec     mc.ChunkSpec
 	worker   string
 	deadline time.Time
+	// span covers handout → completion/expiry; ended by
+	// releaseLeaseLocked, so outcome errors must be recorded first.
+	span *obs.Span
 }
 
 type clusterJob struct {
@@ -150,6 +158,12 @@ type clusterJob struct {
 	scenario *config.Scenario
 	hash     string // canonical scenario hash, the adoption key
 	bias     float64
+	// trace parents lease and merge spans; span (when the submitting
+	// caller is attached) receives requeue/rescue/adoption events. A
+	// journal-restored job carries the original submit's trace until a
+	// caller adopts it.
+	trace    obs.SpanContext
+	span     *obs.Span
 	job      mc.Job // context-free copy for merging and local rescue
 	merger   *mc.Merger
 	pending  []mc.ChunkSpec
@@ -266,6 +280,11 @@ func (c *Coordinator) UnsafetyCurve(ctx context.Context, sc *config.Scenario, lo
 	if err != nil {
 		return nil, 0, err
 	}
+	// The job span is a child of the submitting request's trace (threaded
+	// through the service manager); its context parents every lease and
+	// merge span of this job.
+	ctx, span := obs.Start(ctx, "cluster.job", obs.String("scenario", hash))
+	defer span.End()
 
 	// Adoption: a journal-restored job for the same scenario is resumed
 	// (or, if workers already finished it, returned immediately) instead
@@ -280,10 +299,20 @@ func (c *Coordinator) UnsafetyCurve(ctx context.Context, sc *config.Scenario, lo
 		}
 		j := c.jobs[id]
 		j.progress = progress
+		// The adopter's live trace takes over: chunks merged before
+		// adoption stay on the journaled trace, everything from here
+		// reports under the new one, linked by the adoption event.
+		span.Event("cluster.adopted",
+			obs.String("job", fmt.Sprintf("%d", j.id)),
+			obs.String("journal-trace", traceparentOf(j.trace)))
+		j.trace = span.Context()
+		j.span = span
 		c.mu.Unlock()
 		c.cfg.Logf("cluster: job %d for %s adopted from journal (%d/%d batches already merged)",
 			j.id, shortHash(sc), j.merger.Done(), j.merger.Target())
-		return c.await(ctx, j)
+		curve, b, err := c.await(ctx, j)
+		span.RecordError(err)
+		return curve, b, err
 	}
 	c.mu.Unlock()
 
@@ -314,9 +343,11 @@ func (c *Coordinator) UnsafetyCurve(ctx context.Context, sc *config.Scenario, lo
 	if c.cfg.Journal == nil && c.liveWorkers() == 0 {
 		c.metrics.localFallback()
 		c.cfg.Logf("cluster: no live workers, evaluating %s locally", shortHash(sc))
+		span.Event("cluster.local-fallback")
 		job.Context = ctx
 		job.Progress = progress
 		curve, err := mc.EstimateCurve(job)
+		span.RecordError(err)
 		return curve, bias, err
 	}
 
@@ -328,6 +359,8 @@ func (c *Coordinator) UnsafetyCurve(ctx context.Context, sc *config.Scenario, lo
 		scenario: sc,
 		hash:     hash,
 		bias:     bias,
+		trace:    span.Context(),
+		span:     span,
 		job:      job,
 		merger:   merger,
 		pending:  job.Shard(c.cfg.ChunkBatches),
@@ -355,6 +388,7 @@ func (c *Coordinator) UnsafetyCurve(ctx context.Context, sc *config.Scenario, lo
 			RoundSize:    job.RoundSize(),
 			ChunkBatches: c.cfg.ChunkBatches,
 			LocalWorkers: localWorkers,
+			Trace:        traceparentOf(j.trace),
 		}
 		if err := c.cfg.Journal.append(rec); err != nil {
 			c.mu.Unlock()
@@ -364,7 +398,9 @@ func (c *Coordinator) UnsafetyCurve(ctx context.Context, sc *config.Scenario, lo
 	c.jobs[j.id] = j
 	c.jobIDs = append(c.jobIDs, j.id)
 	c.mu.Unlock()
-	return c.await(ctx, j)
+	curve, b, err := c.await(ctx, j)
+	span.RecordError(err)
+	return curve, b, err
 }
 
 // await blocks until the job finishes (returning its curve) or ctx is
@@ -430,6 +466,11 @@ func (c *Coordinator) rebuildJob(rj *journalJob) *clusterJob {
 		hash:     rj.submit.Hash,
 		attempts: make(map[uint64]int),
 		done:     make(chan struct{}),
+	}
+	if sc, err := obs.ParseTraceParent(rj.submit.Trace); err == nil {
+		// Chunks merged before adoption keep reporting under the
+		// original submit's trace ID.
+		j.trace = sc
 	}
 	fail := func(err error) *clusterJob {
 		j.finished = true
@@ -582,6 +623,7 @@ func (c *Coordinator) rescueOne(ctx context.Context, j *clusterJob) {
 		return
 	}
 	c.metrics.chunkRescued()
+	j.span.Event("cluster.chunk-rescued", obs.String("chunk", spec.String()))
 	c.foldLocked(j, state)
 }
 
@@ -608,6 +650,7 @@ func (c *Coordinator) sweep() {
 		if now.After(l.deadline) {
 			c.cfg.Logf("cluster: lease %s (chunk %s, worker %s) expired", id, l.spec, l.worker)
 			c.metrics.chunkRequeued()
+			l.span.RecordError(fmt.Errorf("lease expired on worker %s", l.worker))
 			// Release before blaming the worker: exclusion requeues
 			// everything the worker still holds, and this lease must
 			// not be requeued twice.
@@ -675,6 +718,7 @@ func (c *Coordinator) dropWorkerLocked(w *workerState) {
 	for id := range w.leases {
 		if l, ok := c.leases[id]; ok {
 			c.metrics.chunkRequeued()
+			l.span.RecordError(fmt.Errorf("worker %s dropped", w.id))
 			c.releaseLeaseLocked(id)
 			c.requeueLocked(l.job, l.spec, fmt.Errorf("worker %s dropped", w.id))
 		}
@@ -693,6 +737,7 @@ func (c *Coordinator) releaseLeaseLocked(id string) {
 	if w, ok := c.workers[l.worker]; ok {
 		delete(w.leases, id)
 	}
+	l.span.End()
 }
 
 // requeueLocked puts a chunk back on its job's queue, failing the job once
@@ -702,6 +747,10 @@ func (c *Coordinator) requeueLocked(j *clusterJob, spec mc.ChunkSpec, cause erro
 		return
 	}
 	j.attempts[spec.Start]++
+	j.span.Event("cluster.requeue",
+		obs.String("chunk", spec.String()),
+		obs.String("attempt", fmt.Sprintf("%d", j.attempts[spec.Start])),
+		obs.String("cause", cause.Error()))
 	if j.attempts[spec.Start] >= c.cfg.MaxChunkAttempts {
 		c.finishJobLocked(j, fmt.Errorf("cluster: chunk %s failed %d times, last: %w", spec, j.attempts[spec.Start], cause))
 		return
@@ -863,14 +912,22 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 			worker:   ws.id,
 			deadline: time.Now().Add(c.cfg.LeaseTTL),
 		}
+		if j.trace.Valid() {
+			lctx := obs.ContextWithRemote(context.Background(), c.cfg.Tracer, j.trace)
+			_, l.span = obs.Start(lctx, "cluster.lease",
+				obs.String("lease", l.id),
+				obs.String("worker", ws.id),
+				obs.String("chunk", spec.String()))
+		}
 		c.leases[l.id] = l
 		ws.leases[l.id] = true
 		out = &Lease{
-			ID:        l.id,
-			Scenario:  j.scenario,
-			Spec:      spec,
-			RoundSize: j.job.RoundSize(),
-			TTL:       duration(c.cfg.LeaseTTL),
+			ID:          l.id,
+			Scenario:    j.scenario,
+			Spec:        spec,
+			RoundSize:   j.job.RoundSize(),
+			TTL:         duration(c.cfg.LeaseTTL),
+			TraceParent: traceparentOf(l.span.Context()),
 		}
 		c.metrics.chunkLeased()
 		break
@@ -897,6 +954,15 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, completeResponse{OK: false, Stale: true})
 		return
 	}
+	// Record the lease outcome before release ends its span.
+	var outcome error
+	switch {
+	case req.Error != "" || req.State == nil:
+		outcome = fmt.Errorf("worker %s: %s", req.WorkerID, req.Error)
+	case req.State.Spec != l.spec:
+		outcome = errors.New("chunk spec mismatch")
+	}
+	l.span.RecordError(outcome)
 	c.releaseLeaseLocked(req.LeaseID)
 	j := l.job
 	if req.Error != "" || req.State == nil {
@@ -920,7 +986,21 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if ws, ok := c.workers[req.WorkerID]; ok {
 		ws.fails = 0
 	}
+	// The merge span parents to the worker's chunk span (its traceparent
+	// rides the completion request), falling back to the job's trace when
+	// the worker doesn't propagate.
+	mctx := context.Background()
+	if sc, err := obs.ParseTraceParent(r.Header.Get(obs.TraceParentHeader)); err == nil {
+		mctx = obs.ContextWithRemote(mctx, c.cfg.Tracer, sc)
+	} else if j.trace.Valid() {
+		mctx = obs.ContextWithRemote(mctx, c.cfg.Tracer, j.trace)
+	}
+	_, msp := obs.Start(mctx, "cluster.merge",
+		obs.String("lease", req.LeaseID),
+		obs.String("worker", req.WorkerID),
+		obs.String("chunk", l.spec.String()))
 	c.foldLocked(j, req.State)
+	msp.End()
 	c.mu.Unlock()
 	writeJSON(w, completeResponse{OK: true})
 }
@@ -932,6 +1012,15 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(v)
+}
+
+// traceparentOf renders a span context for the wire/journal, "" when
+// invalid (untraced or unsampled).
+func traceparentOf(sc obs.SpanContext) string {
+	if !sc.Valid() {
+		return ""
+	}
+	return sc.TraceParent()
 }
 
 // shortHash renders a scenario identity for log lines.

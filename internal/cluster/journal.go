@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"ahs/internal/config"
 	"ahs/internal/mc"
@@ -78,6 +79,9 @@ type journalRecord struct {
 	RoundSize    uint64           `json:"roundSize,omitempty"`
 	ChunkBatches uint64           `json:"chunkBatches,omitempty"`
 	LocalWorkers int              `json:"localWorkers,omitempty"`
+	// Trace is the submitting trace context in W3C traceparent form, so a
+	// restored job's chunks keep reporting under the original trace ID.
+	Trace string `json:"trace,omitempty"`
 
 	// Chunk field: the merged sufficient statistics.
 	State *mc.ChunkState `json:"state,omitempty"`
@@ -128,6 +132,43 @@ type Journal struct {
 	dropped  int // torn/corrupt frames cut at open
 	appends  int // records appended since the last compaction
 	closed   bool
+
+	compactions    int       // successful compactions since open
+	lastCompact    time.Time // completion time of the last successful compaction
+	lastCompactErr string    // last compaction failure, cleared on success
+}
+
+// JournalStats is the journal's operational snapshot, surfaced through
+// GET /healthz on cmd/ahs-serve.
+type JournalStats struct {
+	// Dir is the journal directory.
+	Dir string `json:"dir"`
+	// LiveJobs counts jobs the journal tracks (submitted, not dropped).
+	LiveJobs int `json:"liveJobs"`
+	// Compactions counts successful snapshot compactions since open.
+	Compactions int `json:"compactions"`
+	// LastCompaction is the RFC3339 completion time of the most recent
+	// successful compaction; empty if none has run yet.
+	LastCompaction string `json:"lastCompaction,omitempty"`
+	// LastCompactionError is the most recent compaction failure; empty
+	// when the last attempt succeeded (or none has run).
+	LastCompactionError string `json:"lastCompactionError,omitempty"`
+}
+
+// Stats reports the journal's directory and compaction status.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JournalStats{
+		Dir:                 j.cfg.Dir,
+		LiveJobs:            len(j.jobs),
+		Compactions:         j.compactions,
+		LastCompactionError: j.lastCompactErr,
+	}
+	if !j.lastCompact.IsZero() {
+		st.LastCompaction = j.lastCompact.UTC().Format(time.RFC3339Nano)
+	}
+	return st
 }
 
 // OpenJournal opens (or creates) the journal directory, replays any
@@ -322,6 +363,7 @@ func (j *Journal) append(rec journalRecord) error {
 		if err := j.compactLocked(); err != nil {
 			// A failed compaction loses nothing: the snapshot rename is
 			// atomic and the tail keeps growing. Log and carry on.
+			j.lastCompactErr = err.Error()
 			j.cfg.Logf("cluster: journal compaction failed: %v", err)
 		}
 	}
@@ -389,6 +431,9 @@ func (j *Journal) compactLocked() error {
 	}
 	j.tail = f
 	j.appends = 0
+	j.compactions++
+	j.lastCompact = time.Now()
+	j.lastCompactErr = ""
 	j.metrics.compacted()
 	return nil
 }

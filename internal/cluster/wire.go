@@ -87,6 +87,11 @@ type Lease struct {
 	// TTL is how long the lease is valid; the coordinator requeues the
 	// chunk after it expires.
 	TTL duration `json:"ttl"`
+	// TraceParent is the W3C trace context of the coordinator-side lease
+	// span; the worker parents its chunk span here so one distributed
+	// trace covers submit → lease → chunk → merge. Empty when the job is
+	// untraced or unsampled.
+	TraceParent string `json:"traceparent,omitempty"`
 }
 
 // leaseResponse carries at most one lease; nil means no work right now.

@@ -16,6 +16,7 @@ import (
 	"ahs/internal/config"
 	"ahs/internal/core"
 	"ahs/internal/mc"
+	"ahs/internal/obs"
 )
 
 // Worker pulls chunk leases from a coordinator, simulates them through the
@@ -52,6 +53,11 @@ type Worker struct {
 	HardContext context.Context
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// Tracer, when non-nil, records a span per chunk, parented to the
+	// lease's TraceParent so the worker's work joins the coordinator's
+	// distributed trace; the chunk span's context rides back on the
+	// completion request's traceparent header.
+	Tracer *obs.Tracer
 
 	poll  time.Duration
 	built *builtJob // last scenario compiled, cached by hash
@@ -167,7 +173,16 @@ func (w *Worker) Run(ctx context.Context) error {
 // hard context: a drain (soft cancel) lets the in-flight chunk finish and
 // its result be reported, so a drained worker loses no completed work.
 func (w *Worker) runLease(ctx context.Context, l *Lease) {
+	if sc, perr := obs.ParseTraceParent(l.TraceParent); perr == nil {
+		ctx = obs.ContextWithRemote(ctx, w.Tracer, sc)
+	}
+	ctx, span := obs.Start(ctx, "worker.chunk",
+		obs.String("worker", w.ID),
+		obs.String("lease", l.ID),
+		obs.String("chunk", l.Spec.String()))
+	defer span.End()
 	state, err := w.runChunk(ctx, l)
+	span.RecordError(err)
 	if err != nil {
 		if ctx.Err() != nil {
 			// Hard abort mid-chunk: drop the work; the lease expires
@@ -317,6 +332,12 @@ func (w *Worker) post(ctx context.Context, path string, in, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the active chunk span so the coordinator's merge span
+	// joins the same trace. Set directly (not via obs.Transport) so
+	// user-provided clients and test fault injectors see the header too.
+	if sc, ok := obs.ContextSpanContext(ctx); ok && sc.Sampled {
+		req.Header.Set(obs.TraceParentHeader, sc.TraceParent())
+	}
 	resp, err := w.Client.Do(req)
 	if err != nil {
 		return err

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"ahs/internal/obs"
 	"ahs/internal/rng"
 	"ahs/internal/telemetry"
 )
@@ -271,6 +272,12 @@ func (p *Plan) TransportWithSite(next http.RoundTripper, site func(*http.Request
 func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	site := t.site(req)
 	d := t.plan.decide(site)
+	if d.kind != "" {
+		// Tag the active span (if any) so an injected fault shows up
+		// inside the distributed trace of the request it sabotaged.
+		obs.AddEvent(req.Context(), "fault.injected",
+			obs.String("site", site), obs.String("kind", string(d.kind)))
+	}
 	switch d.kind {
 	case KindDropRequest, KindReset:
 		return nil, &resetError{site: site, kind: d.kind}
@@ -335,6 +342,10 @@ func (p *Plan) Handler(site string, next http.Handler) http.Handler {
 			name = r.URL.Path
 		}
 		d := p.decide(name)
+		if d.kind != "" {
+			obs.AddEvent(r.Context(), "fault.injected",
+				obs.String("site", name), obs.String("kind", string(d.kind)))
+		}
 		switch d.kind {
 		case KindDropRequest, KindReset, KindDropResponse:
 			// Server-side, all three collapse to "the connection died":

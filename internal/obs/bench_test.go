@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkStartDisabled measures the no-tracer path every request pays when
+// tracing is off: obs.Start on a bare context. The acceptance bar for the
+// observability layer is that this is a context lookup and nothing else —
+// zero allocations.
+func BenchmarkStartDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := Start(ctx, "noop")
+		s.SetAttr("k", "v")
+		s.Event("e")
+		s.End()
+	}
+}
+
+// BenchmarkStartUnsampled measures a tracer that head-samples this root out:
+// the cost of the sampling decision without recording.
+func BenchmarkStartUnsampled(b *testing.B) {
+	tr := NewTracer(Config{SampleEvery: 1 << 30})
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := tr.Start(ctx, "root")
+		s.End()
+	}
+}
+
+// BenchmarkStartSampled is the recorded path: root span created, filed, and
+// ring-managed. This is the price of -trace-sample=1.
+func BenchmarkStartSampled(b *testing.B) {
+	tr := NewTracer(Config{MaxTraces: 64})
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := tr.Start(ctx, "root")
+		s.End()
+	}
+}
+
+// BenchmarkChildSpan measures adding one child to a live trace — the
+// per-chunk cost inside a sampled job.
+func BenchmarkChildSpan(b *testing.B) {
+	tr := NewTracer(Config{MaxSpans: 1 << 30})
+	ctx, root := tr.Start(context.Background(), "job")
+	defer root.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, s := tr.Start(ctx, "chunk")
+		s.End()
+	}
+}
+
+// BenchmarkAddEventDisabled is the no-op cost of annotating without a span
+// in context (fault-injection sites pay this on every request when tracing
+// is off).
+func BenchmarkAddEventDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AddEvent(ctx, "fault", String("mode", "delay"))
+	}
+}

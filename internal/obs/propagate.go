@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceParentHeader is the HTTP header carrying the trace context across
+// hops, in the W3C Trace Context format.
+const TraceParentHeader = "traceparent"
+
+// TraceParent renders the context in the W3C traceparent format:
+// version "00", 32 hex trace-id, 16 hex parent-id, 2 hex flags (bit 0 =
+// sampled). Invalid contexts render as "".
+func (sc SpanContext) TraceParent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-" + flags
+}
+
+// ParseTraceParent parses a W3C traceparent value. Unknown versions are
+// accepted if the fixed-width 00-version layout holds (per the spec,
+// forward compatibility); all-zero trace or span IDs are rejected.
+func ParseTraceParent(s string) (SpanContext, error) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) < 4 {
+		return SpanContext{}, fmt.Errorf("obs: traceparent %q: want version-traceid-spanid-flags", s)
+	}
+	if len(parts[0]) != 2 {
+		return SpanContext{}, fmt.Errorf("obs: traceparent %q: bad version field", s)
+	}
+	if parts[0] == "ff" {
+		return SpanContext{}, fmt.Errorf("obs: traceparent %q: forbidden version ff", s)
+	}
+	var sc SpanContext
+	if len(parts[1]) != 2*len(sc.TraceID) {
+		return SpanContext{}, fmt.Errorf("obs: traceparent %q: trace ID must be %d hex chars", s, 2*len(sc.TraceID))
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(parts[1])); err != nil {
+		return SpanContext{}, fmt.Errorf("obs: traceparent %q: trace ID: %w", s, err)
+	}
+	if len(parts[2]) != 2*len(sc.SpanID) {
+		return SpanContext{}, fmt.Errorf("obs: traceparent %q: span ID must be %d hex chars", s, 2*len(sc.SpanID))
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(parts[2])); err != nil {
+		return SpanContext{}, fmt.Errorf("obs: traceparent %q: span ID: %w", s, err)
+	}
+	if len(parts[3]) != 2 {
+		return SpanContext{}, fmt.Errorf("obs: traceparent %q: bad flags field", s)
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(parts[3])); err != nil {
+		return SpanContext{}, fmt.Errorf("obs: traceparent %q: flags: %w", s, err)
+	}
+	sc.Sampled = flags[0]&1 == 1
+	if !sc.Valid() {
+		return SpanContext{}, fmt.Errorf("obs: traceparent %q: all-zero trace or span ID", s)
+	}
+	return sc, nil
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	var sc SpanContext
+	randomIDs(&sc.TraceID, &sc.SpanID)
+	sc.Sampled = true
+
+	tp := sc.TraceParent()
+	if !strings.HasPrefix(tp, "00-") || !strings.HasSuffix(tp, "-01") {
+		t.Fatalf("traceparent %q missing version/flags framing", tp)
+	}
+	got, err := ParseTraceParent(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sc {
+		t.Fatalf("round trip: got %+v, want %+v", got, sc)
+	}
+
+	sc.Sampled = false
+	got, err = ParseTraceParent(sc.TraceParent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sampled {
+		t.Fatal("flags 00 parsed as sampled")
+	}
+}
+
+func TestTraceParentInvalid(t *testing.T) {
+	if got := (SpanContext{}).TraceParent(); got != "" {
+		t.Fatalf("invalid context rendered %q", got)
+	}
+	cases := map[string]string{
+		"empty":          "",
+		"too few parts":  "00-abc",
+		"bad version":    "0-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"version ff":     "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"short trace":    "00-0af7651916cd43dd-b7ad6b7169203331-01",
+		"non-hex trace":  "00-0af7651916cd43dd8448eb211c8031zz-b7ad6b7169203331-01",
+		"short span":     "00-0af7651916cd43dd8448eb211c80319c-b7ad-01",
+		"non-hex span":   "00-0af7651916cd43dd8448eb211c80319c-b7ad6b71692033zz-01",
+		"bad flags":      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-1",
+		"non-hex flags":  "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-zz",
+		"all-zero trace": "00-00000000000000000000000000000000-b7ad6b7169203331-01",
+		"all-zero span":  "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",
+	}
+	for name, in := range cases {
+		if _, err := ParseTraceParent(in); err == nil {
+			t.Errorf("%s: ParseTraceParent(%q) accepted", name, in)
+		}
+	}
+}
+
+func TestTraceParentForwardCompatible(t *testing.T) {
+	// Future versions may append extra dash-separated fields; the fixed
+	// prefix must still parse (W3C forward-compatibility rule).
+	in := "01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extrafield"
+	sc, err := ParseTraceParent(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Valid() || !sc.Sampled {
+		t.Fatalf("parsed %+v", sc)
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// TraceData is one recorded trace: every span filed so far, sorted by
+// start time (ties by span ID so the order is deterministic).
+type TraceData struct {
+	TraceID string     `json:"traceId"`
+	Root    string     `json:"root,omitempty"`
+	Start   time.Time  `json:"start"`
+	Spans   []SpanData `json:"spans"`
+	// Dropped counts spans lost to the per-trace cap.
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// TraceSummary is the listing row of GET /debug/traces.
+type TraceSummary struct {
+	TraceID string    `json:"traceId"`
+	Root    string    `json:"root,omitempty"`
+	Start   time.Time `json:"start"`
+	Spans   int       `json:"spans"`
+	Dropped int       `json:"dropped,omitempty"`
+}
+
+// Trace returns a copy of the recorded trace, or false if the ID is
+// unknown (never sampled, or already evicted). Works on in-flight traces:
+// spans that have not Ended yet are simply absent.
+func (t *Tracer) Trace(id string) (TraceData, bool) {
+	if t == nil {
+		return TraceData{}, false
+	}
+	t.mu.Lock()
+	var key TraceID
+	found := false
+	for tid := range t.traces {
+		if tid.String() == id {
+			key, found = tid, true
+			break
+		}
+	}
+	if !found {
+		t.mu.Unlock()
+		return TraceData{}, false
+	}
+	buf := t.traces[key]
+	td := TraceData{
+		TraceID: key.String(),
+		Root:    buf.root,
+		Start:   buf.start,
+		Spans:   append([]SpanData(nil), buf.spans...),
+		Dropped: buf.dropped,
+	}
+	t.mu.Unlock()
+	sort.SliceStable(td.Spans, func(i, j int) bool {
+		if !td.Spans[i].Start.Equal(td.Spans[j].Start) {
+			return td.Spans[i].Start.Before(td.Spans[j].Start)
+		}
+		return td.Spans[i].SpanID < td.Spans[j].SpanID
+	})
+	return td, true
+}
+
+// Traces lists the recorded traces, newest first.
+func (t *Tracer) Traces() []TraceSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceSummary, 0, len(t.order))
+	for i := len(t.order) - 1; i >= 0; i-- {
+		id := t.order[i]
+		buf, ok := t.traces[id]
+		if !ok {
+			continue
+		}
+		out = append(out, TraceSummary{
+			TraceID: id.String(),
+			Root:    buf.root,
+			Start:   buf.start,
+			Spans:   len(buf.spans),
+			Dropped: buf.dropped,
+		})
+	}
+	return out
+}

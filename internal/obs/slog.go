@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// ctxKeyLogAttrs carries extra slog attributes (job, chunk, worker IDs)
+// attached to a context with WithLogAttrs.
+type ctxKeyLogAttrs struct{}
+
+// WithLogAttrs returns a context whose log lines (through LogHandler) carry
+// the given attributes in addition to any from the parent context.
+func WithLogAttrs(ctx context.Context, attrs ...slog.Attr) context.Context {
+	if len(attrs) == 0 {
+		return ctx
+	}
+	prev, _ := ctx.Value(ctxKeyLogAttrs{}).([]slog.Attr)
+	merged := make([]slog.Attr, 0, len(prev)+len(attrs))
+	merged = append(merged, prev...)
+	merged = append(merged, attrs...)
+	return context.WithValue(ctx, ctxKeyLogAttrs{}, merged)
+}
+
+// LogHandler wraps a slog.Handler so every record logged with a context
+// carries trace_id and span_id from the active span (or remote link) plus
+// any WithLogAttrs attributes. Lines logged without trace context pass
+// through untouched.
+type LogHandler struct {
+	inner slog.Handler
+}
+
+// NewLogHandler wraps inner with context-aware trace/job attribute
+// injection.
+func NewLogHandler(inner slog.Handler) *LogHandler {
+	return &LogHandler{inner: inner}
+}
+
+func (h *LogHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *LogHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if ctx != nil {
+		if sc, ok := ContextSpanContext(ctx); ok {
+			rec.AddAttrs(
+				slog.String("trace_id", sc.TraceID.String()),
+				slog.String("span_id", sc.SpanID.String()),
+			)
+		}
+		if attrs, ok := ctx.Value(ctxKeyLogAttrs{}).([]slog.Attr); ok {
+			rec.AddAttrs(attrs...)
+		}
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *LogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &LogHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *LogHandler) WithGroup(name string) slog.Handler {
+	return &LogHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger builds the binaries' logger for the -log-format flag: "text"
+// (default, human-readable) or "json" (one object per line for log
+// shippers), both wrapped in the trace-aware LogHandler.
+func NewLogger(w io.Writer, format string) (*slog.Logger, error) {
+	var inner slog.Handler
+	switch format {
+	case "", "text":
+		inner = slog.NewTextHandler(w, nil)
+	case "json":
+		inner = slog.NewJSONHandler(w, nil)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+	return slog.New(NewLogHandler(inner)), nil
+}
+
+// Logf adapts a context-bound slog.Logger to the Logf func(format, args...)
+// hooks used across the cluster package, preserving trace and job fields
+// captured in ctx at adaptation time.
+func Logf(ctx context.Context, logger *slog.Logger) func(format string, args ...any) {
+	return func(format string, args ...any) {
+		logger.InfoContext(ctx, fmt.Sprintf(format, args...))
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ahs/internal/config"
+	"ahs/internal/obs"
 	"ahs/internal/telemetry"
 )
 
@@ -23,6 +24,10 @@ type evaluateResponse struct {
 	Cached    bool   `json:"cached"`
 	StatusURL string `json:"statusUrl"`
 	ResultURL string `json:"resultUrl"`
+	// TraceID names the distributed trace recording this job; empty when
+	// tracing is off or the request was head-sampled out.
+	TraceID  string `json:"traceId,omitempty"`
+	TraceURL string `json:"traceUrl,omitempty"`
 }
 
 // errorResponse is the uniform error envelope.
@@ -49,22 +54,27 @@ func NewHandler(m *Manager) http.Handler {
 		Buckets: RequestDurationBuckets,
 	}, "endpoint")
 	mux := http.NewServeMux()
+	tracer := m.cfg.Tracer
 	handle := func(pattern string, h http.HandlerFunc) {
 		// Eager: the series exists before traffic.
 		hist := latency.With(pattern) //ahsvet:ignore locklabel patterns are the compile-time route literals below
+		traced := obs.Middleware(tracer, pattern, h)
 		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 			start := time.Now()
-			h(w, r)
+			traced.ServeHTTP(w, r)
 			hist.Observe(time.Since(start).Seconds())
 		})
 	}
 	handle("POST /v1/evaluate", s.handleEvaluate)
 	handle("GET /v1/jobs/{id}", s.handleJob)
+	handle("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	handle("DELETE /v1/jobs/{id}", s.handleCancel)
 	handle("GET /v1/results/{id}", s.handleResult)
 	handle("GET /healthz", s.handleHealth)
 	handle("GET /debug/vars", s.handleVars)
 	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("GET /debug/traces", obs.DebugHandler(tracer, "/debug/traces"))
+	mux.Handle("GET /debug/traces/{id...}", obs.DebugHandler(tracer, "/debug/traces"))
 	return mux
 }
 
@@ -93,7 +103,7 @@ func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	view, err := s.m.Submit(sc)
+	view, err := s.m.SubmitCtx(r.Context(), sc)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -110,13 +120,35 @@ func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if view.Status == StatusDone {
 		code = http.StatusOK
 	}
-	writeJSON(w, code, evaluateResponse{
+	resp := evaluateResponse{
 		ID:        view.ID,
 		Status:    view.Status,
 		Cached:    view.Cached,
 		StatusURL: "/v1/jobs/" + view.ID,
 		ResultURL: "/v1/results/" + view.ID,
-	})
+		TraceID:   view.TraceID,
+	}
+	if resp.TraceID != "" {
+		resp.TraceURL = "/v1/jobs/" + view.ID + "/trace"
+	}
+	writeJSON(w, code, resp)
+}
+
+// handleJobTrace serves the job's recorded distributed trace: JSON span
+// data by default, Chrome-trace JSON (Perfetto-loadable) with
+// ?format=chrome. 404 when the job is unknown, was never traced, or its
+// trace has been evicted from the recorder ring.
+func (s *server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	view, err := s.m.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if view.TraceID == "" {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: job %s has no recorded trace", view.ID))
+		return
+	}
+	obs.ServeTrace(s.m.cfg.Tracer, view.TraceID)(w, r)
 }
 
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -159,12 +191,18 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	met := s.m.Metrics()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":     "ok",
 		"queueDepth": met.QueueDepth.Value(),
 		"running":    met.Running.Value(),
 		"backend":    s.m.Backend(),
-	})
+	}
+	if s.m.cfg.ExtraHealth != nil {
+		for k, v := range s.m.cfg.ExtraHealth() {
+			body[k] = v
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleVars renders the expvar format: the process-global vars published

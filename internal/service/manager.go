@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ahs/internal/config"
+	"ahs/internal/obs"
 	"ahs/internal/telemetry"
 )
 
@@ -70,6 +71,14 @@ type Config struct {
 	// Nil means the in-process local backend (always ready). Pair
 	// ClusterEval with ClusterBackend so health reflects the cluster.
 	Backend func() BackendHealth
+	// Tracer, when non-nil, records a span per job run and links it to the
+	// submitting request's trace, so one trace covers submit → evaluation
+	// even though the job outlives the HTTP request.
+	Tracer *obs.Tracer
+	// ExtraHealth, when non-nil, contributes additional top-level fields to
+	// the GET /healthz body — cmd/ahs-serve reports journal directory and
+	// last-compaction status through it.
+	ExtraHealth func() map[string]any
 }
 
 // BackendHealth describes the execution backend behind the manager, as
@@ -128,6 +137,9 @@ type job struct {
 	id       string
 	hash     string
 	scenario *config.Scenario
+	// trace is the submitting request's span context; the job's run span
+	// parents itself here so the trace survives the request's lifetime.
+	trace obs.SpanContext
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -163,9 +175,13 @@ type JobView struct {
 	Cached       bool     `json:"cached"`
 	Progress     Progress `json:"progress"`
 	Error        string   `json:"error,omitempty"`
-	SubmittedAt  string   `json:"submittedAt,omitempty"`
-	StartedAt    string   `json:"startedAt,omitempty"`
-	FinishedAt   string   `json:"finishedAt,omitempty"`
+	// TraceID correlates the job with its distributed trace (see
+	// GET /v1/jobs/{id}/trace); empty when tracing was off or unsampled
+	// at submit time.
+	TraceID     string `json:"traceId,omitempty"`
+	SubmittedAt string `json:"submittedAt,omitempty"`
+	StartedAt   string `json:"startedAt,omitempty"`
+	FinishedAt  string `json:"finishedAt,omitempty"`
 }
 
 func (j *job) view() JobView {
@@ -176,6 +192,7 @@ func (j *job) view() JobView {
 		ScenarioHash: j.hash,
 		Status:       j.status,
 		Cached:       j.cached,
+		TraceID:      traceIDOf(j.trace),
 		Progress: Progress{
 			BatchesDone: j.batchesDone.Load(),
 			MaxBatches:  j.maxBatches.Load(),
@@ -241,6 +258,14 @@ func NewManager(cfg Config) *Manager {
 // returned as-is. A full queue fails with ErrQueueFull; any scenario error
 // (unparseable parameters) fails before enqueueing.
 func (m *Manager) Submit(sc *config.Scenario) (JobView, error) {
+	return m.SubmitCtx(context.Background(), sc)
+}
+
+// SubmitCtx is Submit with trace context: the caller's active span (the
+// HTTP submit handler's, a sweep point's) becomes the parent of the job's
+// run span, and dedup/cache verdicts are annotated on it as events. ctx
+// only carries trace identity — submission never blocks on it.
+func (m *Manager) SubmitCtx(ctx context.Context, sc *config.Scenario) (JobView, error) {
 	hash, err := sc.Hash()
 	if err != nil {
 		return JobView{}, err
@@ -260,10 +285,13 @@ func (m *Manager) Submit(sc *config.Scenario) (JobView, error) {
 
 	if twin, ok := m.byHash[hash]; ok {
 		m.metrics.DedupHits.Add(1)
+		obs.AddEvent(ctx, "service.dedup",
+			obs.String("job", twin.id), obs.String("scenario", hash))
 		return twin.view(), nil
 	}
 	if res, ok := m.cache.Get(hash); ok {
 		m.metrics.CacheHits.Add(1)
+		obs.AddEvent(ctx, "service.cache-hit", obs.String("scenario", hash))
 		// The cache is keyed by the canonical hash, which ignores the
 		// cosmetic name — a sweep point and a direct submission share one
 		// entry. Hand each submitter the result under its own name so a
@@ -273,7 +301,7 @@ func (m *Manager) Submit(sc *config.Scenario) (JobView, error) {
 			relabeled.Name = sc.Name
 			res = &relabeled
 		}
-		j := m.newJobLocked(sc, hash)
+		j := m.newJobLocked(ctx, sc, hash)
 		j.cached = true
 		j.result = res
 		j.status = StatusDone
@@ -288,7 +316,8 @@ func (m *Manager) Submit(sc *config.Scenario) (JobView, error) {
 	}
 
 	m.metrics.CacheMisses.Add(1)
-	j := m.newJobLocked(sc, hash)
+	obs.AddEvent(ctx, "service.cache-miss", obs.String("scenario", hash))
+	j := m.newJobLocked(ctx, sc, hash)
 	select {
 	case m.queue <- j:
 	default:
@@ -302,14 +331,18 @@ func (m *Manager) Submit(sc *config.Scenario) (JobView, error) {
 	return j.view(), nil
 }
 
-// newJobLocked allocates a job record; m.mu must be held.
-func (m *Manager) newJobLocked(sc *config.Scenario, hash string) *job {
+// newJobLocked allocates a job record; m.mu must be held. submitCtx only
+// contributes the submitter's trace identity — the job's lifecycle context
+// derives from the manager's base context, not the request's.
+func (m *Manager) newJobLocked(submitCtx context.Context, sc *config.Scenario, hash string) *job {
 	m.nextID++
 	ctx, cancel := context.WithCancel(m.baseCtx)
+	trace, _ := obs.ContextSpanContext(submitCtx)
 	return &job{
 		id:        fmt.Sprintf("job-%d", m.nextID),
 		hash:      hash,
 		scenario:  sc,
+		trace:     trace,
 		ctx:       ctx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
@@ -455,6 +488,13 @@ func (m *Manager) runJob(j *job) {
 		ctx, cancel = context.WithTimeout(ctx, m.cfg.JobTimeout)
 		defer cancel()
 	}
+	// Re-join the submitter's trace: the job context descends from the
+	// manager's base context, so the trace identity has to be re-attached
+	// explicitly before starting the run span.
+	ctx = obs.ContextWithRemote(ctx, m.cfg.Tracer, j.trace)
+	ctx, span := obs.Start(ctx, "service.job",
+		obs.String("job", j.id), obs.String("scenario", j.hash))
+	defer span.End()
 	progress := func(done, max uint64) {
 		j.batchesDone.Store(done)
 		j.maxBatches.Store(max)
@@ -463,6 +503,7 @@ func (m *Manager) runJob(j *job) {
 	start := time.Now()
 	res, err := m.cfg.Eval(ctx, j.scenario, m.cfg.WorkersPerJob, progress)
 	elapsed := time.Since(start)
+	span.RecordError(err)
 
 	switch {
 	case err == nil:
@@ -514,6 +555,14 @@ func (m *Manager) finishIf(j *job, from, to Status, res *Result, err error) {
 	}
 	m.rememberFinishedLocked(j.id)
 	m.mu.Unlock()
+}
+
+// traceIDOf renders a span context's trace ID, or "" for the zero value.
+func traceIDOf(sc obs.SpanContext) string {
+	if !sc.Valid() {
+		return ""
+	}
+	return sc.TraceID.String()
 }
 
 // rememberFinishedLocked records a terminal job for history pruning;

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"ahs/internal/obs"
 	"ahs/internal/service"
 	"ahs/internal/telemetry"
 )
@@ -74,6 +76,10 @@ type Config struct {
 	// RetryInterval is the pause before retrying a submission bounced by
 	// a full manager queue (default 50ms).
 	RetryInterval time.Duration
+	// Tracer, when non-nil, re-attaches each sweep's run to the
+	// submitter's trace so expansion, dedup and every point submission
+	// appear under one distributed trace. Nil disables sweep spans.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -173,6 +179,10 @@ type sweepRec struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
+	// trace is the submitter's span context, captured at SubmitCtx time;
+	// the sweep outlives the submitting request, so run re-attaches to it
+	// explicitly rather than holding the request context.
+	trace obs.SpanContext
 
 	mu        sync.Mutex
 	status    Status
@@ -220,6 +230,14 @@ func (e *Engine) Metrics() *Metrics { return &e.metrics }
 // unique points. It returns once expansion is done; evaluation proceeds in
 // the background (poll with Sweep / Wait).
 func (e *Engine) Submit(sp *Spec) (View, error) {
+	return e.SubmitCtx(context.Background(), sp)
+}
+
+// SubmitCtx is Submit carrying the caller's trace context: the sweep's
+// background run and every point submission join the submitter's
+// distributed trace. ctx is used only for trace correlation — sweep
+// lifetime is governed by the engine, not the submitting request.
+func (e *Engine) SubmitCtx(sctx context.Context, sp *Spec) (View, error) {
 	design, err := sp.Expand()
 	if err != nil {
 		e.metrics.Rejected.Add(1)
@@ -249,6 +267,7 @@ func (e *Engine) Submit(sp *Spec) (View, error) {
 	}
 	e.nextID++
 	ctx, cancel := context.WithCancel(e.baseCtx)
+	trace, _ := obs.ContextSpanContext(sctx)
 	rec := &sweepRec{
 		id:        fmt.Sprintf("sweep-%d", e.nextID),
 		spec:      sp,
@@ -257,6 +276,7 @@ func (e *Engine) Submit(sp *Spec) (View, error) {
 		ctx:       ctx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
+		trace:     trace,
 		status:    StatusRunning,
 		submitted: time.Now(),
 	}
@@ -281,6 +301,12 @@ func (e *Engine) Submit(sp *Spec) (View, error) {
 // representative's outcome at the end.
 func (e *Engine) run(rec *sweepRec) {
 	defer e.wg.Done()
+	tctx := obs.ContextWithRemote(rec.ctx, e.cfg.Tracer, rec.trace)
+	tctx, span := obs.Start(tctx, "sweep.run",
+		obs.String("sweep", rec.id),
+		obs.String("points", strconv.Itoa(len(rec.design.Points))),
+		obs.String("deduped", strconv.Itoa(rec.design.Deduped())))
+	defer span.End()
 	maxInFlight := rec.spec.MaxInFlight
 	if maxInFlight <= 0 {
 		maxInFlight = e.cfg.MaxInFlight
@@ -303,7 +329,7 @@ func (e *Engine) run(rec *sweepRec) {
 			e.countSettled(PointCancelled)
 			continue
 		}
-		view, err := e.submitPoint(rec, p)
+		view, err := e.submitPoint(tctx, rec, p)
 		if err != nil {
 			// A poisoned point fails that point, not the sweep.
 			status := PointFailed
@@ -362,6 +388,7 @@ func (e *Engine) run(rec *sweepRec) {
 	case failed+cancelled > 0:
 		status = StatusPartial
 	}
+	span.SetAttr("status", string(status))
 	rec.mu.Lock()
 	rec.status = status
 	rec.finished = time.Now()
@@ -386,9 +413,10 @@ func (e *Engine) run(rec *sweepRec) {
 
 // submitPoint hands one scenario to the job manager, retrying while the
 // queue is full so a big design never dies to transient backpressure.
-func (e *Engine) submitPoint(rec *sweepRec, p *pointRec) (service.JobView, error) {
+// ctx carries the sweep's span so each point's job links to the trace.
+func (e *Engine) submitPoint(ctx context.Context, rec *sweepRec, p *pointRec) (service.JobView, error) {
 	for {
-		view, err := e.cfg.Manager.Submit(p.Scenario)
+		view, err := e.cfg.Manager.SubmitCtx(ctx, p.Scenario)
 		if !errors.Is(err, service.ErrQueueFull) {
 			return view, err
 		}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"ahs/internal/obs"
 	"ahs/internal/service"
 	"ahs/internal/telemetry"
 )
@@ -44,9 +45,10 @@ func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	handle := func(pattern string, h http.HandlerFunc) {
 		hist := latency.With(pattern) //ahsvet:ignore locklabel patterns are the compile-time route literals below
+		traced := obs.Middleware(e.cfg.Tracer, pattern, h)
 		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 			start := time.Now()
-			h(w, r)
+			traced.ServeHTTP(w, r)
 			hist.Observe(time.Since(start).Seconds())
 		})
 	}
@@ -84,7 +86,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	view, err := s.e.Submit(sp)
+	view, err := s.e.SubmitCtx(r.Context(), sp)
 	switch {
 	case errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, err)

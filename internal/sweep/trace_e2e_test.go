@@ -1,0 +1,231 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ahs/internal/cluster"
+	"ahs/internal/config"
+	"ahs/internal/faultinject"
+	"ahs/internal/obs"
+	"ahs/internal/service"
+	"ahs/internal/trace"
+)
+
+// TestEndToEndDistributedTrace is the observability acceptance test: one
+// sweep submission through a live coordinator and in-process worker must
+// yield a single distributed trace covering submit → sweep expansion →
+// job → chunk leases → worker execution → merge, INCLUDING a lease that
+// expires and requeues after an injected fault drops the worker's first
+// completion report. The trace must export as valid Chrome trace JSON.
+//
+// Fault determinism: the worker's complete-retry backoff floor (250ms)
+// exceeds the lease TTL (150ms), so a dropped first complete always
+// expires the lease — the requeue is scheduled, not raced.
+func TestEndToEndDistributedTrace(t *testing.T) {
+	tracer := obs.NewTracer(obs.Config{})
+
+	// Chunks are kept tiny (200 batches, one accumulation round) so a
+	// chunk simulates in well under the lease TTL even under -race.
+	coord := cluster.New(cluster.Config{
+		LeaseTTL:         150 * time.Millisecond,
+		PollInterval:     5 * time.Millisecond,
+		SweepInterval:    10 * time.Millisecond,
+		HeartbeatTimeout: 5 * time.Second,
+		ChunkBatches:     200,
+		CheckEvery:       200,
+		Tracer:           tracer,
+		Logf:             t.Logf,
+	})
+	srv := httptest.NewServer(coord.Handler())
+	t.Cleanup(func() { srv.Close(); coord.Close() })
+
+	// Drop exactly the first completion report; everything else passes.
+	plan := faultinject.NewPlan(faultinject.Config{
+		Seed:  1,
+		Sites: map[string]faultinject.Rates{"complete-first": {DropRequest: 1}},
+		Logf:  t.Logf,
+	})
+	var completes atomic.Int64
+	site := func(r *http.Request) string {
+		if strings.HasSuffix(r.URL.Path, cluster.PathComplete) && completes.Add(1) == 1 {
+			return "complete-first"
+		}
+		return r.URL.Path // default rates: pass through
+	}
+	client := &http.Client{Transport: plan.TransportWithSite(nil, site)}
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	workerDone := make(chan struct{})
+	w := &cluster.Worker{
+		Coordinator: srv.URL,
+		ID:          "trace-w0",
+		SimWorkers:  1,
+		Client:      client,
+		Tracer:      tracer,
+		Logf:        t.Logf,
+	}
+	go func() {
+		defer close(workerDone)
+		if err := w.Run(wctx); err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+	t.Cleanup(func() { wcancel(); <-workerDone })
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.Status().WorkersLive == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	mgr := service.NewManager(service.Config{
+		Workers: 1,
+		Eval:    service.ClusterEval(coord),
+		Backend: service.ClusterBackend(coord),
+		Tracer:  tracer,
+	})
+	t.Cleanup(func() { mgr.Shutdown(context.Background()) })
+	eng := NewEngine(Config{Manager: mgr, Tracer: tracer})
+	t.Cleanup(func() { eng.Close(context.Background()) })
+
+	// The root span stands in for the API middleware's request span.
+	rctx, root := tracer.Start(context.Background(), "e2e.submit")
+	view, err := eng.SubmitCtx(rctx, &Spec{
+		Name: "trace-e2e",
+		Base: config.Scenario{
+			Name:          "trace-e2e",
+			N:             2,
+			LambdaPerHour: 0.01,
+			TripHours:     []float64{0.5, 1},
+			Batches:       400,
+			Seed:          42,
+		},
+		Axes: []Axis{{Param: "lambdaPerHour", Values: []float64{0.01}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := eng.Wait(context.Background(), view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusDone {
+		t.Fatalf("sweep finished %q, want done (progress %+v)", final.Status, final.Progress)
+	}
+	root.End()
+
+	// Everything above must have landed in ONE trace.
+	summaries := tracer.Traces()
+	if len(summaries) != 1 {
+		t.Fatalf("recorded %d traces, want exactly 1: %+v", len(summaries), summaries)
+	}
+	// The worker ends its chunk span only after the completion response
+	// round-trips, so the last worker.chunk span can land moments after
+	// Wait returns; poll until every recorded parent reference resolves.
+	var td obs.TraceData
+	for settle := time.Now().Add(5 * time.Second); ; {
+		var ok bool
+		td, ok = tracer.Trace(root.Context().TraceID.String())
+		if !ok {
+			t.Fatalf("root trace %s not recorded", root.Context().TraceID)
+		}
+		if parentsResolved(td) {
+			break
+		}
+		if time.Now().After(settle) {
+			t.Fatalf("trace never quiesced; %d spans with dangling parents", len(td.Spans))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	byName := map[string][]obs.SpanData{}
+	ids := map[string]bool{}
+	roots := 0
+	for _, s := range td.Spans {
+		byName[s.Name] = append(byName[s.Name], s)
+		ids[s.SpanID] = true
+		if s.Parent == "" {
+			roots++
+			if s.Name != "e2e.submit" {
+				t.Errorf("unexpected parentless span %q", s.Name)
+			}
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("trace has %d parentless spans, want 1 (single connected trace)", roots)
+	}
+	for _, s := range td.Spans {
+		if s.Parent != "" && !ids[s.Parent] {
+			t.Errorf("span %s (%s) has parent %s outside the trace", s.SpanID, s.Name, s.Parent)
+		}
+	}
+	for _, name := range []string{"e2e.submit", "sweep.run", "service.job", "cluster.job", "cluster.lease", "worker.chunk", "cluster.merge"} {
+		if len(byName[name]) == 0 {
+			t.Errorf("trace has no %q span; got %d spans", name, len(td.Spans))
+		}
+	}
+
+	// The dropped complete must show up as: a fault event on the worker's
+	// chunk span, an expired lease span, a requeue event on the job span,
+	// and one more lease than merge (the expired attempt never merged).
+	if !hasEvent(byName["worker.chunk"], "fault.injected") {
+		t.Error("no worker.chunk span carries the fault.injected event")
+	}
+	expired := 0
+	for _, l := range byName["cluster.lease"] {
+		if strings.Contains(l.Error, "expired") {
+			expired++
+		}
+	}
+	if expired != 1 {
+		t.Errorf("%d lease spans record expiry, want 1", expired)
+	}
+	if !hasEvent(byName["cluster.job"], "cluster.requeue") {
+		t.Error("job span has no cluster.requeue event")
+	}
+	leases, merges := len(byName["cluster.lease"]), len(byName["cluster.merge"])
+	if leases < 2 || merges != leases-1 {
+		t.Errorf("got %d leases / %d merges, want leases ≥ 2 and merges = leases-1", leases, merges)
+	}
+
+	// The whole trace must export as valid Chrome trace JSON.
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, td); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if err := trace.ValidateChromeTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("exported trace invalid: %v\n%s", err, buf.String())
+	}
+}
+
+func parentsResolved(td obs.TraceData) bool {
+	ids := map[string]bool{}
+	for _, s := range td.Spans {
+		ids[s.SpanID] = true
+	}
+	for _, s := range td.Spans {
+		if s.Parent != "" && !ids[s.Parent] {
+			return false
+		}
+	}
+	return true
+}
+
+func hasEvent(spans []obs.SpanData, name string) bool {
+	for _, s := range spans {
+		for _, e := range s.Events {
+			if e.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntimeFamilies(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntime(reg)
+
+	runtime.GC() // populate the pause distribution
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"ahs_build_info{",
+		`go_version="` + runtime.Version() + `"`,
+		"ahs_runtime_goroutines ",
+		"ahs_runtime_heap_bytes ",
+		"ahs_runtime_gc_pause_p99_seconds ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q\n%s", want, text)
+		}
+	}
+	if err := ValidateText(strings.NewReader(text)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, text)
+	}
+
+	// Sampled values must be plausible, not zero placeholders.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "ahs_runtime_goroutines ") {
+			if strings.TrimPrefix(line, "ahs_runtime_goroutines ") == "0" {
+				t.Errorf("goroutine gauge reads 0: %q", line)
+			}
+		}
+		if strings.HasPrefix(line, "ahs_runtime_heap_bytes ") {
+			if strings.TrimPrefix(line, "ahs_runtime_heap_bytes ") == "0" {
+				t.Errorf("heap gauge reads 0: %q", line)
+			}
+		}
+	}
+}
+
+func TestRegisterRuntimeSkipsUnknownMetric(t *testing.T) {
+	reg := NewRegistry()
+	registerRuntimeSample(reg, Opts{
+		Name: "ahs_runtime_bogus",
+		Help: "Should never register.",
+	}, "/no/such/metric:units", scalarSample)
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if strings.Contains(buf.String(), "ahs_runtime_bogus") {
+		t.Fatalf("unknown runtime metric was exported:\n%s", buf.String())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 10, 80, 10},
+		Buckets: []float64{0, 1, 2, 3, 4},
+	}
+	if got := histogramQuantile(h, 0.5); got != 3 {
+		t.Errorf("p50 = %v, want 3 (upper bound of the 80-count bucket)", got)
+	}
+	if got := histogramQuantile(h, 0.99); got != 4 {
+		t.Errorf("p99 = %v, want 4", got)
+	}
+	empty := &metrics.Float64Histogram{Counts: []uint64{0, 0}, Buckets: []float64{0, 1, 2}}
+	if got := histogramQuantile(empty, 0.99); got != 0 {
+		t.Errorf("empty distribution p99 = %v, want 0", got)
+	}
+	if got := histogramQuantile(nil, 0.99); got != 0 {
+		t.Errorf("nil histogram p99 = %v, want 0", got)
+	}
+}

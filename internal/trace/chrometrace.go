@@ -13,6 +13,7 @@ import (
 const (
 	phaseInstant  = "i"
 	phaseMetadata = "M"
+	phaseComplete = "X"
 )
 
 // chromeEvent is one entry of the Chrome trace-event JSON object format,
@@ -21,6 +22,7 @@ type chromeEvent struct {
 	Name  string         `json:"name"`
 	Phase string         `json:"ph"`
 	Ts    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
 	Pid   int            `json:"pid"`
 	Tid   int            `json:"tid"`
 	Scope string         `json:"s,omitempty"`
@@ -114,11 +116,100 @@ func WriteChromeTrace(w io.Writer, events []sim.TraceEvent, opts ChromeTraceOpti
 	return enc.Encode(out)
 }
 
+// ChromeSpan is one duration slice of a distributed-trace export: a named
+// interval on a track, rendered by Perfetto as a bar from Start to End
+// (microseconds). internal/obs converts recorded spans into these.
+type ChromeSpan struct {
+	// Name labels the bar; Track picks the timeline row (one row per
+	// distinct track name).
+	Name  string
+	Track string
+	// Start and End are microseconds on the trace's own clock; End must
+	// not precede Start.
+	Start, End float64
+	// Args carries span attributes into the Perfetto detail pane.
+	Args map[string]any
+}
+
+// WriteChromeSpans exports duration spans in the Chrome trace-event JSON
+// object format as complete ("X") events, one Perfetto row per track, with
+// deterministic thread IDs (tracks sorted by name). The output validates
+// under ValidateChromeTrace. processName labels the process track
+// (default "ahs trace").
+func WriteChromeSpans(w io.Writer, processName string, spans []ChromeSpan) error {
+	if processName == "" {
+		processName = "ahs trace"
+	}
+	names := make(map[string]bool, 16)
+	for _, sp := range spans {
+		names[sp.Track] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+	tids := make(map[string]int, len(sorted))
+	for i, name := range sorted {
+		tids[name] = i + 1
+	}
+
+	// The validator requires non-decreasing timestamps per track, so order
+	// events by start within each track (stable: equal starts keep input
+	// order).
+	ordered := append([]ChromeSpan(nil), spans...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Track != ordered[j].Track {
+			return tids[ordered[i].Track] < tids[ordered[j].Track]
+		}
+		return ordered[i].Start < ordered[j].Start
+	})
+
+	out := chromeTrace{
+		DisplayTimeUnit: "ms",
+		TraceEvents:     make([]chromeEvent, 0, len(ordered)+len(sorted)+1),
+	}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name:  "process_name",
+		Phase: phaseMetadata,
+		Pid:   1,
+		Args:  map[string]any{"name": processName},
+	})
+	for _, name := range sorted {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name:  "thread_name",
+			Phase: phaseMetadata,
+			Pid:   1,
+			Tid:   tids[name],
+			Args:  map[string]any{"name": name},
+		})
+	}
+	for _, sp := range ordered {
+		dur := sp.End - sp.Start
+		if dur < 0 {
+			return fmt.Errorf("trace: span %q ends %g µs before it starts", sp.Name, -dur)
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name:  sp.Name,
+			Phase: phaseComplete,
+			Ts:    sp.Start,
+			Dur:   &dur,
+			Pid:   1,
+			Tid:   tids[sp.Track],
+			Args:  sp.Args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
 // ValidateChromeTrace checks that the input parses as the Chrome
-// trace-event JSON object format with the invariants the exporter
-// guarantees: known phases only, instant events carry a scope and a tid
-// declared by a thread_name metadata event, and timestamps are
-// non-negative and non-decreasing per track. The export tests round-trip
+// trace-event JSON object format with the invariants the exporters
+// guarantee: known phases only; instant events carry a scope; instant and
+// complete events use a tid declared by a thread_name metadata event;
+// timestamps are non-negative and non-decreasing per track; complete
+// events carry a non-negative duration. The export tests round-trip
 // through this validator.
 func ValidateChromeTrace(r io.Reader) error {
 	dec := json.NewDecoder(r)
@@ -138,12 +229,15 @@ func ValidateChromeTrace(r io.Reader) error {
 			if ev.Name == "thread_name" {
 				namedThreads[ev.Tid] = true
 			}
-		case phaseInstant:
+		case phaseInstant, phaseComplete:
 			if ev.Name == "" {
 				return fmt.Errorf("trace: event %d has no name", i)
 			}
-			if ev.Scope == "" {
+			if ev.Phase == phaseInstant && ev.Scope == "" {
 				return fmt.Errorf("trace: instant event %d (%s) has no scope", i, ev.Name)
+			}
+			if ev.Phase == phaseComplete && (ev.Dur == nil || *ev.Dur < 0) {
+				return fmt.Errorf("trace: complete event %d (%s) needs a non-negative dur", i, ev.Name)
 			}
 			if !namedThreads[ev.Tid] {
 				return fmt.Errorf("trace: event %d (%s) uses undeclared tid %d", i, ev.Name, ev.Tid)

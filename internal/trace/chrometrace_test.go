@@ -88,19 +88,76 @@ func TestChromeTraceUncollapsedKeepsReplicaTracks(t *testing.T) {
 
 func TestValidateChromeTraceRejectsMalformed(t *testing.T) {
 	cases := map[string]string{
-		"not json":        "not json",
-		"empty events":    `{"traceEvents":[],"displayTimeUnit":"ms"}`,
-		"unknown phase":   `{"traceEvents":[{"name":"x","ph":"X","ts":1,"pid":1,"tid":1}],"displayTimeUnit":"ms"}`,
-		"undeclared tid":  `{"traceEvents":[{"name":"x","ph":"i","ts":1,"pid":1,"tid":9,"s":"t"}],"displayTimeUnit":"ms"}`,
-		"missing scope":   `{"traceEvents":[{"name":"thread_name","ph":"M","pid":1,"tid":1,"ts":0,"args":{"name":"x"}},{"name":"x","ph":"i","ts":1,"pid":1,"tid":1}],"displayTimeUnit":"ms"}`,
-		"time goes back":  `{"traceEvents":[{"name":"thread_name","ph":"M","pid":1,"tid":1,"ts":0,"args":{"name":"x"}},{"name":"x","ph":"i","ts":5,"pid":1,"tid":1,"s":"t"},{"name":"x","ph":"i","ts":1,"pid":1,"tid":1,"s":"t"}],"displayTimeUnit":"ms"}`,
-		"unknown field":   `{"traceEvents":[],"displayTimeUnit":"ms","bogus":1}`,
-		"negative ts":     `{"traceEvents":[{"name":"thread_name","ph":"M","pid":1,"tid":1,"ts":0,"args":{"name":"x"}},{"name":"x","ph":"i","ts":-1,"pid":1,"tid":1,"s":"t"}],"displayTimeUnit":"ms"}`,
-		"anonymous event": `{"traceEvents":[{"name":"thread_name","ph":"M","pid":1,"tid":1,"ts":0,"args":{"name":"x"}},{"name":"","ph":"i","ts":1,"pid":1,"tid":1,"s":"t"}],"displayTimeUnit":"ms"}`,
+		"not json":                "not json",
+		"empty events":            `{"traceEvents":[],"displayTimeUnit":"ms"}`,
+		"unknown phase":           `{"traceEvents":[{"name":"x","ph":"Z","ts":1,"pid":1,"tid":1}],"displayTimeUnit":"ms"}`,
+		"complete no dur":         `{"traceEvents":[{"name":"thread_name","ph":"M","pid":1,"tid":1,"ts":0,"args":{"name":"x"}},{"name":"x","ph":"X","ts":1,"pid":1,"tid":1}],"displayTimeUnit":"ms"}`,
+		"negative dur":            `{"traceEvents":[{"name":"thread_name","ph":"M","pid":1,"tid":1,"ts":0,"args":{"name":"x"}},{"name":"x","ph":"X","ts":1,"dur":-2,"pid":1,"tid":1}],"displayTimeUnit":"ms"}`,
+		"complete undeclared tid": `{"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":2,"pid":1,"tid":7}],"displayTimeUnit":"ms"}`,
+		"undeclared tid":          `{"traceEvents":[{"name":"x","ph":"i","ts":1,"pid":1,"tid":9,"s":"t"}],"displayTimeUnit":"ms"}`,
+		"missing scope":           `{"traceEvents":[{"name":"thread_name","ph":"M","pid":1,"tid":1,"ts":0,"args":{"name":"x"}},{"name":"x","ph":"i","ts":1,"pid":1,"tid":1}],"displayTimeUnit":"ms"}`,
+		"time goes back":          `{"traceEvents":[{"name":"thread_name","ph":"M","pid":1,"tid":1,"ts":0,"args":{"name":"x"}},{"name":"x","ph":"i","ts":5,"pid":1,"tid":1,"s":"t"},{"name":"x","ph":"i","ts":1,"pid":1,"tid":1,"s":"t"}],"displayTimeUnit":"ms"}`,
+		"unknown field":           `{"traceEvents":[],"displayTimeUnit":"ms","bogus":1}`,
+		"negative ts":             `{"traceEvents":[{"name":"thread_name","ph":"M","pid":1,"tid":1,"ts":0,"args":{"name":"x"}},{"name":"x","ph":"i","ts":-1,"pid":1,"tid":1,"s":"t"}],"displayTimeUnit":"ms"}`,
+		"anonymous event":         `{"traceEvents":[{"name":"thread_name","ph":"M","pid":1,"tid":1,"ts":0,"args":{"name":"x"}},{"name":"","ph":"i","ts":1,"pid":1,"tid":1,"s":"t"}],"displayTimeUnit":"ms"}`,
 	}
 	for name, in := range cases {
 		if err := ValidateChromeTrace(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: validator accepted %q", name, in)
 		}
+	}
+}
+
+func TestWriteChromeSpansRoundTrip(t *testing.T) {
+	spans := []ChromeSpan{
+		{Name: "merge", Track: "merge", Start: 900, End: 950, Args: map[string]any{"chunk": "2"}},
+		{Name: "evaluate", Track: "evaluate", Start: 0, End: 1000},
+		{Name: "lease", Track: "lease", Start: 100, End: 400},
+		{Name: "lease", Track: "lease", Start: 200, End: 300},
+	}
+	var sb strings.Builder
+	if err := WriteChromeSpans(&sb, "test trace", spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("span export does not validate: %v\n%s", err, sb.String())
+	}
+
+	var tr chromeTrace
+	if err := json.Unmarshal([]byte(sb.String()), &tr); err != nil {
+		t.Fatal(err)
+	}
+	// 1 process_name + 3 thread_name + 4 spans.
+	if len(tr.TraceEvents) != 8 {
+		t.Fatalf("got %d events, want 8", len(tr.TraceEvents))
+	}
+	// Deterministic tids: tracks sorted by name (evaluate=1, lease=2, merge=3).
+	tids := map[string]int{}
+	for _, ev := range tr.TraceEvents {
+		if ev.Phase == "M" && ev.Name == "thread_name" {
+			tids[ev.Args["name"].(string)] = ev.Tid
+		}
+	}
+	want := map[string]int{"evaluate": 1, "lease": 2, "merge": 3}
+	for name, tid := range want {
+		if tids[name] != tid {
+			t.Fatalf("track tids = %v, want %v", tids, want)
+		}
+	}
+	for _, ev := range tr.TraceEvents {
+		if ev.Phase != "X" {
+			continue
+		}
+		if ev.Dur == nil || *ev.Dur < 0 {
+			t.Fatalf("span event %q lacks dur", ev.Name)
+		}
+	}
+}
+
+func TestWriteChromeSpansRejectsNegativeDuration(t *testing.T) {
+	var sb strings.Builder
+	err := WriteChromeSpans(&sb, "", []ChromeSpan{{Name: "bad", Track: "bad", Start: 10, End: 5}})
+	if err == nil {
+		t.Fatal("negative-duration span accepted")
 	}
 }
