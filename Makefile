@@ -3,7 +3,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build vet test race lint tools sanlint facts-golden serve worker cluster-smoke sweep-smoke chaos fuzz bench bench-json profile figures figures-full docs clean
+.PHONY: all build vet test race lint tools sanlint facts-golden serve worker cluster-smoke sweep-smoke store-smoke chaos fuzz bench bench-json profile figures figures-full docs clean
 
 all: build lint test
 
@@ -95,6 +95,47 @@ sweep-smoke:
 	grep -q "<svg" $(BIN)/sweep-smoke.html; \
 	echo "sweep-smoke: all points completed and the report rendered"
 
+# End-to-end check of the persistent result store and multi-tenant
+# serving: the resultstore suite (framing, compaction, corrupt-tail
+# recovery, follower mode), the service-layer store tier / fair-share /
+# streaming suites, the kill -9 server restart e2e, then a live-binary
+# smoke — fill the store, restart the process on the same directory, and
+# require the scenario to be answered from the store with zero
+# re-evaluation (observed on /metrics).
+store-smoke:
+	$(GO) test -count=1 ./internal/resultstore/
+	$(GO) test -count=1 -run 'Store|Tenant|FairQueue|FairShare|Stream|Snapshot' \
+		./internal/service/ ./internal/sweep/ ./internal/mc/
+	$(GO) test -count=1 -run 'ServeStore' ./cmd/ahs-serve/
+	$(GO) build -o $(BIN)/ahs-serve ./cmd/ahs-serve
+	@set -e; \
+	dir=$$(mktemp -d); sc=$$dir/scenario.json; \
+	printf '%s' '{"n":2,"lambdaPerHour":0.01,"tripHours":[0.5,1],"batches":500,"seed":7}' > $$sc; \
+	$(BIN)/ahs-serve -addr 127.0.0.1:18098 -store-dir $$dir & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 100); do \
+		curl -fsS http://127.0.0.1:18098/healthz >/dev/null 2>&1 && break; \
+		sleep 0.1; \
+	done; \
+	curl -fsS -X POST -H 'Content-Type: application/json' -d @$$sc \
+		http://127.0.0.1:18098/v1/evaluate >/dev/null; \
+	for i in $$(seq 1 300); do \
+		curl -fsS -X POST -H 'Content-Type: application/json' -d @$$sc \
+			http://127.0.0.1:18098/v1/evaluate | grep -q '"cached": true' && break; \
+		sleep 0.1; \
+	done; \
+	kill $$pid; wait $$pid 2>/dev/null || true; \
+	$(BIN)/ahs-serve -addr 127.0.0.1:18098 -store-dir $$dir & pid=$$!; \
+	for i in $$(seq 1 100); do \
+		curl -fsS http://127.0.0.1:18098/healthz >/dev/null 2>&1 && break; \
+		sleep 0.1; \
+	done; \
+	curl -fsS -X POST -H 'Content-Type: application/json' -d @$$sc \
+		http://127.0.0.1:18098/v1/evaluate | grep -q '"cached": true'; \
+	curl -fsS http://127.0.0.1:18098/metrics | grep -q '^ahs_service_store_hits_total 1'; \
+	rm -rf $$dir; \
+	echo "store-smoke: restart served from the persistent store with zero re-evaluation"
+
 # Crash-safety suite under the race detector: deterministic fault
 # injection, seeded chaos schedules (worker kills/pauses + network
 # faults), journal recovery including the truncation table, graceful
@@ -114,6 +155,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzJournalScan -fuzztime 20s ./internal/cluster/
 	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 20s ./internal/cluster/
 	$(GO) test -run '^$$' -fuzz FuzzClusterHandlers -fuzztime 20s ./internal/cluster/
+	$(GO) test -run '^$$' -fuzz FuzzStoreScan -fuzztime 20s ./internal/resultstore/
 
 # Quick-look benchmark pass: regenerates every paper figure at a reduced
 # batch budget and runs the micro/ablation benchmarks.
@@ -127,8 +169,8 @@ bench:
 # regenerate and commit after an intentional performance-relevant change.
 bench-json:
 	$(GO) test -run '^$$' -benchmem -benchtime=100ms -json \
-		-bench 'MCBaseline|MCInstrumented|PoissonTrajectory|GeneralRunnerMM1K|CoordinatorNoJournal|StartDisabled|StartSampled|AddEventDisabled' \
-		./internal/mc/ ./internal/sim/ ./internal/cluster/ ./internal/obs/ \
+		-bench 'MCBaseline|MCInstrumented|PoissonTrajectory|GeneralRunnerMM1K|CoordinatorNoJournal|StartDisabled|StartSampled|AddEventDisabled|StorePut|StoreGet' \
+		./internal/mc/ ./internal/sim/ ./internal/cluster/ ./internal/obs/ ./internal/resultstore/ \
 		> BENCH_baseline.json
 	$(GO) test -run TestCommittedBaseline -count=1 ./internal/benchjson/
 	@echo "BENCH_baseline.json regenerated; review with: git diff BENCH_baseline.json"

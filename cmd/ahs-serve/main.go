@@ -39,6 +39,7 @@ import (
 
 	"ahs/internal/cluster"
 	"ahs/internal/obs"
+	"ahs/internal/resultstore"
 	"ahs/internal/service"
 	"ahs/internal/sweep"
 	"ahs/internal/telemetry"
@@ -72,6 +73,10 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		leaseTTL      = fs.Duration("lease-ttl", 2*time.Minute, "cluster chunk lease duration before requeue")
 		chunkBatches  = fs.Uint64("chunk-batches", 0, "cluster lease granularity in batches, rounded up to whole accumulation rounds (0 = four rounds)")
 		journalDir    = fs.String("journal-dir", "", "cluster job-journal directory for crash-safe evaluation (requires -cluster; empty = no journal, jobs are lost on crash)")
+		storeDir      = fs.String("store-dir", "", "persistent result-store directory; results survive restarts and are shared by every instance on the same directory (empty = memory-only cache)")
+		storeFollower = fs.Bool("store-follower", false, "open -store-dir read-only: serve its results but leave writing to another instance (requires -store-dir)")
+		defaultTenant = fs.String("default-tenant", "", "tenant attributed to requests without an X-AHS-Tenant header (empty = \"default\")")
+		tenantQuota   = fs.Int("tenant-quota", 0, "per-tenant queued-job cap; a tenant at its quota gets 429 while others keep submitting (0 = no per-tenant cap)")
 		sweepInFlight = fs.Int("sweep-inflight", 4, "default per-sweep bound on concurrently submitted design points")
 		sweepMaxPts   = fs.Int("sweep-max-points", 4096, "reject sweep designs expanding beyond this many points")
 		logFormat     = fs.String("log-format", "text", "log output format: text or json (one slog object per line)")
@@ -117,9 +122,35 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		JobTimeout:    *jobTimeout,
 		Telemetry:     registry,
 		Tracer:        tracer,
+		Logf:          logf,
+		DefaultTenant: *defaultTenant,
+		TenantQuota:   *tenantQuota,
 	}
 	if *journalDir != "" && !*clusterMode {
 		return fmt.Errorf("-journal-dir requires -cluster")
+	}
+	if *storeFollower && *storeDir == "" {
+		return fmt.Errorf("-store-follower requires -store-dir")
+	}
+	var store *resultstore.Store
+	if *storeDir != "" {
+		store, err = resultstore.Open(resultstore.Config{
+			Dir:       *storeDir,
+			ReadOnly:  *storeFollower,
+			Telemetry: registry,
+			Logf:      logf,
+		})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		cfg.Store = store
+		st := store.Stats()
+		logger.Info("ahs-serve: result store open",
+			slog.String("dir", st.Dir),
+			slog.Bool("follower", st.ReadOnly),
+			slog.Int("entries", st.Entries),
+			slog.Int64("segmentBytes", st.SegmentBytes))
 	}
 	var coord *cluster.Coordinator
 	var journal *cluster.Journal
@@ -135,24 +166,39 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 			}
 			defer journal.Close()
 		}
-		coord = cluster.New(cluster.Config{
+		clusterCfg := cluster.Config{
 			LeaseTTL:     *leaseTTL,
 			ChunkBatches: *chunkBatches,
 			Journal:      journal,
 			Telemetry:    registry,
 			Tracer:       tracer,
 			Logf:         logf,
-		})
+		}
+		if store != nil {
+			// Journal-restored jobs whose curve the store already holds are
+			// dropped at startup instead of re-simulated — re-submissions are
+			// served from the store before they ever reach the cluster.
+			clusterCfg.HasResult = store.Has
+		}
+		coord = cluster.New(clusterCfg)
 		defer coord.Close()
 		cfg.Eval = service.ClusterEval(coord)
 		cfg.Backend = service.ClusterBackend(coord)
 	}
-	if journal != nil {
-		// Surface journal durability in GET /healthz: operators watching a
-		// crash-safe deployment can see the directory, live-job count and
-		// the last compaction outcome without reading coordinator logs.
+	if journal != nil || store != nil {
+		// Surface durability in GET /healthz: operators watching a
+		// crash-safe deployment can see the journal directory, live-job
+		// count, last compaction outcome and the result store's segment
+		// state without reading logs.
 		cfg.ExtraHealth = func() map[string]any {
-			return map[string]any{"journal": journal.Stats()}
+			extra := make(map[string]any, 2)
+			if journal != nil {
+				extra["journal"] = journal.Stats()
+			}
+			if store != nil {
+				extra["store"] = store.Stats()
+			}
+			return extra
 		}
 	}
 	mgr := service.NewManager(cfg)

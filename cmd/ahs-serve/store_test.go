@@ -1,0 +1,364 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The persistent-store e2e suite. The kill -9 test re-execs this test
+// binary as a real ahs-serve process (TestMain reroutes children), fills
+// the store, SIGKILLs the server mid-flight cleanup-free, restarts it on
+// the same -store-dir, and requires every result to come back from the
+// store tier byte-identical with zero re-evaluations. The follower test
+// runs two in-process instances sharing one directory.
+
+// Child-process environment keys.
+const (
+	storeEnvAddr = "AHS_STORE_E2E_ADDR"
+	storeEnvDir  = "AHS_STORE_E2E_DIR"
+)
+
+// TestMain reroutes re-exec'd children into the server role; normal
+// invocations run the test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv(storeEnvDir) != "" {
+		os.Exit(runStoreChild())
+	}
+	os.Exit(m.Run())
+}
+
+// runStoreChild is the server process: the real run() on the inherited
+// address and store directory. SIGTERM shuts it down gracefully; SIGKILL
+// can land anywhere — that is the test.
+func runStoreChild() int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := run(ctx, []string{
+		"-addr", os.Getenv(storeEnvAddr),
+		"-workers", "2",
+		"-store-dir", os.Getenv(storeEnvDir),
+	}, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "[child %d] run: %v\n", os.Getpid(), err)
+		return 1
+	}
+	return 0
+}
+
+// Scenarios with awkward float parameters so bit-identity is a real claim,
+// not an artifact of round numbers.
+var storeScenarios = []string{
+	`{"name":"store-e2e-a","n":2,"lambdaPerHour":0.0123456789,"tripHours":[0.37,1.41],"batches":300,"seed":11}`,
+	`{"name":"store-e2e-b","n":3,"lambdaPerHour":0.031415926,"tripHours":[0.5,0.75,2.25],"batches":300,"seed":12}`,
+	`{"name":"store-e2e-c","n":2,"lambdaPerHour":0.0072973525,"tripHours":[1.0,3.0],"batches":300,"seed":13}`,
+}
+
+func spawnServeChild(t *testing.T, addr, dir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), storeEnvAddr+"="+addr, storeEnvDir+"="+dir)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start server child: %v", err)
+	}
+	return cmd
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server at %s never became healthy: %v", base, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// postEvaluate submits a scenario and returns the HTTP status and ack.
+func postEvaluate(t *testing.T, base, scenario string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/evaluate", "application/json", strings.NewReader(scenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ack map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, ack
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// evaluateToDone submits a scenario, waits for the job to finish, and
+// returns the raw result body. The server marshals floats canonically, so
+// byte-equal bodies mean bit-identical curves.
+func evaluateToDone(t *testing.T, base, scenario string) []byte {
+	t.Helper()
+	code, ack := postEvaluate(t, base, scenario)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("evaluate: HTTP %d (%v)", code, ack)
+	}
+	id := ack["id"].(string)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		code, data := getBody(t, base+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("job %s: HTTP %d", id, code)
+		}
+		var view map[string]any
+		if err := json.Unmarshal(data, &view); err != nil {
+			t.Fatal(err)
+		}
+		switch view["status"] {
+		case "done":
+			code, body := getBody(t, base+"/v1/results/"+id)
+			if code != http.StatusOK {
+				t.Fatalf("result %s: HTTP %d", id, code)
+			}
+			return body
+		case "failed", "cancelled":
+			t.Fatalf("job %s finished %v", id, view)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished", id)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestServeStoreKillMinus9Restart is the acceptance e2e: fill the store,
+// SIGKILL the server (no deferred cleanup, no flush, lock released by the
+// kernel), restart on the same directory, and require every scenario to be
+// answered from the store tier — zero re-evaluations, byte-identical
+// results.
+func TestServeStoreKillMinus9Restart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns server subprocesses")
+	}
+	dir := t.TempDir()
+
+	// Reserve an address for both server generations. The listener is
+	// closed right before the first child starts; the tiny reuse window is
+	// harmless in a test namespace.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	base := "http://" + addr
+
+	// Generation 1: evaluate every scenario for real and keep the exact
+	// result bytes.
+	child1 := spawnServeChild(t, addr, dir)
+	killed := false
+	defer func() {
+		if !killed {
+			child1.Process.Kill()
+			child1.Wait()
+		}
+	}()
+	waitHealthy(t, base)
+	want := make(map[string][]byte, len(storeScenarios))
+	for _, sc := range storeScenarios {
+		want[sc] = evaluateToDone(t, base, sc)
+	}
+
+	if err := child1.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL server: %v", err)
+	}
+	child1.Wait()
+	killed = true
+	t.Logf("killed server pid %d with %d results in the store", child1.Process.Pid, len(want))
+
+	// Generation 2: same directory, fresh process, empty memory cache.
+	child2 := spawnServeChild(t, addr, dir)
+	child2Done := false
+	defer func() {
+		if !child2Done {
+			child2.Process.Kill()
+			child2.Wait()
+		}
+	}()
+	waitHealthy(t, base)
+
+	for _, sc := range storeScenarios {
+		code, ack := postEvaluate(t, base, sc)
+		if code != http.StatusOK || ack["cached"] != true {
+			t.Fatalf("after restart, scenario not served from cache: HTTP %d %v", code, ack)
+		}
+		id := ack["id"].(string)
+		codeV, viewData := getBody(t, base+"/v1/jobs/"+id)
+		if codeV != http.StatusOK {
+			t.Fatalf("job view: HTTP %d", codeV)
+		}
+		var view map[string]any
+		if err := json.Unmarshal(viewData, &view); err != nil {
+			t.Fatal(err)
+		}
+		if view["cacheTier"] != "store" {
+			t.Fatalf("cacheTier = %v, want store (view %v)", view["cacheTier"], view)
+		}
+		codeR, body := getBody(t, base+"/v1/results/"+id)
+		if codeR != http.StatusOK {
+			t.Fatalf("result: HTTP %d", codeR)
+		}
+		if string(body) != string(want[sc]) {
+			t.Errorf("restarted result diverged from the original:\ngot:\n%s\nwant:\n%s", body, want[sc])
+		}
+	}
+
+	// Zero re-evaluations: every hit came from the store and no simulation
+	// ran in this process (the per-strategy trajectory series only exist
+	// after a simulation).
+	codeM, metrics := getBody(t, base+"/metrics")
+	if codeM != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", codeM)
+	}
+	exposition := string(metrics)
+	if want := fmt.Sprintf("ahs_service_store_hits_total %d", len(storeScenarios)); !strings.Contains(exposition, want) {
+		t.Errorf("metrics missing %q after restart", want)
+	}
+	if strings.Contains(exposition, "ahs_sim_trajectories_total{") {
+		t.Error("restarted server simulated trajectories; store hits should have avoided all re-evaluation")
+	}
+
+	// Graceful shutdown still works after a crash recovery.
+	if err := child2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := child2.Wait(); err != nil {
+		t.Errorf("restarted server exited uncleanly: %v", err)
+	}
+	child2Done = true
+}
+
+// startServe boots an in-process server via run() and returns its base URL
+// and a shutdown func.
+func startServe(t *testing.T, args []string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, args, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-runErr:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	return base, func() {
+		cancel()
+		select {
+		case err := <-runErr:
+			if err != nil {
+				t.Errorf("run returned %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Error("graceful shutdown hung")
+		}
+	}
+}
+
+// TestServeStoreFollowerSharedDir runs a writer and a -store-follower
+// instance over one store directory: the follower serves the writer's
+// results from the store tier byte-identical, stays healthy in read-only
+// mode, and still evaluates scenarios the store does not have.
+func TestServeStoreFollowerSharedDir(t *testing.T) {
+	dir := t.TempDir()
+
+	writer, stopWriter := startServe(t, []string{"-addr", "127.0.0.1:0", "-workers", "1", "-store-dir", dir})
+	defer stopWriter()
+	want := evaluateToDone(t, writer, storeScenarios[0])
+
+	follower, stopFollower := startServe(t, []string{"-addr", "127.0.0.1:0", "-workers", "1", "-store-dir", dir, "-store-follower"})
+	defer stopFollower()
+
+	// healthz reports the read-only store.
+	codeH, healthData := getBody(t, follower+"/healthz")
+	if codeH != http.StatusOK {
+		t.Fatalf("follower healthz: HTTP %d", codeH)
+	}
+	var health struct {
+		Store struct {
+			ReadOnly bool `json:"readOnly"`
+			Entries  int  `json:"entries"`
+		} `json:"store"`
+	}
+	if err := json.Unmarshal(healthData, &health); err != nil {
+		t.Fatal(err)
+	}
+	if !health.Store.ReadOnly || health.Store.Entries != 1 {
+		t.Fatalf("follower store health = %+v, want readOnly with 1 entry", health.Store)
+	}
+
+	// The writer's result is served from the shared store, byte-identical.
+	code, ack := postEvaluate(t, follower, storeScenarios[0])
+	if code != http.StatusOK || ack["cached"] != true {
+		t.Fatalf("follower did not serve from store: HTTP %d %v", code, ack)
+	}
+	id := ack["id"].(string)
+	codeV, viewData := getBody(t, follower+"/v1/jobs/"+id)
+	if codeV != http.StatusOK {
+		t.Fatalf("follower job view: HTTP %d", codeV)
+	}
+	var view map[string]any
+	if err := json.Unmarshal(viewData, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view["cacheTier"] != "store" {
+		t.Fatalf("follower cacheTier = %v, want store", view["cacheTier"])
+	}
+	codeR, body := getBody(t, follower+"/v1/results/"+id)
+	if codeR != http.StatusOK {
+		t.Fatalf("follower result: HTTP %d", codeR)
+	}
+	if string(body) != string(want) {
+		t.Errorf("follower result diverged from the writer's:\ngot:\n%s\nwant:\n%s", body, want)
+	}
+
+	// A scenario the store has never seen still evaluates on the follower;
+	// the read-only store simply cannot persist it.
+	fresh := evaluateToDone(t, follower, storeScenarios[1])
+	if len(fresh) == 0 {
+		t.Fatal("follower evaluation returned an empty result")
+	}
+}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -24,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,7 +50,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		server       = fs.String("server", "", "ahs-serve base URL; empty runs the sweep in-process")
 		workers      = fs.Int("workers", 2, "in-process mode: jobs evaluated concurrently")
 		inFlight     = fs.Int("inflight", 4, "default per-sweep bound on concurrently submitted points")
-		poll         = fs.Duration("poll", 500*time.Millisecond, "server mode: status polling interval")
+		poll         = fs.Duration("poll", 500*time.Millisecond, "server mode: status polling interval when the SSE stream is unavailable")
 		timeout      = fs.Duration("timeout", 0, "overall deadline (0 = none)")
 		csvPath      = fs.String("csv", "", "also write the result table as CSV to this file")
 		htmlPath     = fs.String("html", "", "also write the response-surface HTML report to this file")
@@ -148,8 +150,10 @@ func runLocal(ctx context.Context, sp *sweep.Spec, workers, inFlight int) (sweep
 	return view, results, err
 }
 
-// runRemote submits the spec file to a live ahs-serve and polls until the
-// sweep settles; htmlPath, when set, downloads the server-rendered report.
+// runRemote submits the spec file to a live ahs-serve and follows the
+// sweep's SSE stream for live progress, polling at -poll intervals when
+// the server (or a proxy in between) cannot stream; htmlPath, when set,
+// downloads the server-rendered report.
 func runRemote(ctx context.Context, server, specPath string, poll time.Duration, htmlPath string) (sweep.View, []sweep.PointResult, error) {
 	raw, err := os.ReadFile(specPath)
 	if err != nil {
@@ -169,18 +173,22 @@ func runRemote(ctx context.Context, server, specPath string, poll time.Duration,
 		return sweep.View{}, nil, fmt.Errorf("server rejected spec: %s", ack.Error)
 	}
 
-	var view sweep.View
-	for {
-		if err := doJSON(ctx, http.MethodGet, server+ack.StatusURL, nil, &view); err != nil {
-			return sweep.View{}, nil, err
-		}
-		if view.Status.Terminal() {
-			break
-		}
-		select {
-		case <-time.After(poll):
-		case <-ctx.Done():
-			return sweep.View{}, nil, ctx.Err()
+	view, streamed := streamView(ctx, server+ack.StatusURL+"/stream", os.Stderr)
+	if !streamed {
+		// Polling is idempotent, so a stream that broke mid-sweep simply
+		// resumes here from the current status.
+		for {
+			if err := doJSON(ctx, http.MethodGet, server+ack.StatusURL, nil, &view); err != nil {
+				return sweep.View{}, nil, err
+			}
+			if view.Status.Terminal() {
+				break
+			}
+			select {
+			case <-time.After(poll):
+			case <-ctx.Done():
+				return sweep.View{}, nil, ctx.Err()
+			}
 		}
 	}
 
@@ -198,6 +206,59 @@ func runRemote(ctx context.Context, server, specPath string, poll time.Duration,
 		}
 	}
 	return view, results, nil
+}
+
+// streamView follows a sweep's SSE stream, printing one progress line per
+// event to progressOut, and returns the terminal view from the closing
+// "sweep" event. A false second return means streaming was unavailable or
+// broke before the terminal event; the caller falls back to polling.
+func streamView(ctx context.Context, url string, progressOut io.Writer) (sweep.View, bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return sweep.View{}, false
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return sweep.View{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK ||
+		!strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		return sweep.View{}, false
+	}
+
+	r := bufio.NewReader(resp.Body)
+	var name string
+	var data []byte
+	for ctx.Err() == nil {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return sweep.View{}, false
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "" && name != "":
+			var view sweep.View
+			if err := json.Unmarshal(data, &view); err != nil {
+				return sweep.View{}, false
+			}
+			switch name {
+			case "sweep":
+				return view, true
+			case "progress":
+				fmt.Fprintf(progressOut, "sweep %s: %d/%d completed, %d failed, %d cancelled (batches %d/%d)\n",
+					view.ID, view.Completed, view.Points, view.Failed, view.Cancelled,
+					view.Progress.BatchesDone, view.Progress.MaxBatches)
+			}
+			name, data = "", nil
+		}
+	}
+	return sweep.View{}, false
 }
 
 func doJSON(ctx context.Context, method, url string, body []byte, v any) error {

@@ -72,6 +72,8 @@ func TestCommittedBaseline(t *testing.T) {
 		"BenchmarkPoissonTrajectory":    "ahs/internal/sim",
 		"BenchmarkCoordinatorNoJournal": "ahs/internal/cluster",
 		"BenchmarkStartDisabled":        "ahs/internal/obs",
+		"BenchmarkStorePut":             "ahs/internal/resultstore",
+		"BenchmarkStoreGet":             "ahs/internal/resultstore",
 	} {
 		r, ok := byName[name]
 		if !ok {

@@ -61,6 +61,14 @@ type Config struct {
 	// (UnsafetyCurve adopts them by scenario hash); until then workers
 	// keep making progress on them.
 	Journal *Journal
+	// HasResult, when non-nil, reports whether a scenario hash already has
+	// a durable result elsewhere (cmd/ahs-serve wires the persistent
+	// result store's index here). Journal-restored jobs whose hash it
+	// claims are dropped at startup instead of re-simulated: any
+	// re-submission is served from the store before it reaches the
+	// cluster, so finishing the journaled remainder would burn worker
+	// time on a curve nobody will read.
+	HasResult func(hash string) bool
 	// Telemetry, when non-nil, receives the ahs_cluster_* families.
 	Telemetry *telemetry.Registry
 	// Tracer, when non-nil, records a span per job, lease and merge, all
@@ -442,6 +450,15 @@ func (c *Coordinator) await(ctx context.Context, j *clusterJob) (*mc.Curve, floa
 func (c *Coordinator) restore() {
 	c.jobSeq = c.cfg.Journal.maxJobID()
 	for _, rj := range c.cfg.Journal.recoveredJobs() {
+		if c.cfg.HasResult != nil && c.cfg.HasResult(rj.submit.Hash) {
+			// The persistent store already serves this scenario; journal
+			// the drop so the job stays dead across future restarts.
+			if err := c.cfg.Journal.append(journalRecord{Type: recDrop, Job: rj.id}); err != nil {
+				c.cfg.Logf("cluster: journal drop of store-served job %d: %v", rj.id, err)
+			}
+			c.cfg.Logf("cluster: dropped journaled job %d (%.12s): result already in the persistent store", rj.id, rj.submit.Hash)
+			continue
+		}
 		j := c.rebuildJob(rj)
 		c.jobs[j.id] = j
 		c.jobIDs = append(c.jobIDs, j.id)

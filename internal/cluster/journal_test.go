@@ -143,6 +143,70 @@ func TestJournalDropForgets(t *testing.T) {
 	}
 }
 
+// TestRestoreDropsStoreServedJobs: a journal-restored job whose scenario
+// the persistent result store already holds is dropped at startup — and
+// the drop is journaled, so it stays dead across further restarts — while
+// jobs the store lacks are restored as usual.
+func TestRestoreDropsStoreServedJobs(t *testing.T) {
+	dir := t.TempDir()
+	sc := testScenario(1000).Canonical()
+	hash, _ := sc.Hash()
+	j, err := OpenJournal(JournalConfig{Dir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(journalRecord{Type: recSubmit, Job: 1, Scenario: sc, Hash: hash, RoundSize: 500, ChunkBatches: 500, LocalWorkers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without the hook the job is restored.
+	j2, err := OpenJournal(JournalConfig{Dir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := New(Config{Journal: j2, Logf: t.Logf})
+	if st := coord.Status(); st.RecoveredJobs != 1 {
+		t.Fatalf("RecoveredJobs = %d without HasResult, want 1", st.RecoveredJobs)
+	}
+	coord.Close()
+	j2.Close()
+
+	// With the store claiming the hash, restore drops the job.
+	j3, err := OpenJournal(JournalConfig{Dir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var asked []string
+	coord3 := New(Config{Journal: j3, Logf: t.Logf, HasResult: func(h string) bool {
+		asked = append(asked, h)
+		return true
+	}})
+	if st := coord3.Status(); st.RecoveredJobs != 0 {
+		t.Fatalf("RecoveredJobs = %d with the store claiming the hash, want 0", st.RecoveredJobs)
+	}
+	if len(asked) != 1 || asked[0] != hash {
+		t.Fatalf("HasResult asked about %v, want exactly [%s]", asked, hash)
+	}
+	coord3.Close()
+	j3.Close()
+
+	// The drop was journaled: a later restart recovers nothing even
+	// without the hook.
+	j4, err := OpenJournal(JournalConfig{Dir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j4.Close()
+	coord4 := New(Config{Journal: j4, Logf: t.Logf})
+	defer coord4.Close()
+	if st := coord4.Status(); st.RecoveredJobs != 0 {
+		t.Fatalf("RecoveredJobs = %d after journaled drop, want 0", st.RecoveredJobs)
+	}
+}
+
 // TestJournalTornTailTruncated: a partial frame at the tail (the classic
 // torn write) is detected and cut; the valid prefix survives untouched.
 func TestJournalTornTailTruncated(t *testing.T) {

@@ -41,6 +41,10 @@ type EvalOptions struct {
 	// Progress, when non-nil, receives (batchesDone, maxBatches) after
 	// every convergence round. See mc.Job.Progress.
 	Progress func(batchesDone, maxBatches uint64)
+	// Snapshot, when non-nil, receives a partial curve (current Welford
+	// means and confidence intervals) after every convergence round, so
+	// callers can watch the CI converge live. See mc.Job.Snapshot.
+	Snapshot func(partial *mc.Curve)
 	// Telemetry, when non-nil, receives the full event stream of the
 	// evaluation: activity firings, trajectory counts/lengths,
 	// first-passage times to KO_total, catastrophic causes (ST1/ST2/ST3)
@@ -130,6 +134,7 @@ func (a *AHS) UnsafetyJob(opts EvalOptions) (mc.Job, error) {
 		Workers:    opts.Workers,
 		Context:    opts.Context,
 		Progress:   opts.Progress,
+		Snapshot:   opts.Snapshot,
 		Cause:      func(mk *san.Marking) string { return a.Cause(mk).String() },
 	}
 	a.instrumentJob(&job, opts.Telemetry)

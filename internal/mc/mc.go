@@ -75,6 +75,16 @@ type Job struct {
 	// and must be cheap; it exists so long-running estimations can report
 	// liveness to a job manager.
 	Progress func(batchesDone, maxBatches uint64)
+	// Snapshot, when non-nil, receives a freshly built partial Curve after
+	// every convergence round: the Welford state accumulated so far,
+	// rendered exactly as the final curve will be (same grid, same CI
+	// confidence). Like Progress it runs on the coordinating goroutine only
+	// and must be cheap; the curve it receives is the callback's to keep.
+	// It exists so a job manager can stream the CI converging live (see
+	// the service layer's SSE endpoints) without touching the estimator's
+	// hot path — the snapshot costs one CI computation per grid point per
+	// round, nothing per trajectory.
+	Snapshot func(partial *Curve)
 	// Telemetry, when non-nil, receives per-trajectory events: a
 	// trajectories count, a trajectory-steps observation, and — for
 	// trajectories ended by the stop predicate — a time-to-absorption
@@ -189,6 +199,11 @@ func EstimateCurveMulti(job Job, extras map[string]func(mk *san.Marking) float64
 		accs[mi] = make([]stats.Welford, len(job.Times))
 	}
 
+	conf := job.StopRule.Confidence
+	if conf == 0 {
+		conf = 0.95
+	}
+
 	var done uint64
 	converged := false
 	for done < job.MaxBatches && !converged {
@@ -215,12 +230,14 @@ func EstimateCurveMulti(job Job, extras map[string]func(mk *san.Marking) float64
 		if job.Progress != nil {
 			job.Progress(done, job.MaxBatches)
 		}
+		if job.Snapshot != nil {
+			// A snapshot is converged only once the run is: rule satisfied,
+			// or (without a rule) the batch budget fully spent.
+			job.Snapshot(buildCurve(job.Times, accs[0], done,
+				converged || (!hasRule && done == job.MaxBatches), conf))
+		}
 	}
 
-	conf := job.StopRule.Confidence
-	if conf == 0 {
-		conf = 0.95
-	}
 	main := buildCurve(job.Times, accs[0], done, converged || !hasRule, conf)
 	var extraCurves map[string]*Curve
 	if len(extraNames) > 0 {

@@ -1,0 +1,73 @@
+package mc
+
+import (
+	"fmt"
+	"testing"
+
+	"ahs/internal/sim"
+)
+
+// curveBits renders the curve's floats exactly so equal strings mean
+// bit-identical estimates.
+func curveBits(c *Curve) string {
+	return fmt.Sprintf("%b|%b|%v|%d|%v", c.Times, c.Mean, c.Intervals, c.Batches, c.Converged)
+}
+
+// TestSnapshotStreamsPartialCurves pins the Snapshot hook's contract: one
+// callback per convergence round, monotone batch counts, partial rounds not
+// claiming convergence, and a final snapshot bit-identical to the returned
+// curve (both render the same accumulated Welford state).
+func TestSnapshotStreamsPartialCurves(t *testing.T) {
+	m, alive := buildPureDeath(0.5)
+	var snaps []*Curve
+	curve, err := EstimateCurve(Job{
+		Model:      m,
+		Sim:        sim.Options{MaxTime: 4},
+		Times:      []float64{1, 2, 4},
+		Value:      deadIndicator(alive),
+		Seed:       7,
+		MaxBatches: 4000,
+		CheckEvery: 1000,
+		Snapshot:   func(partial *Curve) { snaps = append(snaps, partial) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 4 {
+		t.Fatalf("%d snapshots for 4000 batches at CheckEvery 1000, want 4", len(snaps))
+	}
+	var last uint64
+	for i, s := range snaps {
+		if s.Batches <= last {
+			t.Fatalf("snapshot %d batches %d not increasing past %d", i, s.Batches, last)
+		}
+		last = s.Batches
+		if len(s.Times) != 3 || len(s.Mean) != 3 || len(s.Intervals) != 3 {
+			t.Fatalf("snapshot %d grid: %+v", i, s)
+		}
+		if i < len(snaps)-1 && s.Converged {
+			t.Fatalf("mid-run snapshot %d claims convergence", i)
+		}
+	}
+	if got, want := curveBits(snaps[len(snaps)-1]), curveBits(curve); got != want {
+		t.Fatalf("final snapshot diverged from returned curve:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestSnapshotNotCalledWhenNil guards the hot path: estimation without a
+// hook behaves exactly as before (a compile-time truism, but the test
+// documents that Snapshot is optional and costs nothing unset).
+func TestSnapshotNotCalledWhenNil(t *testing.T) {
+	m, alive := buildPureDeath(0.5)
+	curve, err := EstimateCurve(Job{
+		Model:      m,
+		Sim:        sim.Options{MaxTime: 4},
+		Times:      []float64{1, 2},
+		Value:      deadIndicator(alive),
+		Seed:       7,
+		MaxBatches: 1000,
+	})
+	if err != nil || curve.Batches != 1000 {
+		t.Fatalf("curve %+v err %v", curve, err)
+	}
+}

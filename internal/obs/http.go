@@ -64,6 +64,11 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap exposes the wrapped writer so http.ResponseController reaches
+// the underlying Flusher/deadline methods through the middleware —
+// without it, streaming handlers (SSE) cannot flush on traced routes.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // Transport returns a RoundTripper that stamps outgoing requests with the
 // traceparent of the active span (or remote link) in the request context.
 // A nil next uses http.DefaultTransport.

@@ -1,0 +1,73 @@
+package resultstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkStorePut measures the durable append path (frame + write +
+// fsync) with a realistic curve-sized document. The fsync dominates;
+// b.ReportAllocs keeps the framing allocation honest.
+func BenchmarkStorePut(b *testing.B) {
+	s, err := Open(Config{Dir: b.TempDir(), CompactMinDead: 1 << 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	doc := testDocB(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(fmt.Sprintf("hash-%d", i), doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreGet measures an indexed read: ReadAt + CRC verify + two
+// JSON decodes. This is the hot path a warm fleet serves from.
+func BenchmarkStoreGet(b *testing.B) {
+	s, err := Open(Config{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	const keys = 64
+	for i := 0; i < keys; i++ {
+		if err := s.Put(fmt.Sprintf("hash-%d", i), testDocB(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var out benchDoc
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := s.Get(fmt.Sprintf("hash-%d", i%keys), &out)
+		if err != nil || !ok {
+			b.Fatalf("Get = %v, %v", ok, err)
+		}
+	}
+}
+
+// benchDoc mirrors the service Result shape at realistic size (a 32-point
+// curve) without importing the service package.
+type benchDoc struct {
+	Name     string    `json:"name"`
+	Times    []float64 `json:"times"`
+	Unsafety []float64 `json:"unsafety"`
+	CILo     []float64 `json:"ciLo"`
+	CIHi     []float64 `json:"ciHi"`
+	Batches  uint64    `json:"batches"`
+}
+
+func testDocB(seed uint64) benchDoc {
+	d := benchDoc{Name: fmt.Sprintf("bench-%d", seed), Batches: 12800}
+	for i := 0; i < 32; i++ {
+		x := float64(seed*100+uint64(i)) / 7.0
+		d.Times = append(d.Times, x)
+		d.Unsafety = append(d.Unsafety, 1e-13*x)
+		d.CILo = append(d.CILo, 0.9e-13*x)
+		d.CIHi = append(d.CIHi, 1.1e-13*x)
+	}
+	return d
+}

@@ -1,0 +1,53 @@
+//go:build unix
+
+package resultstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// acquireLock takes an exclusive, non-blocking flock on path, creating the
+// file if needed. flock ownership dies with the process — including
+// kill -9 — so a crashed writer never wedges the directory, unlike an
+// O_EXCL-style lockfile. The restart e2e depends on this.
+func acquireLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
+			return nil, ErrLocked
+		}
+		return nil, fmt.Errorf("resultstore: flock: %w", err)
+	}
+	return f, nil
+}
+
+// releaseLock drops the flock and closes the handle. Best-effort: the
+// kernel releases the lock on close anyway.
+func releaseLock(f *os.File) {
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	f.Close()
+}
+
+// fileReplaced reports whether the file at path is no longer the one f has
+// open — i.e. the writer compacted and renamed a new segment over it. The
+// comparison is by (device, inode), the identity a rename changes.
+func fileReplaced(f *os.File, path string) (bool, error) {
+	held, err := f.Stat()
+	if err != nil {
+		return false, fmt.Errorf("resultstore: stat held segment: %w", err)
+	}
+	now, err := os.Stat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil // transient: mid-rename; next Refresh settles it
+		}
+		return false, fmt.Errorf("resultstore: stat segment: %w", err)
+	}
+	return !os.SameFile(held, now), nil
+}

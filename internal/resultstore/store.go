@@ -1,0 +1,797 @@
+// Package resultstore is a persistent, content-addressed store of finished
+// evaluation results, shared across process restarts and across multiple
+// ahs-serve instances pointed at the same directory.
+//
+// Keys are canonical scenario hashes (config.Scenario.Hash), whose space is
+// pinned by the config golden test; values are JSON documents (the service
+// layer stores its Result). Determinism of the estimator makes the store
+// semantically free: for a fixed scenario the curve is bit-identical on
+// every machine, so a stored result is indistinguishable from a re-run.
+// encoding/json renders float64 with the shortest round-tripping
+// representation, so read-back is bit-identical too — proven by the %b
+// golden tests.
+//
+// On-disk layout (inside Config.Dir):
+//
+//	results.seg   append-only segment of framed records
+//	LOCK          flock'd by the single writer; absent/ignored for readers
+//
+// The segment is a sequence of frames sharing the cluster journal's
+// discipline:
+//
+//	uint32-LE payload length | uint32-LE CRC-32C of payload | payload
+//
+// The payload is one JSON record {key, value}. A torn write (partial frame
+// at the tail) or a CRC-invalid frame cuts the scan at the last valid
+// frame; the writer truncates the tail there on open, so appends never
+// follow garbage. A CRC-valid frame that fails to decode is skipped and
+// counted — the framing past it is still intact.
+//
+// A re-Put of an existing key appends a superseding record; the in-memory
+// index always points at the newest. Superseded records are dead bytes,
+// reclaimed by compaction: live records are rewritten to a temporary
+// segment in ascending offset order, fsync'd, and atomically renamed over
+// the old one. A crash between those steps leaves either the old or the
+// new segment, both complete.
+//
+// Exactly one writer may own a directory at a time, enforced with a
+// non-blocking flock on the LOCK file (released by the kernel on any
+// process death, so a kill -9 never wedges the store). Additional
+// instances open the same directory with Config.ReadOnly: followers take
+// no lock, never truncate, and pick up the writer's appends — and survive
+// its compactions — through Refresh.
+package resultstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"ahs/internal/telemetry"
+)
+
+// Segment and lock file names inside the store directory.
+const (
+	segmentName = "results.seg"
+	lockName    = "LOCK"
+)
+
+// maxRecord bounds one frame's payload. Curves are kilobytes; anything
+// near this bound is corruption, not data.
+const maxRecord = 64 << 20
+
+// crcTable is the Castagnoli polynomial table shared by all frames, the
+// same polynomial as the cluster journal.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Sentinel errors.
+var (
+	// ErrLocked means another live process holds the directory's writer
+	// lock. Open the directory with ReadOnly to follow it instead.
+	ErrLocked = errors.New("resultstore: directory is locked by another writer")
+	// ErrReadOnly rejects mutations on a follower store.
+	ErrReadOnly = errors.New("resultstore: store is read-only")
+	// ErrClosed rejects use after Close.
+	ErrClosed = errors.New("resultstore: store is closed")
+)
+
+// Config configures Open. Only Dir is required.
+type Config struct {
+	// Dir is the store directory, created if missing.
+	Dir string
+	// ReadOnly opens the store as a follower: no writer lock, no tail
+	// truncation, Put rejected. Refresh picks up the writer's appends.
+	ReadOnly bool
+	// CompactMinDead is the dead-byte threshold below which automatic
+	// compaction never triggers (default 1 MiB). Compaction also requires
+	// dead bytes to exceed live bytes, so the segment is rewritten at most
+	// every time it doubles in waste.
+	CompactMinDead int64
+	// NoSync skips the per-record fsync. Only benchmarks measuring the
+	// non-durability overhead should set it.
+	NoSync bool
+	// Telemetry, when non-nil, receives the ahs_store_* families.
+	Telemetry *telemetry.Registry
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// recordLoc locates one live record inside the segment.
+type recordLoc struct {
+	off   int64 // frame start offset
+	size  int64 // framed size (header + payload)
+	vOff  int64 // value offset within the payload, for direct reads
+	vLen  int64
+	crc   uint32
+	order int // insertion order, preserved by compaction
+}
+
+// segRecord is the JSON payload of one frame.
+type segRecord struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// Store is the persistent result store. All methods are safe for
+// concurrent use. Open with Open, stop with Close.
+type Store struct {
+	cfg     Config
+	metrics *storeMetrics
+
+	mu      sync.Mutex
+	seg     *os.File // writer: O_APPEND handle; follower: read handle
+	lock    *os.File // held flock'd for the store's lifetime (writer only)
+	index   map[string]recordLoc
+	scanned int64 // byte length of the scanned valid prefix
+	dead    int64 // bytes owned by superseded records
+	nextOrd int
+	closed  bool
+
+	compactions int
+	lastCompact time.Time
+	truncated   int64 // torn/corrupt tail bytes cut at open (writer)
+	skipped     int   // CRC-valid but undecodable frames skipped by scans
+}
+
+// Stats is the store's operational snapshot, surfaced through GET /healthz
+// on cmd/ahs-serve.
+type Stats struct {
+	Dir      string `json:"dir"`
+	ReadOnly bool   `json:"readOnly"`
+	// Entries counts distinct keys with a stored result.
+	Entries int `json:"entries"`
+	// SegmentBytes is the scanned segment length; DeadBytes the portion
+	// owned by superseded records (reclaimed by compaction).
+	SegmentBytes int64 `json:"segmentBytes"`
+	DeadBytes    int64 `json:"deadBytes"`
+	// Compactions counts segment rewrites since open.
+	Compactions int `json:"compactions"`
+	// LastCompaction is the RFC3339 time of the most recent compaction.
+	LastCompaction string `json:"lastCompaction,omitempty"`
+	// TruncatedBytes counts torn/corrupt tail bytes cut at open.
+	TruncatedBytes int64 `json:"truncatedBytes,omitempty"`
+	// SkippedRecords counts CRC-valid but undecodable frames ignored.
+	SkippedRecords int `json:"skippedRecords,omitempty"`
+}
+
+// Open opens (or creates) the store directory, scans the segment — cutting
+// a torn or corrupt tail at the last valid frame when writing — and builds
+// the in-memory index. A second writer on the same directory fails with
+// ErrLocked.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("resultstore: Config.Dir is required")
+	}
+	if cfg.CompactMinDead <= 0 {
+		cfg.CompactMinDead = 1 << 20
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: store dir: %w", err)
+	}
+	s := &Store{
+		cfg:   cfg,
+		index: make(map[string]recordLoc),
+	}
+	if !cfg.ReadOnly {
+		lock, err := acquireLock(filepath.Join(cfg.Dir, lockName))
+		if err != nil {
+			return nil, err
+		}
+		s.lock = lock
+	}
+
+	segPath := filepath.Join(cfg.Dir, segmentName)
+	mode := os.O_RDONLY
+	if !cfg.ReadOnly {
+		mode = os.O_CREATE | os.O_RDWR
+	}
+	f, err := os.OpenFile(segPath, mode, 0o644)
+	if errors.Is(err, os.ErrNotExist) && cfg.ReadOnly {
+		// A follower may open before the writer's first Put; Refresh will
+		// find the segment later.
+		f = nil
+	} else if err != nil {
+		s.release()
+		return nil, fmt.Errorf("resultstore: open segment: %w", err)
+	}
+	s.seg = f
+	if s.seg != nil {
+		if err := s.scanFrom(0); err != nil {
+			s.release()
+			return nil, err
+		}
+		if !cfg.ReadOnly {
+			size, err := s.seg.Seek(0, 2)
+			if err != nil {
+				s.release()
+				return nil, fmt.Errorf("resultstore: seek segment: %w", err)
+			}
+			if s.scanned < size {
+				cut := size - s.scanned
+				cfg.Logf("resultstore: %s: dropping %d torn/corrupt trailing bytes", segPath, cut)
+				if err := s.seg.Truncate(s.scanned); err != nil {
+					s.release()
+					return nil, fmt.Errorf("resultstore: truncate segment: %w", err)
+				}
+				s.truncated = cut
+			}
+		}
+	}
+	s.metrics = newStoreMetrics(cfg.Telemetry, s)
+	if len(s.index) > 0 || s.truncated > 0 {
+		cfg.Logf("resultstore: %s: %d results (%d segment bytes, %d dead), %d torn bytes cut",
+			cfg.Dir, len(s.index), s.scanned, s.dead, s.truncated)
+	}
+	return s, nil
+}
+
+// release closes held file handles; used on Open error paths.
+func (s *Store) release() {
+	if s.seg != nil {
+		s.seg.Close()
+	}
+	if s.lock != nil {
+		releaseLock(s.lock)
+	}
+}
+
+// scanFrom folds segment frames in [start, EOF) into the index; s.mu is
+// not required during Open but must be held once the store is shared.
+func (s *Store) scanFrom(start int64) error {
+	size, err := s.seg.Seek(0, 2)
+	if err != nil {
+		return fmt.Errorf("resultstore: seek segment: %w", err)
+	}
+	if size <= start {
+		s.scanned = max64(s.scanned, start)
+		return nil
+	}
+	data := make([]byte, size-start)
+	if _, err := s.seg.ReadAt(data, start); err != nil {
+		return fmt.Errorf("resultstore: read segment: %w", err)
+	}
+	valid, recs, skipped := ScanSegment(data)
+	for _, r := range recs {
+		loc := recordLoc{
+			off:   start + r.Off,
+			size:  r.Size,
+			vOff:  r.ValueOff,
+			vLen:  r.ValueLen,
+			crc:   r.CRC,
+			order: s.nextOrd,
+		}
+		s.nextOrd++
+		if old, ok := s.index[r.Key]; ok {
+			s.dead += old.size
+			loc.order = old.order // a supersede keeps its slot in the order
+			s.nextOrd--
+		}
+		s.index[r.Key] = loc
+	}
+	s.skipped += skipped
+	s.scanned = start + valid
+	return nil
+}
+
+// ScannedRecord describes one valid frame found by ScanSegment, located
+// relative to the scanned buffer.
+type ScannedRecord struct {
+	Key      string
+	Off      int64 // frame start within the buffer
+	Size     int64 // framed size (8-byte header + payload)
+	ValueOff int64 // value start within the buffer
+	ValueLen int64
+	CRC      uint32
+}
+
+// ScanSegment walks framed records from data, returning the byte length of
+// the valid prefix, the decoded record locations, and the count of frames
+// skipped for being CRC-valid but undecodable. Scanning stops at the first
+// torn or CRC-invalid frame: past it, frame boundaries are lost.
+func ScanSegment(data []byte) (valid int64, records []ScannedRecord, skipped int) {
+	off := int64(0)
+	for {
+		rest := data[off:]
+		if len(rest) < 8 {
+			return off, records, skipped
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n > maxRecord || int64(n) > int64(len(rest)-8) {
+			return off, records, skipped
+		}
+		payload := rest[8 : 8+n]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return off, records, skipped
+		}
+		var rec segRecord
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.Key == "" || len(rec.Value) == 0 {
+			// CRC-valid but semantically broken: skip the frame, keep
+			// scanning — the framing past it is still intact.
+			skipped++
+		} else {
+			// Locate the raw value bytes inside the payload so Get can read
+			// them back without re-framing.
+			vStart := valueOffset(payload, rec.Value)
+			records = append(records, ScannedRecord{
+				Key:      rec.Key,
+				Off:      off,
+				Size:     8 + int64(n),
+				ValueOff: off + 8 + vStart,
+				ValueLen: int64(len(rec.Value)),
+				CRC:      sum,
+			})
+		}
+		off += 8 + int64(n)
+		valid = off
+	}
+}
+
+// valueOffset finds the offset of the raw value bytes within the payload.
+// RawMessage captures the value text verbatim, so a byte search always
+// finds it; an earlier byte-identical occurrence decodes to the same value,
+// so any match is a correct answer.
+func valueOffset(payload []byte, value json.RawMessage) int64 {
+	if i := bytes.Index(payload, value); i >= 0 {
+		return int64(i)
+	}
+	return 0
+}
+
+// Put stores value under key, superseding any previous record. The record
+// is durable (fsync'd) when Put returns, unless NoSync is set. Putting an
+// identical result twice is harmless — the estimator's determinism makes
+// both records bit-identical — but still costs dead bytes until compaction.
+func (s *Store) Put(key string, value any) error {
+	if key == "" {
+		return errors.New("resultstore: empty key")
+	}
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("resultstore: encode value: %w", err)
+	}
+	payload, err := json.Marshal(segRecord{Key: key, Value: raw})
+	if err != nil {
+		return fmt.Errorf("resultstore: encode record: %w", err)
+	}
+	if len(payload) > maxRecord {
+		return fmt.Errorf("resultstore: record of %d bytes exceeds frame limit", len(payload))
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	crc := crc32.Checksum(payload, crcTable)
+	binary.LittleEndian.PutUint32(frame[4:8], crc)
+	copy(frame[8:], payload)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return ErrClosed
+	case s.cfg.ReadOnly:
+		return ErrReadOnly
+	}
+	off := s.scanned
+	if _, err := s.seg.WriteAt(frame, off); err != nil {
+		return fmt.Errorf("resultstore: segment write: %w", err)
+	}
+	if !s.cfg.NoSync {
+		if err := s.seg.Sync(); err != nil {
+			return fmt.Errorf("resultstore: segment fsync: %w", err)
+		}
+	}
+	// Locate the raw value inside the payload just written, mirroring the
+	// scan, so Get and compaction see identical record geometry either way.
+	var rec segRecord
+	_ = json.Unmarshal(payload, &rec)
+	vStart := valueOffset(payload, rec.Value)
+	loc := recordLoc{
+		off:   off,
+		size:  int64(len(frame)),
+		vOff:  off + 8 + vStart,
+		vLen:  int64(len(rec.Value)),
+		crc:   crc,
+		order: s.nextOrd,
+	}
+	s.nextOrd++
+	if old, ok := s.index[key]; ok {
+		s.dead += old.size
+		loc.order = old.order
+		s.nextOrd--
+	}
+	s.index[key] = loc
+	s.scanned += int64(len(frame))
+	s.metrics.put(len(frame))
+
+	if s.dead >= s.cfg.CompactMinDead && s.dead > s.scanned-s.dead {
+		if err := s.compactLocked(); err != nil {
+			// A failed compaction loses nothing: the rename is atomic and
+			// the segment keeps growing. Log and carry on.
+			s.cfg.Logf("resultstore: compaction failed: %v", err)
+		}
+	}
+	return nil
+}
+
+// Get unmarshals the stored value for key into value, reporting whether
+// the key exists. Each read is CRC-verified against the frame checksum
+// recorded at scan time, so on-disk corruption surfaces as an error, never
+// as silently wrong bits. A follower that misses refreshes once and
+// retries, so results appended by the writer are visible without polling.
+func (s *Store) Get(key string, value any) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, ErrClosed
+	}
+	loc, ok := s.index[key]
+	if !ok && s.cfg.ReadOnly {
+		if err := s.refreshLocked(); err != nil {
+			return false, err
+		}
+		loc, ok = s.index[key]
+	}
+	if !ok {
+		s.metrics.miss()
+		return false, nil
+	}
+	payload := make([]byte, loc.size-8)
+	if _, err := s.seg.ReadAt(payload, loc.off+8); err != nil {
+		return false, fmt.Errorf("resultstore: read record: %w", err)
+	}
+	if crc32.Checksum(payload, crcTable) != loc.crc {
+		return false, fmt.Errorf("resultstore: record for %s failed CRC verification", key)
+	}
+	var rec segRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return false, fmt.Errorf("resultstore: decode record: %w", err)
+	}
+	if err := json.Unmarshal(rec.Value, value); err != nil {
+		return false, fmt.Errorf("resultstore: decode value: %w", err)
+	}
+	s.metrics.hit()
+	return true, nil
+}
+
+// Has reports whether a result for key is stored, without decoding it.
+// Followers refresh on a miss, like Get.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if _, ok := s.index[key]; ok {
+		return true
+	}
+	if s.cfg.ReadOnly {
+		if err := s.refreshLocked(); err != nil {
+			return false
+		}
+		_, ok := s.index[key]
+		return ok
+	}
+	return false
+}
+
+// Len reports the number of stored results.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Keys returns the stored keys in insertion order (compaction-stable).
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return s.index[keys[a]].order < s.index[keys[b]].order })
+	return keys
+}
+
+// Refresh makes a follower pick up records the writer appended since the
+// last scan, surviving writer compactions (a replaced segment is reopened
+// and rescanned from the start). On a writer it is a no-op.
+func (s *Store) Refresh() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.cfg.ReadOnly {
+		return nil
+	}
+	return s.refreshLocked()
+}
+
+// refreshLocked is Refresh with s.mu held.
+func (s *Store) refreshLocked() error {
+	segPath := filepath.Join(s.cfg.Dir, segmentName)
+	if s.seg == nil {
+		f, err := os.Open(segPath)
+		if errors.Is(err, os.ErrNotExist) {
+			return nil // the writer has not created the segment yet
+		}
+		if err != nil {
+			return fmt.Errorf("resultstore: open segment: %w", err)
+		}
+		s.seg = f
+		return s.scanFrom(0)
+	}
+	replaced, err := fileReplaced(s.seg, segPath)
+	if err != nil {
+		return err
+	}
+	if replaced {
+		// The writer compacted: the held handle points at the old segment.
+		// Reopen and rebuild the index from scratch.
+		f, err := os.Open(segPath)
+		if err != nil {
+			return fmt.Errorf("resultstore: reopen segment: %w", err)
+		}
+		s.seg.Close()
+		s.seg = f
+		s.index = make(map[string]recordLoc)
+		s.scanned, s.dead, s.nextOrd = 0, 0, 0
+		return s.scanFrom(0)
+	}
+	return s.scanFrom(s.scanned)
+}
+
+// Compact rewrites the segment keeping only the newest record per key.
+// The writer calls it automatically when dead bytes dominate; it is
+// exported for operator tooling and tests.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return ErrClosed
+	case s.cfg.ReadOnly:
+		return ErrReadOnly
+	}
+	return s.compactLocked()
+}
+
+// compactLocked rewrites live records, in stable insertion order, into a
+// temporary segment, fsyncs it, and atomically renames it over the old
+// one. Crash-safe: the rename is atomic and the new segment is durable
+// before the old one disappears.
+func (s *Store) compactLocked() error {
+	segPath := filepath.Join(s.cfg.Dir, segmentName)
+	tmpPath := segPath + ".tmp"
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmpPath)
+
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return s.index[keys[a]].order < s.index[keys[b]].order })
+
+	newIndex := make(map[string]recordLoc, len(keys))
+	var off int64
+	for _, k := range keys {
+		loc := s.index[k]
+		frame := make([]byte, loc.size)
+		if _, err := s.seg.ReadAt(frame, loc.off); err != nil {
+			tmp.Close()
+			return fmt.Errorf("resultstore: compact read: %w", err)
+		}
+		if crc32.Checksum(frame[8:], crcTable) != loc.crc {
+			tmp.Close()
+			return fmt.Errorf("resultstore: compact: record for %s failed CRC verification", k)
+		}
+		if _, err := tmp.Write(frame); err != nil {
+			tmp.Close()
+			return fmt.Errorf("resultstore: compact write: %w", err)
+		}
+		newIndex[k] = recordLoc{
+			off:   off,
+			size:  loc.size,
+			vOff:  off + (loc.vOff - loc.off),
+			vLen:  loc.vLen,
+			crc:   loc.crc,
+			order: loc.order,
+		}
+		off += loc.size
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, segPath); err != nil {
+		return err
+	}
+	syncDir(s.cfg.Dir)
+
+	// Swap the handle onto the new segment.
+	f, err := os.OpenFile(segPath, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("resultstore: reopen compacted segment: %w", err)
+	}
+	s.seg.Close()
+	s.seg = f
+	s.index = newIndex
+	s.scanned = off
+	s.dead = 0
+	s.compactions++
+	s.lastCompact = time.Now()
+	s.metrics.compacted()
+	s.cfg.Logf("resultstore: compacted %s to %d results, %d bytes", s.cfg.Dir, len(newIndex), off)
+	return nil
+}
+
+// Stats reports the store's directory, size and compaction status.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Dir:            s.cfg.Dir,
+		ReadOnly:       s.cfg.ReadOnly,
+		Entries:        len(s.index),
+		SegmentBytes:   s.scanned,
+		DeadBytes:      s.dead,
+		Compactions:    s.compactions,
+		TruncatedBytes: s.truncated,
+		SkippedRecords: s.skipped,
+	}
+	if !s.lastCompact.IsZero() {
+		st.LastCompaction = s.lastCompact.UTC().Format(time.RFC3339Nano)
+	}
+	return st
+}
+
+// ReadOnly reports whether the store was opened as a follower.
+func (s *Store) ReadOnly() bool { return s.cfg.ReadOnly }
+
+// Sync flushes the segment to stable storage. Puts already sync
+// individually unless NoSync; Sync exists for drain paths.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.cfg.ReadOnly || s.seg == nil {
+		return nil
+	}
+	return s.seg.Sync()
+}
+
+// Close syncs and closes the store, releasing the writer lock.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.seg != nil {
+		if !s.cfg.ReadOnly {
+			if serr := s.seg.Sync(); serr != nil {
+				err = serr
+			}
+		}
+		if cerr := s.seg.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if s.lock != nil {
+		releaseLock(s.lock)
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so a just-renamed file durably appears in it.
+// Best-effort, as for the cluster journal.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// storeMetrics holds the ahs_store_* families; nil (no registry) disables
+// recording.
+type storeMetrics struct {
+	puts        *telemetry.Counter
+	hits        *telemetry.Counter
+	misses      *telemetry.Counter
+	bytes       *telemetry.Counter
+	compactions *telemetry.Counter
+}
+
+func newStoreMetrics(reg *telemetry.Registry, s *Store) *storeMetrics {
+	if reg == nil {
+		return nil
+	}
+	counter := func(name, help string) *telemetry.Counter {
+		return reg.Counter(telemetry.Opts{Name: name, Help: help})
+	}
+	m := &storeMetrics{
+		puts:        counter("ahs_store_puts_total", "Results appended to the persistent store."),
+		hits:        counter("ahs_store_gets_hit_total", "Store reads that found the key."),
+		misses:      counter("ahs_store_gets_miss_total", "Store reads that missed."),
+		bytes:       counter("ahs_store_appended_bytes_total", "Framed bytes appended to the store segment."),
+		compactions: counter("ahs_store_compactions_total", "Segment compactions of the persistent store."),
+	}
+	reg.GaugeFunc(telemetry.Opts{
+		Name: "ahs_store_entries",
+		Help: "Distinct scenario hashes with a stored result.",
+	}, func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.index))
+	})
+	reg.GaugeFunc(telemetry.Opts{
+		Name: "ahs_store_segment_bytes",
+		Help: "Current store segment length in bytes.",
+	}, func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.scanned)
+	})
+	reg.GaugeFunc(telemetry.Opts{
+		Name: "ahs_store_dead_bytes",
+		Help: "Segment bytes owned by superseded records (reclaimed by compaction).",
+	}, func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.dead)
+	})
+	return m
+}
+
+func (m *storeMetrics) put(frameBytes int) {
+	if m != nil {
+		m.puts.Inc()
+		m.bytes.Add(uint64(frameBytes))
+	}
+}
+
+func (m *storeMetrics) hit() {
+	if m != nil {
+		m.hits.Inc()
+	}
+}
+
+func (m *storeMetrics) miss() {
+	if m != nil {
+		m.misses.Inc()
+	}
+}
+
+func (m *storeMetrics) compacted() {
+	if m != nil {
+		m.compactions.Inc()
+	}
+}

@@ -17,6 +17,11 @@ import (
 // files are a few hundred bytes, so 1 MiB is generous.
 const maxScenarioBytes = 1 << 20
 
+// TenantHeader names the request header carrying the submitting tenant's
+// identity for fair-share scheduling and per-tenant quotas; absent or
+// empty, the server's default tenant applies.
+const TenantHeader = "X-AHS-Tenant"
+
 // evaluateResponse acknowledges a submission.
 type evaluateResponse struct {
 	ID        string `json:"id"`
@@ -67,6 +72,7 @@ func NewHandler(m *Manager) http.Handler {
 	}
 	handle("POST /v1/evaluate", s.handleEvaluate)
 	handle("GET /v1/jobs/{id}", s.handleJob)
+	handle("GET /v1/jobs/{id}/stream", s.handleJobStream)
 	handle("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	handle("DELETE /v1/jobs/{id}", s.handleCancel)
 	handle("GET /v1/results/{id}", s.handleResult)
@@ -103,9 +109,13 @@ func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	view, err := s.m.SubmitCtx(r.Context(), sc)
+	// The tenant rides the submit context; absent header means the
+	// manager's default tenant. Admission (quota, fair-share lane) is the
+	// manager's call.
+	ctx := WithTenant(r.Context(), r.Header.Get(TenantHeader))
+	view, err := s.m.SubmitCtx(ctx, sc)
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantQuota):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err)
 		return

@@ -79,6 +79,26 @@ type Config struct {
 	// the GET /healthz body — cmd/ahs-serve reports journal directory and
 	// last-compaction status through it.
 	ExtraHealth func() map[string]any
+	// Store, when non-nil, is the persistent second tier under the LRU:
+	// submissions missing both tiers evaluate and write through, so a curve
+	// computed once is served forever — across restarts and by every
+	// instance sharing the store directory (see internal/resultstore).
+	Store ResultStore
+	// Logf, when non-nil, receives operational log lines (store read/write
+	// failures); nil discards them.
+	Logf func(format string, args ...any)
+	// DefaultTenant is attributed submissions that name no tenant (empty =
+	// "default"). Tenants arrive via WithTenant on the submit context — the
+	// HTTP layer maps the X-AHS-Tenant header onto it.
+	DefaultTenant string
+	// TenantQuota caps one tenant's queued jobs; a tenant at its quota is
+	// rejected with ErrTenantQuota (HTTP 429) while others keep submitting.
+	// 0 means no per-tenant cap (the shared QueueSize still applies).
+	TenantQuota int
+	// TenantWeights sets deficit-round-robin weights per tenant; missing
+	// tenants weigh 1. A weight-2 tenant dequeues two jobs per scheduling
+	// cycle to every weight-1 tenant's one.
+	TenantWeights map[string]int
 }
 
 // BackendHealth describes the execution backend behind the manager, as
@@ -129,6 +149,9 @@ func (c Config) withDefaults() Config {
 	if c.Eval == nil {
 		c.Eval = EvaluateInto(c.Telemetry)
 	}
+	if c.DefaultTenant == "" {
+		c.DefaultTenant = DefaultTenant
+	}
 	return c
 }
 
@@ -136,6 +159,7 @@ func (c Config) withDefaults() Config {
 type job struct {
 	id       string
 	hash     string
+	tenant   string
 	scenario *config.Scenario
 	// trace is the submitting request's span context; the job's run span
 	// parents itself here so the trace survives the request's lifetime.
@@ -150,10 +174,15 @@ type job struct {
 	// hook and read by pollers without locking.
 	batchesDone atomic.Uint64
 	maxBatches  atomic.Uint64
+	// partial holds the latest in-flight curve snapshot (Welford CI state
+	// rendered as a Result) for the SSE stream; nil until the first
+	// accumulation round, and forever for backends without snapshots.
+	partial atomic.Pointer[Result]
 
 	mu        sync.Mutex
 	status    Status
 	cached    bool
+	tier      string // "memory" or "store" when cached
 	result    *Result
 	errMsg    string
 	submitted time.Time
@@ -169,12 +198,16 @@ type Progress struct {
 
 // JobView is an immutable snapshot of a job for API responses.
 type JobView struct {
-	ID           string   `json:"id"`
-	ScenarioHash string   `json:"scenarioHash"`
-	Status       Status   `json:"status"`
-	Cached       bool     `json:"cached"`
-	Progress     Progress `json:"progress"`
-	Error        string   `json:"error,omitempty"`
+	ID           string `json:"id"`
+	ScenarioHash string `json:"scenarioHash"`
+	Tenant       string `json:"tenant,omitempty"`
+	Status       Status `json:"status"`
+	Cached       bool   `json:"cached"`
+	// CacheTier names the tier a cached result came from: "memory" (the
+	// LRU) or "store" (the persistent second tier); empty when evaluated.
+	CacheTier string   `json:"cacheTier,omitempty"`
+	Progress  Progress `json:"progress"`
+	Error     string   `json:"error,omitempty"`
 	// TraceID correlates the job with its distributed trace (see
 	// GET /v1/jobs/{id}/trace); empty when tracing was off or unsampled
 	// at submit time.
@@ -190,8 +223,10 @@ func (j *job) view() JobView {
 	v := JobView{
 		ID:           j.id,
 		ScenarioHash: j.hash,
+		Tenant:       j.tenant,
 		Status:       j.status,
 		Cached:       j.cached,
+		CacheTier:    j.tier,
 		TraceID:      traceIDOf(j.trace),
 		Progress: Progress{
 			BatchesDone: j.batchesDone.Load(),
@@ -214,13 +249,14 @@ func (j *job) view() JobView {
 // Manager owns the worker pool, the deduplication table and the result
 // cache. Create with NewManager, stop with Shutdown.
 type Manager struct {
-	cfg     Config
-	metrics Metrics
-	cache   *resultCache
+	cfg       Config
+	metrics   Metrics
+	perTenant *tenantMetrics
+	cache     *resultCache
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
-	queue      chan *job
+	queue      *fairQueue
 	wg         sync.WaitGroup
 
 	mu       sync.Mutex
@@ -238,10 +274,11 @@ func NewManager(cfg Config) *Manager {
 	m := &Manager{
 		cfg:        cfg,
 		metrics:    newMetrics(cfg.Telemetry, cfg.Workers),
+		perTenant:  newTenantMetrics(cfg.Telemetry),
 		cache:      newResultCache(cfg.CacheSize),
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		queue:      make(chan *job, cfg.QueueSize),
+		queue:      newFairQueue(cfg.QueueSize, cfg.TenantQuota, cfg.TenantWeights),
 		jobs:       make(map[string]*job),
 		byHash:     make(map[string]*job),
 	}
@@ -263,8 +300,9 @@ func (m *Manager) Submit(sc *config.Scenario) (JobView, error) {
 
 // SubmitCtx is Submit with trace context: the caller's active span (the
 // HTTP submit handler's, a sweep point's) becomes the parent of the job's
-// run span, and dedup/cache verdicts are annotated on it as events. ctx
-// only carries trace identity — submission never blocks on it.
+// run span, and dedup/cache/store verdicts plus the admission decision are
+// annotated on it as events. ctx also carries the tenant identity (see
+// WithTenant); submission never blocks on it.
 func (m *Manager) SubmitCtx(ctx context.Context, sc *config.Scenario) (JobView, error) {
 	hash, err := sc.Hash()
 	if err != nil {
@@ -275,6 +313,7 @@ func (m *Manager) SubmitCtx(ctx context.Context, sc *config.Scenario) (JobView, 
 	if _, err := sc.Params(); err != nil {
 		return JobView{}, fmt.Errorf("service: invalid scenario: %w", err)
 	}
+	tenant := TenantFrom(ctx, m.cfg.DefaultTenant)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -282,6 +321,7 @@ func (m *Manager) SubmitCtx(ctx context.Context, sc *config.Scenario) (JobView, 
 		return JobView{}, ErrShuttingDown
 	}
 	m.metrics.Submitted.Add(1)
+	m.perTenant.onSubmit(tenant)
 
 	if twin, ok := m.byHash[hash]; ok {
 		m.metrics.DedupHits.Add(1)
@@ -292,43 +332,66 @@ func (m *Manager) SubmitCtx(ctx context.Context, sc *config.Scenario) (JobView, 
 	if res, ok := m.cache.Get(hash); ok {
 		m.metrics.CacheHits.Add(1)
 		obs.AddEvent(ctx, "service.cache-hit", obs.String("scenario", hash))
-		// The cache is keyed by the canonical hash, which ignores the
-		// cosmetic name — a sweep point and a direct submission share one
-		// entry. Hand each submitter the result under its own name so a
-		// shared entry never mislabels a point.
-		if res.Name != sc.Name {
-			relabeled := *res
-			relabeled.Name = sc.Name
-			res = &relabeled
-		}
-		j := m.newJobLocked(ctx, sc, hash)
-		j.cached = true
-		j.result = res
-		j.status = StatusDone
-		j.finished = j.submitted
-		j.batchesDone.Store(res.Batches)
-		j.maxBatches.Store(res.Batches)
-		close(j.done)
-		j.cancel() // born terminal: release the context immediately
-		m.jobs[j.id] = j
-		m.rememberFinishedLocked(j.id)
-		return j.view(), nil
+		return m.bornDoneLocked(ctx, sc, hash, tenant, "memory", res), nil
 	}
-
 	m.metrics.CacheMisses.Add(1)
 	obs.AddEvent(ctx, "service.cache-miss", obs.String("scenario", hash))
+	if m.cfg.Store != nil {
+		if res, ok := m.storeGet(hash); ok {
+			m.metrics.StoreHits.Add(1)
+			obs.AddEvent(ctx, "service.store-hit", obs.String("scenario", hash))
+			// Backfill the LRU so the next submitter skips the disk read.
+			m.cache.Put(hash, res)
+			return m.bornDoneLocked(ctx, sc, hash, tenant, "store", res), nil
+		}
+		m.metrics.StoreMisses.Add(1)
+		obs.AddEvent(ctx, "service.store-miss", obs.String("scenario", hash))
+	}
+
 	j := m.newJobLocked(ctx, sc, hash)
-	select {
-	case m.queue <- j:
-	default:
+	j.tenant = tenant
+	if err := m.queue.push(j); err != nil {
 		m.metrics.QueueRejects.Add(1)
+		m.perTenant.onReject(tenant)
+		obs.AddEvent(ctx, "service.admission-rejected",
+			obs.String("tenant", tenant), obs.String("reason", err.Error()))
 		j.cancel()
-		return JobView{}, ErrQueueFull
+		return JobView{}, err
 	}
 	m.metrics.QueueDepth.Add(1)
+	m.perTenant.addDepth(tenant, 1)
+	obs.AddEvent(ctx, "service.admitted",
+		obs.String("job", j.id), obs.String("tenant", tenant))
 	m.jobs[j.id] = j
 	m.byHash[hash] = j
 	return j.view(), nil
+}
+
+// bornDoneLocked materializes an immediately-done job around a result
+// served from a cache tier; m.mu must be held. The cache is keyed by the
+// canonical hash, which ignores the cosmetic name — a sweep point and a
+// direct submission share one entry. Hand each submitter the result under
+// its own name so a shared entry never mislabels a point.
+func (m *Manager) bornDoneLocked(ctx context.Context, sc *config.Scenario, hash, tenant, tier string, res *Result) JobView {
+	if res.Name != sc.Name {
+		relabeled := *res
+		relabeled.Name = sc.Name
+		res = &relabeled
+	}
+	j := m.newJobLocked(ctx, sc, hash)
+	j.tenant = tenant
+	j.cached = true
+	j.tier = tier
+	j.result = res
+	j.status = StatusDone
+	j.finished = j.submitted
+	j.batchesDone.Store(res.Batches)
+	j.maxBatches.Store(res.Batches)
+	close(j.done)
+	j.cancel() // born terminal: release the context immediately
+	m.jobs[j.id] = j
+	m.rememberFinishedLocked(j.id)
+	return j.view()
 }
 
 // newJobLocked allocates a job record; m.mu must be held. submitCtx only
@@ -371,6 +434,18 @@ func (m *Manager) Result(id string) (*Result, JobView, error) {
 	res := j.result
 	j.mu.Unlock()
 	return res, j.view(), nil
+}
+
+// Partial returns the job's latest partial-result snapshot (the Welford
+// state after the most recent accumulation round), or nil when none has
+// been published yet — before the first round, for cached jobs, and for
+// backends without a snapshot source.
+func (m *Manager) Partial(id string) (*Result, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return j.partial.Load(), nil
 }
 
 // Cancel requests cancellation of a queued or running job. Queued jobs
@@ -442,7 +517,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	m.closed = true
 	m.mu.Unlock()
 	if !alreadyClosed {
-		close(m.queue)
+		m.queue.close()
 	}
 
 	drained := make(chan struct{})
@@ -462,8 +537,13 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
+	for {
+		j, ok := m.queue.pop()
+		if !ok {
+			return
+		}
 		m.metrics.QueueDepth.Add(-1)
+		m.perTenant.addDepth(j.tenant, -1)
 		m.runJob(j)
 	}
 }
@@ -493,12 +573,19 @@ func (m *Manager) runJob(j *job) {
 	// explicitly before starting the run span.
 	ctx = obs.ContextWithRemote(ctx, m.cfg.Tracer, j.trace)
 	ctx, span := obs.Start(ctx, "service.job",
-		obs.String("job", j.id), obs.String("scenario", j.hash))
+		obs.String("job", j.id), obs.String("scenario", j.hash),
+		obs.String("tenant", j.tenant))
 	defer span.End()
 	progress := func(done, max uint64) {
 		j.batchesDone.Store(done)
 		j.maxBatches.Store(max)
 	}
+	// Publish partial-curve snapshots for GET /v1/jobs/{id}/stream. The
+	// sink travels by context so EvalFunc's signature is unchanged; the
+	// default evaluation feeds it after every accumulation round, while
+	// backends without a snapshot source (the cluster) simply never call it
+	// and streams carry progress only.
+	ctx = withSnapshotSink(ctx, func(r *Result) { j.partial.Store(r) })
 
 	start := time.Now()
 	res, err := m.cfg.Eval(ctx, j.scenario, m.cfg.WorkersPerJob, progress)
@@ -508,6 +595,7 @@ func (m *Manager) runJob(j *job) {
 	switch {
 	case err == nil:
 		m.cache.Put(j.hash, res)
+		m.storePut(j.hash, res)
 		m.metrics.EvalMillis.Add(uint64(elapsed.Milliseconds()))
 		m.metrics.BatchesSimulated.Add(res.Batches)
 		m.finishIf(j, StatusRunning, StatusDone, res, nil)
@@ -543,6 +631,7 @@ func (m *Manager) finishIf(j *job, from, to Status, res *Result, err error) {
 	switch to {
 	case StatusDone:
 		m.metrics.Completed.Add(1)
+		m.perTenant.onComplete(j.tenant)
 	case StatusFailed:
 		m.metrics.Failed.Add(1)
 	case StatusCancelled:

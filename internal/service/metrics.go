@@ -27,6 +27,13 @@ type Metrics struct {
 	// CacheMisses counts submissions that had to enqueue work.
 	CacheHits   *telemetry.Counter
 	CacheMisses *telemetry.Counter
+	// StoreHits counts submissions answered from the persistent second
+	// tier (and backfilled into the LRU); StoreMisses counts submissions
+	// that missed both tiers and evaluated. Both stay zero without a
+	// configured store, keeping cache_hit_ratio's meaning unchanged for
+	// single-tier deployments.
+	StoreHits   *telemetry.Counter
+	StoreMisses *telemetry.Counter
 	// DedupHits counts submissions coalesced onto an already queued or
 	// running job with the same canonical hash.
 	DedupHits *telemetry.Counter
@@ -55,8 +62,10 @@ func newMetrics(reg *telemetry.Registry, workers int) Metrics {
 		Completed:        counter("ahs_service_completed_total", "Jobs finished successfully."),
 		Failed:           counter("ahs_service_failed_total", "Jobs finished with an evaluation error."),
 		Cancelled:        counter("ahs_service_cancelled_total", "Jobs cancelled by request, timeout or shutdown."),
-		CacheHits:        counter("ahs_service_cache_hits_total", "Submissions answered from the result cache."),
-		CacheMisses:      counter("ahs_service_cache_misses_total", "Submissions that enqueued evaluation work."),
+		CacheHits:        counter("ahs_service_cache_hits_total", "Submissions answered from the in-memory result cache."),
+		CacheMisses:      counter("ahs_service_cache_misses_total", "Submissions that missed the in-memory cache."),
+		StoreHits:        counter("ahs_service_store_hits_total", "Submissions answered from the persistent result store."),
+		StoreMisses:      counter("ahs_service_store_misses_total", "Submissions that missed the persistent store and evaluated."),
 		DedupHits:        counter("ahs_service_dedup_hits_total", "Submissions coalesced onto an in-flight twin job."),
 		QueueRejects:     counter("ahs_service_queue_rejects_total", "Submissions bounced with a full queue."),
 		QueueDepth:       reg.Gauge(telemetry.Opts{Name: "ahs_service_queue_depth", Help: "Jobs queued but not yet running."}),
@@ -69,6 +78,16 @@ func newMetrics(reg *telemetry.Registry, workers int) Metrics {
 		Help: "Cache hits over cache-deciding submissions (0 before any).",
 	}, func() float64 {
 		hits, misses := m.CacheHits.Value(), m.CacheMisses.Value()
+		if hits+misses == 0 {
+			return 0
+		}
+		return float64(hits) / float64(hits+misses)
+	})
+	reg.GaugeFunc(telemetry.Opts{
+		Name: "ahs_service_store_hit_ratio",
+		Help: "Persistent-store hits over store-deciding submissions (0 before any, and always 0 without a store).",
+	}, func() float64 {
+		hits, misses := m.StoreHits.Value(), m.StoreMisses.Value()
 		if hits+misses == 0 {
 			return 0
 		}
@@ -90,7 +109,8 @@ func newMetrics(reg *telemetry.Registry, workers int) Metrics {
 // documents these names, and TestMetricsMapKeepsExpvarNames pins them.
 var metricNames = []string{
 	"submitted", "completed", "failed", "cancelled",
-	"cacheHits", "cacheMisses", "dedupHits", "queueRejects",
+	"cacheHits", "cacheMisses", "storeHits", "storeMisses",
+	"dedupHits", "queueRejects",
 	"queueDepth", "running", "evalMillis", "batchesSimulated",
 }
 
@@ -111,6 +131,8 @@ func (m *Metrics) Map() *expvar.Map {
 		"cancelled":        counter(m.Cancelled),
 		"cacheHits":        counter(m.CacheHits),
 		"cacheMisses":      counter(m.CacheMisses),
+		"storeHits":        counter(m.StoreHits),
+		"storeMisses":      counter(m.StoreMisses),
 		"dedupHits":        counter(m.DedupHits),
 		"queueRejects":     counter(m.QueueRejects),
 		"queueDepth":       gauge(m.QueueDepth),

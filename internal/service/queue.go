@@ -1,0 +1,158 @@
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrTenantQuota rejects a submission whose tenant already has its quota
+// of queued jobs; the HTTP layer answers 429 with Retry-After, like a full
+// queue, but scoped to the offending tenant.
+var ErrTenantQuota = errors.New("service: tenant queue quota exceeded")
+
+// fairQueue replaces the manager's single FIFO with per-tenant FIFOs
+// drained by deficit round-robin: every job costs one unit, each active
+// tenant earns its weight in credit when its turn comes and dequeues that
+// many jobs before the turn passes on. With equal weights the schedule
+// degenerates to strict round-robin over active tenants, which is the
+// fairness property the tests pin: a tenant flooding the queue cannot push
+// another tenant's job more than one cycle back, so waits stay bounded by
+// the number of active tenants, not by the flooder's backlog.
+//
+// The total capacity bound is shared (like the old FIFO channel) and an
+// optional per-tenant quota rejects a single tenant monopolizing the
+// queue's admission as well as its service order.
+type fairQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	capacity int
+	quota    int            // per-tenant queued-job cap; 0 = unbounded
+	weights  map[string]int // tenant -> DRR weight; missing = 1
+
+	tenants map[string]*tenantFIFO
+	ring    []*tenantFIFO // active tenants in arrival order
+	next    int           // ring index holding the turn
+	size    int           // total queued jobs
+	closed  bool
+}
+
+// tenantFIFO is one tenant's pending jobs plus its scheduler state.
+type tenantFIFO struct {
+	name   string
+	jobs   []*job
+	weight int
+	credit int  // remaining dequeues in the current turn
+	inRing bool // queued in fairQueue.ring
+}
+
+func newFairQueue(capacity, quota int, weights map[string]int) *fairQueue {
+	q := &fairQueue{
+		capacity: capacity,
+		quota:    quota,
+		weights:  weights,
+		tenants:  make(map[string]*tenantFIFO),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues j for its tenant. It fails with ErrQueueFull when the
+// shared capacity is exhausted, ErrTenantQuota when the tenant is over its
+// own cap, and ErrShuttingDown after close.
+func (q *fairQueue) push(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrShuttingDown
+	}
+	if q.size >= q.capacity {
+		return ErrQueueFull
+	}
+	t := q.tenants[j.tenant]
+	if t == nil {
+		w := q.weights[j.tenant]
+		if w <= 0 {
+			w = 1
+		}
+		t = &tenantFIFO{name: j.tenant, weight: w}
+		q.tenants[j.tenant] = t
+	}
+	if q.quota > 0 && len(t.jobs) >= q.quota {
+		return ErrTenantQuota
+	}
+	t.jobs = append(t.jobs, j)
+	q.size++
+	if !t.inRing {
+		t.inRing = true
+		q.ring = append(q.ring, t)
+	}
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available or the queue is closed and empty;
+// the second return mirrors a channel receive. After close the remaining
+// backlog still drains in fair order, so shutdown keeps the scheduling
+// contract.
+func (q *fairQueue) pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if j := q.popLocked(); j != nil {
+			return j, true
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// popLocked runs one DRR step; q.mu must be held. Returns nil when empty.
+func (q *fairQueue) popLocked() *job {
+	for q.size > 0 {
+		if q.next >= len(q.ring) {
+			q.next = 0
+		}
+		t := q.ring[q.next]
+		if len(t.jobs) == 0 {
+			// Drained tenant: retire from the ring (keeping q.next pointing
+			// at the element that slid into its slot) and forget its credit
+			// so a later burst starts a fresh turn.
+			q.ring = append(q.ring[:q.next], q.ring[q.next+1:]...)
+			t.inRing = false
+			t.credit = 0
+			continue
+		}
+		if t.credit == 0 {
+			t.credit = t.weight
+		}
+		j := t.jobs[0]
+		t.jobs[0] = nil // release the reference for GC
+		t.jobs = t.jobs[1:]
+		q.size--
+		t.credit--
+		if t.credit == 0 {
+			q.next++ // turn spent: move on
+		}
+		return j
+	}
+	return nil
+}
+
+// len reports the total queued jobs.
+func (q *fairQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// close stops admissions and wakes every blocked pop; queued jobs still
+// drain.
+func (q *fairQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

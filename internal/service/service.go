@@ -20,6 +20,7 @@ import (
 
 	"ahs/internal/config"
 	"ahs/internal/core"
+	"ahs/internal/mc"
 	"ahs/internal/telemetry"
 	"ahs/internal/trace"
 )
@@ -101,12 +102,28 @@ func evaluate(ctx context.Context, sc *config.Scenario, workers int, progress fu
 	opts.Workers = workers
 	opts.Progress = progress
 	opts.Telemetry = sink
+	bias := opts.FailureBias
+	if bias < 1 {
+		bias = 1
+	}
+	if snap := snapshotSinkFrom(ctx); snap != nil {
+		// Stream partial Welford state as Result snapshots for the SSE
+		// endpoints; each snapshot is a self-contained curve, so a client
+		// disconnecting mid-run has a usable (if wide-CI) estimate.
+		opts.Snapshot = func(c *mc.Curve) { snap(curveResult(sc.Name, hash, c, bias)) }
+	}
 	curve, err := sys.UnsafetyCurve(opts)
 	if err != nil {
 		return nil, err
 	}
+	return curveResult(sc.Name, hash, curve, bias), nil
+}
+
+// curveResult converts an estimated (possibly partial) curve into the
+// API's Result shape.
+func curveResult(name, hash string, curve *mc.Curve, failureBias float64) *Result {
 	res := &Result{
-		Name:         sc.Name,
+		Name:         name,
 		ScenarioHash: hash,
 		Times:        curve.Times,
 		Unsafety:     curve.Mean,
@@ -114,14 +131,11 @@ func evaluate(ctx context.Context, sc *config.Scenario, workers int, progress fu
 		CIHi:         make([]float64, len(curve.Intervals)),
 		Batches:      curve.Batches,
 		Converged:    curve.Converged,
-		FailureBias:  opts.FailureBias,
-	}
-	if res.FailureBias < 1 {
-		res.FailureBias = 1
+		FailureBias:  failureBias,
 	}
 	for i, iv := range curve.Intervals {
 		res.CILo[i] = iv.Lo
 		res.CIHi[i] = iv.Hi
 	}
-	return res, nil
+	return res
 }

@@ -1,0 +1,22 @@
+package service
+
+import "context"
+
+// snapshotSinkKey carries a partial-result sink through the evaluation
+// context. The manager installs one per job run so the default Eval can
+// publish partial Welford snapshots for the SSE stream without changing
+// the EvalFunc signature; custom Eval implementations (test fakes, the
+// cluster backend) simply never read it and streams degrade to
+// progress-only.
+type snapshotSinkKey struct{}
+
+// withSnapshotSink attaches sink to ctx for the duration of one job run.
+func withSnapshotSink(ctx context.Context, sink func(*Result)) context.Context {
+	return context.WithValue(ctx, snapshotSinkKey{}, sink)
+}
+
+// snapshotSinkFrom extracts the sink, or nil.
+func snapshotSinkFrom(ctx context.Context) func(*Result) {
+	sink, _ := ctx.Value(snapshotSinkKey{}).(func(*Result))
+	return sink
+}

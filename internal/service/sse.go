@@ -1,0 +1,144 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// SSEHeartbeat is how often a quiet stream emits a comment line so
+// proxies and clients can distinguish "no news" from a dead connection.
+const SSEHeartbeat = 15 * time.Second
+
+// SSEPollInterval paces the stream handlers' checks for new progress; SSE
+// events are emitted on change only, so the wire stays quiet between
+// accumulation rounds.
+const SSEPollInterval = 100 * time.Millisecond
+
+// SSEWriter renders Server-Sent Events (text/event-stream). Each send
+// extends the connection's write deadline, so streams outlive the server's
+// global write timeout (30s by default in cmd/ahs-serve) for as long as
+// events keep flowing.
+type SSEWriter struct {
+	w  http.ResponseWriter
+	rc *http.ResponseController
+}
+
+// NewSSEWriter switches the response into event-stream mode. It fails
+// (with a plain 500, nothing yet written) when the underlying writer
+// cannot flush — SSE without flushing would buffer forever.
+func NewSSEWriter(w http.ResponseWriter) (*SSEWriter, error) {
+	// Headers must precede the Flush probe: the first successful Flush
+	// commits the response. A failed probe writes nothing, so the error
+	// path is still free to send a plain JSON 500.
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no") // tell nginx-style proxies not to buffer
+	rc := http.NewResponseController(w)
+	if err := rc.Flush(); err != nil {
+		return nil, fmt.Errorf("service: response writer cannot stream: %w", err)
+	}
+	return &SSEWriter{w: w, rc: rc}, nil
+}
+
+// Send writes one event with a JSON data payload and flushes it.
+func (s *SSEWriter) Send(event string, data any) error {
+	body, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	// Each write earns a fresh deadline; an idle or stuck client is cut
+	// loose after one heartbeat-scaled grace instead of holding the
+	// connection forever.
+	_ = s.rc.SetWriteDeadline(time.Now().Add(2 * SSEHeartbeat))
+	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", event, body); err != nil {
+		return err
+	}
+	return s.rc.Flush()
+}
+
+// Heartbeat writes a comment line (ignored by SSE clients) so proxies and
+// clients can tell a quiet stream from a dead connection.
+func (s *SSEWriter) Heartbeat() error {
+	_ = s.rc.SetWriteDeadline(time.Now().Add(2 * SSEHeartbeat))
+	if _, err := fmt.Fprint(s.w, ": heartbeat\n\n"); err != nil {
+		return err
+	}
+	return s.rc.Flush()
+}
+
+// handleJobStream serves GET /v1/jobs/{id}/stream: an SSE stream of the
+// job's life. Events (all JSON payloads, schema in docs/api.md):
+//
+//	progress  {"batchesDone":N,"maxBatches":M} — monotone, on change
+//	snapshot  partial Result — the CI converging, after accumulation rounds
+//	result    terminal Result — identical to GET /v1/results/{id}
+//	status    terminal JobView for non-done outcomes (cancelled, failed)
+//
+// The stream always ends with exactly one terminal event (result or
+// status) and then closes. Cached jobs stream their result immediately.
+func (s *server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.m.Job(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	sse, err := NewSSEWriter(w)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	var lastProgress Progress
+	var lastPartial *Result
+	sentProgress := false
+	heartbeat := time.Now()
+	ticker := time.NewTicker(SSEPollInterval)
+	defer ticker.Stop()
+	for {
+		view, err := s.m.Job(id)
+		if err != nil {
+			// Evicted from history mid-stream (bounded HistorySize): the
+			// terminal event is gone; close and let the client re-poll.
+			return
+		}
+		if p := view.Progress; !sentProgress || p != lastProgress {
+			if err := sse.Send("progress", p); err != nil {
+				return
+			}
+			lastProgress, sentProgress = p, true
+			heartbeat = time.Now()
+		}
+		if partial, err := s.m.Partial(id); err == nil && partial != nil && partial != lastPartial {
+			if err := sse.Send("snapshot", partial); err != nil {
+				return
+			}
+			lastPartial = partial
+			heartbeat = time.Now()
+		}
+		if view.Status.Terminal() {
+			res, view, err := s.m.Result(id)
+			if err != nil {
+				return
+			}
+			if view.Status == StatusDone && res != nil {
+				_ = sse.Send("result", res)
+			} else {
+				_ = sse.Send("status", view)
+			}
+			return
+		}
+		if time.Since(heartbeat) >= SSEHeartbeat {
+			if err := sse.Heartbeat(); err != nil {
+				return
+			}
+			heartbeat = time.Now()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}

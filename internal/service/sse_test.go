@@ -1,0 +1,371 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ahs/internal/config"
+	"ahs/internal/obs"
+)
+
+// sseEvent is one parsed Server-Sent Event.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// readSSEEvent reads the next event from an open stream, skipping
+// heartbeat comments; io.EOF means the server closed the stream.
+func readSSEEvent(r *bufio.Reader) (sseEvent, error) {
+	var ev sseEvent
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return ev, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			ev.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "" && ev.name != "":
+			return ev, nil
+		}
+	}
+}
+
+// readAllSSE drains a stream until the server closes it.
+func readAllSSE(t *testing.T, body io.Reader) []sseEvent {
+	t.Helper()
+	r := bufio.NewReader(body)
+	var events []sseEvent
+	for {
+		ev, err := readSSEEvent(r)
+		if err == io.EOF {
+			return events
+		}
+		if err != nil {
+			t.Fatalf("reading stream: %v", err)
+		}
+		events = append(events, ev)
+	}
+}
+
+func openStream(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content-type %q", ct)
+	}
+	return resp
+}
+
+// TestHTTPJobStreamDeliversProgressAndResult: the stream emits monotone
+// progress and ends with exactly one terminal "result" event whose payload
+// matches the polled GET /v1/results/{id} byte for byte.
+func TestHTTPJobStreamDeliversProgressAndResult(t *testing.T) {
+	eval := newScriptedEval()
+	srv, _ := newTestServer(t, Config{Workers: 1, Eval: eval.fn})
+
+	_, ack := postScenario(t, srv, tinyScenarioJSON)
+	eval.waitStarted(t)
+
+	resp := openStream(t, srv.URL+"/v1/jobs/"+ack.ID+"/stream")
+	close(eval.release)
+	events := readAllSSE(t, resp.Body)
+
+	if len(events) == 0 {
+		t.Fatal("empty stream")
+	}
+	var lastDone uint64
+	progressCount, terminalCount := 0, 0
+	for _, ev := range events {
+		switch ev.name {
+		case "progress":
+			progressCount++
+			var p Progress
+			if err := json.Unmarshal(ev.data, &p); err != nil {
+				t.Fatalf("progress payload %s: %v", ev.data, err)
+			}
+			if p.BatchesDone < lastDone {
+				t.Fatalf("progress went backwards: %d after %d", p.BatchesDone, lastDone)
+			}
+			lastDone = p.BatchesDone
+		case "result", "status":
+			terminalCount++
+		}
+	}
+	if progressCount == 0 {
+		t.Fatalf("no progress events in %d events", len(events))
+	}
+	if terminalCount != 1 {
+		t.Fatalf("%d terminal events, want exactly 1", terminalCount)
+	}
+	last := events[len(events)-1]
+	if last.name != "result" {
+		t.Fatalf("final event %q, want result", last.name)
+	}
+
+	var streamed, polled Result
+	if err := json.Unmarshal(last.data, &streamed); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, srv.URL+ack.ResultURL, &polled)
+	sb, _ := json.Marshal(streamed)
+	pb, _ := json.Marshal(polled)
+	if string(sb) != string(pb) {
+		t.Fatalf("streamed result diverged from polled:\n %s\n %s", sb, pb)
+	}
+}
+
+// TestHTTPJobStreamSnapshots drives a scripted evaluation that publishes
+// partial results through the context sink, and checks the stream delivers
+// each snapshot before the terminal result.
+func TestHTTPJobStreamSnapshots(t *testing.T) {
+	started := make(chan struct{})
+	step := make(chan struct{})
+	fn := func(ctx context.Context, sc *config.Scenario, workers int, progress func(done, max uint64)) (*Result, error) {
+		hash, _ := sc.Hash()
+		snap := snapshotSinkFrom(ctx)
+		if snap == nil {
+			t.Error("no snapshot sink on the evaluation context")
+			return nil, context.Canceled
+		}
+		wait := func() error { // each step gate stays cancellable so a failed
+			select { // test's shutdown can still drain the worker
+			case <-step:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		snap(&Result{ScenarioHash: hash, Batches: 100})
+		close(started)
+		if err := wait(); err != nil { // stream observed snapshot 1
+			return nil, err
+		}
+		snap(&Result{ScenarioHash: hash, Batches: 200})
+		if err := wait(); err != nil { // stream observed snapshot 2
+			return nil, err
+		}
+		return &Result{ScenarioHash: hash, Times: sc.TripHours, Batches: 400, Converged: true}, nil
+	}
+	srv, _ := newTestServer(t, Config{Workers: 1, Eval: fn})
+
+	_, ack := postScenario(t, srv, tinyScenarioJSON)
+	<-started
+	resp := openStream(t, srv.URL+"/v1/jobs/"+ack.ID+"/stream")
+	r := bufio.NewReader(resp.Body)
+
+	nextOf := func(name string) Result {
+		t.Helper()
+		for {
+			ev, err := readSSEEvent(r)
+			if err != nil {
+				t.Fatalf("waiting for %q: %v", name, err)
+			}
+			if ev.name != name {
+				continue
+			}
+			var res Result
+			if err := json.Unmarshal(ev.data, &res); err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+	}
+	if got := nextOf("snapshot").Batches; got != 100 {
+		t.Fatalf("first snapshot batches %d, want 100", got)
+	}
+	step <- struct{}{}
+	if got := nextOf("snapshot").Batches; got != 200 {
+		t.Fatalf("second snapshot batches %d, want 200", got)
+	}
+	step <- struct{}{}
+	if got := nextOf("result").Batches; got != 400 {
+		t.Fatalf("terminal result batches %d, want 400", got)
+	}
+}
+
+// TestHTTPJobStreamCachedJob: a job born done (cache hit) streams its
+// result immediately.
+func TestHTTPJobStreamCachedJob(t *testing.T) {
+	eval := newScriptedEval()
+	close(eval.release)
+	srv, m := newTestServer(t, Config{Workers: 1, Eval: eval.fn})
+
+	_, first := postScenario(t, srv, tinyScenarioJSON)
+	if _, err := m.Wait(waitCtx(t), first.ID); err != nil {
+		t.Fatal(err)
+	}
+	_, second := postScenario(t, srv, tinyScenarioJSON)
+	if !second.Cached {
+		t.Fatalf("second submission not cached: %+v", second)
+	}
+
+	resp := openStream(t, srv.URL+"/v1/jobs/"+second.ID+"/stream")
+	events := readAllSSE(t, resp.Body)
+	if len(events) == 0 || events[len(events)-1].name != "result" {
+		t.Fatalf("cached stream events %+v, want immediate result", events)
+	}
+}
+
+// TestHTTPJobStreamUnderTracing pins streaming through the tracing
+// middleware: obs.Middleware wraps the ResponseWriter to capture the
+// status, and without its Unwrap hook http.ResponseController cannot
+// reach the Flusher — the production default (tracing on) would 500
+// every stream while the untraced unit tests stayed green.
+func TestHTTPJobStreamUnderTracing(t *testing.T) {
+	eval := newScriptedEval()
+	close(eval.release)
+	tracer := obs.NewTracer(obs.Config{SampleEvery: 1, MaxTraces: 16, MaxSpans: 64})
+	srv, _ := newTestServer(t, Config{Workers: 1, Eval: eval.fn, Tracer: tracer})
+
+	_, ack := postScenario(t, srv, tinyScenarioJSON)
+	resp := openStream(t, srv.URL+"/v1/jobs/"+ack.ID+"/stream")
+	events := readAllSSE(t, resp.Body)
+	if len(events) == 0 || events[len(events)-1].name != "result" {
+		t.Fatalf("traced stream events %+v, want a terminal result", events)
+	}
+}
+
+// TestHTTPJobStreamUnknownJob404s before committing to the event stream.
+func TestHTTPJobStreamUnknownJob404s(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(srv.URL + "/v1/jobs/job-404/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestEvaluateStreamsSnapshots runs the production evaluation with a
+// snapshot sink and checks the partial curves converge onto the final
+// result: monotone batch counts, and a last snapshot bit-identical to the
+// returned curve (both render the same Welford state).
+func TestEvaluateStreamsSnapshots(t *testing.T) {
+	var snaps []*Result
+	ctx := withSnapshotSink(context.Background(), func(r *Result) { snaps = append(snaps, r) })
+	res, err := Evaluate(ctx, testScenario(1), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("production evaluation published no snapshots")
+	}
+	var last uint64
+	for i, s := range snaps {
+		if s.Batches <= last && i > 0 {
+			t.Fatalf("snapshot %d batches %d not increasing past %d", i, s.Batches, last)
+		}
+		last = s.Batches
+		if len(s.Times) != len(res.Times) || len(s.Unsafety) != len(res.Unsafety) {
+			t.Fatalf("snapshot %d grid mismatch: %+v", i, s)
+		}
+	}
+	final := snaps[len(snaps)-1]
+	if got, want := resultBits(final), resultBits(res); got != want {
+		t.Fatalf("final snapshot diverged from the returned result:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestHTTPTenantHeaderAttribution: X-AHS-Tenant rides submission into the
+// job view; absent, the default tenant applies.
+func TestHTTPTenantHeaderAttribution(t *testing.T) {
+	eval := newScriptedEval()
+	close(eval.release)
+	srv, m := newTestServer(t, Config{Workers: 1, Eval: eval.fn})
+
+	req, err := http.NewRequest("POST", srv.URL+"/v1/evaluate", strings.NewReader(tinyScenarioJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(TenantHeader, "acme")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack evaluateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	view, err := m.Job(ack.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Tenant != "acme" {
+		t.Fatalf("job tenant %q, want acme", view.Tenant)
+	}
+
+	// No header: the default tenant. A different scenario avoids dedup.
+	_, ack2 := postScenario(t, srv, strings.Replace(tinyScenarioJSON, `"seed": 1`, `"seed": 2`, 1))
+	view2, err := m.Job(ack2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view2.Tenant != DefaultTenant {
+		t.Fatalf("headerless job tenant %q, want %q", view2.Tenant, DefaultTenant)
+	}
+}
+
+// TestHTTPTenantQuota429: a tenant at its quota gets 429 with Retry-After;
+// another tenant keeps submitting.
+func TestHTTPTenantQuota429(t *testing.T) {
+	eval := newScriptedEval()
+	srv, _ := newTestServer(t, Config{Workers: 1, TenantQuota: 1, Eval: eval.fn})
+	defer close(eval.release)
+
+	post := func(tenant, body string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest("POST", srv.URL+"/v1/evaluate", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(TenantHeader, tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	scenario := func(seed int) string {
+		return strings.Replace(tinyScenarioJSON, `"seed": 1`, `"seed": `+strconv.Itoa(seed), 1)
+	}
+
+	if resp := post("hog", scenario(1)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit %d", resp.StatusCode)
+	}
+	eval.waitStarted(t) // running: the quota governs queued jobs only
+	if resp := post("hog", scenario(2)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued submit %d", resp.StatusCode)
+	}
+	resp := post("hog", scenario(3))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 lacks Retry-After")
+	}
+	if resp := post("other", scenario(3)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("other tenant %d, want 202", resp.StatusCode)
+	}
+}

@@ -1,0 +1,278 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"ahs/internal/config"
+	"ahs/internal/resultstore"
+	"ahs/internal/telemetry"
+)
+
+// awkwardEval returns results with floats chosen to expose any lossy
+// serialization in the persistent tier: repeating binary fractions, tiny
+// magnitudes and values one ULP apart.
+func awkwardEval(ctx context.Context, sc *config.Scenario, workers int, progress func(done, max uint64)) (*Result, error) {
+	hash, err := sc.Hash()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Name:         sc.Name,
+		ScenarioHash: hash,
+		Batches:      12345 + sc.Seed,
+		Converged:    true,
+		FailureBias:  1,
+	}
+	for i := 0; i < 4; i++ {
+		x := float64(i+1) / 3.0
+		u := math.Exp(-x) * 1e-13 * float64(sc.Seed+1)
+		res.Times = append(res.Times, x)
+		res.Unsafety = append(res.Unsafety, u)
+		res.CILo = append(res.CILo, math.Nextafter(u, 0))
+		res.CIHi = append(res.CIHi, math.Nextafter(u, 1))
+	}
+	return res, nil
+}
+
+// resultBits renders every float of a Result in %b (exact mantissa·2^exp
+// form), so equal strings mean bit-identical curves.
+func resultBits(r *Result) string {
+	return fmt.Sprintf("%s|%s|%b|%b|%b|%b|%d|%v|%b",
+		r.Name, r.ScenarioHash, r.Times, r.Unsafety, r.CILo, r.CIHi,
+		r.Batches, r.Converged, r.FailureBias)
+}
+
+func openStore(t *testing.T, dir string, readOnly bool) *resultstore.Store {
+	t.Helper()
+	st, err := resultstore.Open(resultstore.Config{Dir: dir, ReadOnly: readOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	return st
+}
+
+// TestStoreTierServesAcrossManagerRestart is the in-process restart
+// contract behind the cross-process e2e in cmd/ahs-serve: a manager dies,
+// a fresh manager over the same store directory serves the curve from disk
+// bit-identically and never re-evaluates.
+func TestStoreTierServesAcrossManagerRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	st1 := openStore(t, dir, false)
+	m1 := NewManager(Config{Workers: 1, Eval: awkwardEval, Store: st1})
+	v1, err := m1.Submit(testScenario(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Wait(waitCtx(t), v1.ID); err != nil {
+		t.Fatal(err)
+	}
+	res1, _, err := m1.Result(v1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m1.Metrics().StoreMisses.Value(); got != 1 {
+		t.Fatalf("storeMisses = %d, want 1 (first submit consults the store)", got)
+	}
+	if err := m1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a brand-new manager and store handle over the same dir. The
+	// eval must never run — a non-zero invocation count fails the contract.
+	eval2 := newScriptedEval()
+	st2 := openStore(t, dir, false)
+	m2 := NewManager(Config{Workers: 1, Eval: eval2.fn, Store: st2})
+	defer m2.Shutdown(context.Background())
+
+	v2, err := m2.Submit(testScenario(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Status != StatusDone || !v2.Cached || v2.CacheTier != "store" {
+		t.Fatalf("restarted submit view %+v, want done/cached from the store tier", v2)
+	}
+	res2, _, err := m2.Result(v2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resultBits(res2), resultBits(res1); got != want {
+		t.Fatalf("store round-trip not bit-identical:\n got %s\nwant %s", got, want)
+	}
+	if got := eval2.invoked.Load(); got != 0 {
+		t.Fatalf("eval invoked %d times after restart, want 0", got)
+	}
+	met := m2.Metrics()
+	if met.StoreHits.Value() != 1 || met.CacheHits.Value() != 0 {
+		t.Fatalf("storeHits=%d cacheHits=%d, want 1/0", met.StoreHits.Value(), met.CacheHits.Value())
+	}
+}
+
+// TestStoreFollowerServesWriterResults pins the two-instance topology: a
+// read-only follower over the writer's directory serves the writer's
+// results, and its own write-through failures degrade durability only —
+// jobs still finish, the error is logged.
+func TestStoreFollowerServesWriterResults(t *testing.T) {
+	dir := t.TempDir()
+
+	writerStore := openStore(t, dir, false)
+	writer := NewManager(Config{Workers: 1, Eval: awkwardEval, Store: writerStore})
+	defer writer.Shutdown(context.Background())
+
+	v1, err := writer.Submit(testScenario(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Wait(waitCtx(t), v1.ID); err != nil {
+		t.Fatal(err)
+	}
+	res1, _, err := writer.Result(v1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var logMu sync.Mutex
+	var logs []string
+	followerStore := openStore(t, dir, true)
+	follower := NewManager(Config{
+		Workers: 1,
+		Eval:    awkwardEval,
+		Store:   followerStore,
+		Logf: func(format string, args ...any) {
+			logMu.Lock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		},
+	})
+	defer follower.Shutdown(context.Background())
+
+	// The writer's result, served by the follower from the shared segment.
+	v2, err := follower.Submit(testScenario(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Status != StatusDone || v2.CacheTier != "store" {
+		t.Fatalf("follower view %+v, want done from the store tier", v2)
+	}
+	res2, _, err := follower.Result(v2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultBits(res2) != resultBits(res1) {
+		t.Fatalf("follower result diverged:\n got %s\nwant %s", resultBits(res2), resultBits(res1))
+	}
+
+	// A scenario the store lacks: the follower evaluates it, its read-only
+	// write-through fails, and the job still completes.
+	v3, err := follower.Submit(testScenario(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := follower.Wait(waitCtx(t), v3.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != StatusDone {
+		t.Fatalf("follower evaluation %+v, want done despite read-only store", view)
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	found := false
+	for _, l := range logs {
+		if strings.Contains(l, "store write") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("read-only write-through failure was not logged; logs: %q", logs)
+	}
+}
+
+// TestStoreBackfillsMemoryTier: a store hit populates the LRU, so the next
+// identical submission is served from memory without touching the disk.
+func TestStoreBackfillsMemoryTier(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, false)
+
+	sc := testScenario(51)
+	hash, err := sc.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded := &Result{ScenarioHash: hash, Times: sc.TripHours, Batches: 777, Converged: true, FailureBias: 1}
+	if err := st.Put(hash, seeded); err != nil {
+		t.Fatal(err)
+	}
+
+	eval := newScriptedEval()
+	m := NewManager(Config{Workers: 1, Eval: eval.fn, Store: st})
+	defer m.Shutdown(context.Background())
+
+	first, err := m.Submit(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheTier != "store" {
+		t.Fatalf("first submit tier %q, want store", first.CacheTier)
+	}
+	second, err := m.Submit(testScenario(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheTier != "memory" {
+		t.Fatalf("second submit tier %q, want memory (LRU backfilled)", second.CacheTier)
+	}
+	met := m.Metrics()
+	if met.StoreHits.Value() != 1 || met.CacheHits.Value() != 1 {
+		t.Fatalf("storeHits=%d cacheHits=%d, want 1/1", met.StoreHits.Value(), met.CacheHits.Value())
+	}
+	if got := eval.invoked.Load(); got != 0 {
+		t.Fatalf("eval invoked %d times, want 0", got)
+	}
+}
+
+// TestStoreMetricsExposed pins the tier counters and the derived hit-ratio
+// gauge in the Prometheus exposition.
+func TestStoreMetricsExposed(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	st, err := resultstore.Open(resultstore.Config{Dir: t.TempDir(), Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	m := NewManager(Config{Workers: 1, Eval: awkwardEval, Store: st, Telemetry: reg})
+	defer m.Shutdown(context.Background())
+
+	v, err := m.Submit(testScenario(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(waitCtx(t), v.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	if err := m.Registry().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"ahs_service_store_hits_total 0",
+		"ahs_service_store_misses_total 1",
+		"ahs_service_store_hit_ratio 0",
+		"ahs_store_puts_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+}

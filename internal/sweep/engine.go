@@ -183,6 +183,10 @@ type sweepRec struct {
 	// the sweep outlives the submitting request, so run re-attaches to it
 	// explicitly rather than holding the request context.
 	trace obs.SpanContext
+	// tenant is the submitter's tenant, captured like trace and re-applied
+	// to every point submission, so a sweep's fan-out is scheduled and
+	// accounted under the tenant that asked for it.
+	tenant string
 
 	mu        sync.Mutex
 	status    Status
@@ -277,6 +281,7 @@ func (e *Engine) SubmitCtx(sctx context.Context, sp *Spec) (View, error) {
 		cancel:    cancel,
 		done:      make(chan struct{}),
 		trace:     trace,
+		tenant:    service.TenantFrom(sctx, ""),
 		status:    StatusRunning,
 		submitted: time.Now(),
 	}
@@ -302,6 +307,7 @@ func (e *Engine) SubmitCtx(sctx context.Context, sp *Spec) (View, error) {
 func (e *Engine) run(rec *sweepRec) {
 	defer e.wg.Done()
 	tctx := obs.ContextWithRemote(rec.ctx, e.cfg.Tracer, rec.trace)
+	tctx = service.WithTenant(tctx, rec.tenant)
 	tctx, span := obs.Start(tctx, "sweep.run",
 		obs.String("sweep", rec.id),
 		obs.String("points", strconv.Itoa(len(rec.design.Points))),
@@ -412,12 +418,14 @@ func (e *Engine) run(rec *sweepRec) {
 }
 
 // submitPoint hands one scenario to the job manager, retrying while the
-// queue is full so a big design never dies to transient backpressure.
-// ctx carries the sweep's span so each point's job links to the trace.
+// queue is full — or the sweep's tenant at its quota — so a big design
+// never dies to transient backpressure. ctx carries the sweep's span and
+// tenant so each point's job links to the trace and schedules in the
+// submitting tenant's lane.
 func (e *Engine) submitPoint(ctx context.Context, rec *sweepRec, p *pointRec) (service.JobView, error) {
 	for {
 		view, err := e.cfg.Manager.SubmitCtx(ctx, p.Scenario)
-		if !errors.Is(err, service.ErrQueueFull) {
+		if !errors.Is(err, service.ErrQueueFull) && !errors.Is(err, service.ErrTenantQuota) {
 			return view, err
 		}
 		select {

@@ -55,6 +55,7 @@ func NewHandler(e *Engine) http.Handler {
 	handle("POST /v1/sweeps", s.handleSubmit)
 	handle("GET /v1/sweeps", s.handleList)
 	handle("GET /v1/sweeps/{id}", s.handleSweep)
+	handle("GET /v1/sweeps/{id}/stream", s.handleStream)
 	handle("DELETE /v1/sweeps/{id}", s.handleCancel)
 	handle("GET /v1/sweeps/{id}/results", s.handleResults)
 	handle("GET /v1/sweeps/{id}/report", s.handleReport)
@@ -86,7 +87,10 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	view, err := s.e.SubmitCtx(r.Context(), sp)
+	// The tenant rides the submit context, exactly as for single
+	// evaluations: every point of the sweep schedules in this lane.
+	ctx := service.WithTenant(r.Context(), r.Header.Get(service.TenantHeader))
+	view, err := s.e.SubmitCtx(ctx, sp)
 	switch {
 	case errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -118,6 +122,69 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
+}
+
+// handleStream serves GET /v1/sweeps/{id}/stream: an SSE stream of the
+// sweep's aggregate life, mirroring the per-job stream. Events:
+//
+//	progress  sweep View (point counts + aggregate batch progress), on change
+//	sweep     terminal View — identical to GET /v1/sweeps/{id} afterwards
+//
+// The stream ends with exactly one terminal "sweep" event and closes.
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.e.Sweep(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	sse, err := service.NewSSEWriter(w)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	var last View
+	sent := false
+	heartbeat := time.Now()
+	ticker := time.NewTicker(service.SSEPollInterval)
+	defer ticker.Stop()
+	for {
+		view, err := s.e.Sweep(id)
+		if err != nil {
+			// Pruned from history mid-stream; close and let the client re-poll.
+			return
+		}
+		if view.Status.Terminal() {
+			_ = sse.Send("sweep", view)
+			return
+		}
+		if !sent || changed(last, view) {
+			if err := sse.Send("progress", view); err != nil {
+				return
+			}
+			last, sent = view, true
+			heartbeat = time.Now()
+		}
+		if time.Since(heartbeat) >= service.SSEHeartbeat {
+			if err := sse.Heartbeat(); err != nil {
+				return
+			}
+			heartbeat = time.Now()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// changed reports whether the stream-relevant part of a sweep view moved.
+func changed(a, b View) bool {
+	return a.Status != b.Status ||
+		a.Completed != b.Completed ||
+		a.Failed != b.Failed ||
+		a.Cancelled != b.Cancelled ||
+		a.Progress != b.Progress
 }
 
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {

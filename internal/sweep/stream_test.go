@@ -1,0 +1,105 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestHTTPSweepStream: GET /v1/sweeps/{id}/stream delivers sweep progress
+// as SSE and ends with exactly one terminal "sweep" event matching the
+// polled view.
+func TestHTTPSweepStream(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	resp, err := http.Post(srv.URL+"/v1/sweeps", "application/json", strings.NewReader(testSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	stream, err := http.Get(srv.URL + "/v1/sweeps/" + ack.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK || stream.Header.Get("Content-Type") != "text/event-stream" {
+		t.Fatalf("stream status %d content-type %q", stream.StatusCode, stream.Header.Get("Content-Type"))
+	}
+
+	// Parse events until the server closes the stream.
+	type event struct {
+		name string
+		data []byte
+	}
+	var events []event
+	r := bufio.NewReader(stream.Body)
+	var cur event
+	for {
+		line, err := r.ReadString('\n')
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "" && cur.name != "":
+			events = append(events, cur)
+			cur = event{}
+		}
+	}
+	if len(events) == 0 {
+		t.Fatal("empty stream")
+	}
+	terminal := 0
+	for _, ev := range events {
+		if ev.name == "sweep" {
+			terminal++
+		} else if ev.name != "progress" {
+			t.Fatalf("unexpected event %q", ev.name)
+		}
+	}
+	if terminal != 1 || events[len(events)-1].name != "sweep" {
+		t.Fatalf("%d terminal events in %d, want the stream to end with exactly one", terminal, len(events))
+	}
+
+	var streamed View
+	if err := json.Unmarshal(events[len(events)-1].data, &streamed); err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Status != StatusDone || streamed.Completed != 4 {
+		t.Fatalf("terminal streamed view %+v", streamed)
+	}
+	var polled View
+	if code := getJSON(t, srv.URL+ack.StatusURL, &polled); code != http.StatusOK {
+		t.Fatalf("GET %s: %d", ack.StatusURL, code)
+	}
+	if polled.Status != streamed.Status || polled.Completed != streamed.Completed {
+		t.Fatalf("streamed %+v vs polled %+v", streamed, polled)
+	}
+}
+
+func TestHTTPSweepStreamUnknown404s(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/v1/sweeps/sweep-404/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
