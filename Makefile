@@ -3,7 +3,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build vet test race lint tools sanlint facts-golden serve worker cluster-smoke sweep-smoke store-smoke chaos fuzz bench bench-json profile figures figures-full docs clean
+.PHONY: all build vet test race lint tools sanlint facts-golden serve worker cluster-smoke sweep-smoke store-smoke fleet-smoke chaos fuzz bench bench-json profile figures figures-full docs clean
 
 all: build lint test
 
@@ -136,6 +136,20 @@ store-smoke:
 	rm -rf $$dir; \
 	echo "store-smoke: restart served from the persistent store with zero re-evaluation"
 
+# End-to-end check of the coordinator fleet (docs/store.md "Coordinator
+# fleets"): the claims-region suite (claim lifecycle, steal after TTL,
+# torn-tail recovery, epoch monotonicity, lock contention, follower
+# staleness bound), the fleet-node suite under race (promotion, fencing,
+# forwarding, seeded chaos schedules), the service-layer exactly-once and
+# redirect tests, and the two-process kill -9 writer-failover e2e, which
+# asserts promotion under a new epoch, zero double evaluation across the
+# fleet (metrics), and bit-identical read-back of the dead writer's work.
+fleet-smoke:
+	$(GO) test -count=1 ./internal/resultstore/
+	$(GO) test -race -count=1 ./internal/fleet/
+	$(GO) test -race -count=1 -run 'Fleet|PeerClaim|RetryAfter|ScenarioByHash|StreamResume|SharedDir' ./internal/service/
+	$(GO) test -count=1 -run 'ServeFleet' ./cmd/ahs-serve/
+
 # Crash-safety suite under the race detector: deterministic fault
 # injection, seeded chaos schedules (worker kills/pauses + network
 # faults), journal recovery including the truncation table, graceful
@@ -156,6 +170,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 20s ./internal/cluster/
 	$(GO) test -run '^$$' -fuzz FuzzClusterHandlers -fuzztime 20s ./internal/cluster/
 	$(GO) test -run '^$$' -fuzz FuzzStoreScan -fuzztime 20s ./internal/resultstore/
+	$(GO) test -run '^$$' -fuzz FuzzClaimsScan -fuzztime 20s ./internal/resultstore/
 
 # Quick-look benchmark pass: regenerates every paper figure at a reduced
 # batch budget and runs the micro/ablation benchmarks.

@@ -1,0 +1,311 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The fleet failover e2e: two real ahs-serve processes (re-exec'd test
+// binary) share one -store-dir under -fleet. The writer is SIGKILLed —
+// no cleanup, no flush, the kernel drops the flock — and the follower
+// must promote under a new fencing epoch, keep serving everything the
+// dead writer evaluated bit-identically, and reject stale-epoch result
+// puts. Exactly-once is asserted through metrics: the two instances'
+// completed counters sum to the scenario count, never more.
+
+// Child-process environment keys (see TestMain in store_test.go).
+const (
+	fleetEnvAddr = "AHS_FLEET_E2E_ADDR"
+	fleetEnvDir  = "AHS_FLEET_E2E_DIR"
+)
+
+// runFleetChild is one fleet member: the real run() with -fleet on the
+// inherited address and shared store directory. Writer-vs-follower is
+// not scripted — whoever wins the store flock is the writer, the loser
+// falls back to follower, exactly as in production.
+func runFleetChild() int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	addr := os.Getenv(fleetEnvAddr)
+	err := run(ctx, []string{
+		"-addr", addr,
+		"-workers", "2",
+		"-store-dir", os.Getenv(fleetEnvDir),
+		"-fleet",
+		"-advertise-url", "http://" + addr,
+		"-fleet-heartbeat", "50ms",
+	}, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "[fleet child %d] run: %v\n", os.Getpid(), err)
+		return 1
+	}
+	return 0
+}
+
+// childProc wraps one re-exec'd server process with the signal plumbing
+// the failover choreography needs.
+type childProc struct {
+	t    *testing.T
+	cmd  *exec.Cmd
+	base string
+	done bool
+}
+
+func spawnFleetChild(t *testing.T, addr, dir string) *childProc {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), fleetEnvAddr+"="+addr, fleetEnvDir+"="+dir)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start fleet child: %v", err)
+	}
+	return &childProc{t: t, cmd: cmd, base: "http://" + addr}
+}
+
+// stop is the deferred safety net; no-op once the child was reaped.
+func (c *childProc) stop() {
+	if c.done {
+		return
+	}
+	c.cmd.Process.Kill()
+	c.cmd.Wait()
+	c.done = true
+}
+
+// kill9 delivers SIGKILL — the crash under test.
+func (c *childProc) kill9() {
+	if err := c.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		c.t.Fatalf("SIGKILL child: %v", err)
+	}
+	c.cmd.Wait()
+	c.done = true
+}
+
+// term asks for a graceful shutdown and requires a clean exit.
+func (c *childProc) term() {
+	if err := c.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		c.t.Fatal(err)
+	}
+	if err := c.cmd.Wait(); err != nil {
+		c.t.Errorf("child exited uncleanly: %v", err)
+	}
+	c.done = true
+}
+
+// reserveAddr picks a free loopback address; the tiny reuse window
+// before the child binds it is harmless in a test namespace.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// fleetHealth reads the "fleet" section of GET /healthz.
+func fleetHealth(t *testing.T, base string) map[string]any {
+	t.Helper()
+	code, data := getBody(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", code)
+	}
+	var body struct {
+		Fleet map[string]any `json:"fleet"`
+	}
+	if err := json.Unmarshal(data, &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Fleet == nil {
+		t.Fatalf("healthz carries no fleet section: %s", data)
+	}
+	return body.Fleet
+}
+
+// waitFleetRole polls until the instance reports the role.
+func waitFleetRole(t *testing.T, base, role string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		h := fleetHealth(t, base)
+		if h["role"] == role {
+			return h
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("instance at %s never reached role %q (last: %v)", base, role, h)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// metricValue scrapes one un-labeled series from GET /metrics; absent
+// series read as 0.
+func metricValue(t *testing.T, base, name string) float64 {
+	t.Helper()
+	code, data := getBody(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", code)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err != nil {
+				t.Fatalf("parsing %s value %q: %v", name, rest, err)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+var fleetScenarios = []string{
+	`{"name":"fleet-e2e-a","n":2,"lambdaPerHour":0.0123456789,"tripHours":[0.37,1.41],"batches":300,"seed":21}`,
+	`{"name":"fleet-e2e-b","n":3,"lambdaPerHour":0.031415926,"tripHours":[0.5,0.75,2.25],"batches":300,"seed":22}`,
+	`{"name":"fleet-e2e-c","n":2,"lambdaPerHour":0.0072973525,"tripHours":[1.0,3.0],"batches":300,"seed":23}`,
+	`{"name":"fleet-e2e-d","n":2,"lambdaPerHour":0.0166,"tripHours":[0.25,1.75],"batches":300,"seed":24}`,
+	`{"name":"fleet-e2e-e","n":3,"lambdaPerHour":0.0052,"tripHours":[0.6,1.2,2.4],"batches":300,"seed":25}`,
+}
+
+// TestServeFleetWriterFailover is the acceptance e2e for the fleet:
+//
+//  1. two instances come up on one directory; exactly one is the
+//     writer, the other a follower (the lock-contention fallback).
+//  2. work lands on both: the writer evaluates directly, the follower
+//     evaluates its own submissions and forwards results to the writer.
+//  3. the writer is SIGKILLed mid-fleet; the follower promotes under a
+//     higher epoch (ahs_fleet_promotions_total 0→1).
+//  4. everything the dead writer evaluated is served by the survivor
+//     from the shared store, byte-identical, with zero re-evaluations
+//     (completed counters across both generations sum to the scenario
+//     count).
+//  5. a result put stamped with the dead writer's epoch is fenced with
+//     409 and counted in ahs_fleet_fenced_writes_total.
+func TestServeFleetWriterFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns server subprocesses")
+	}
+	dir := t.TempDir()
+	addrA, addrB := reserveAddr(t), reserveAddr(t)
+
+	childA := spawnFleetChild(t, addrA, dir)
+	defer childA.stop()
+	waitHealthy(t, childA.base)
+	waitFleetRole(t, childA.base, "writer")
+
+	childB := spawnFleetChild(t, addrB, dir)
+	defer childB.stop()
+	waitHealthy(t, childB.base)
+	followerView := waitFleetRole(t, childB.base, "follower")
+	if w, ok := followerView["writer"].(map[string]any); !ok || w["url"] != childA.base {
+		t.Fatalf("follower's writer view %v, want url %s", followerView["writer"], childA.base)
+	}
+
+	// Spread the work: three scenarios on the writer, two on the
+	// follower. The follower's results travel the forward path (claim →
+	// evaluate → POST /fleet/v1/results on the writer).
+	want := make(map[string][]byte, len(fleetScenarios))
+	for i, sc := range fleetScenarios {
+		base := childA.base
+		if i >= 3 {
+			base = childB.base
+		}
+		want[sc] = evaluateToDone(t, base, sc)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for metricValue(t, childA.base, "ahs_fleet_ingested_results_total") < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("writer never ingested the follower's %d forwarded results", 2)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	completedA := metricValue(t, childA.base, "ahs_service_completed_total")
+	epochBefore := metricValue(t, childB.base, "ahs_fleet_epoch")
+
+	// kill -9 the writer: no flush, no release; the kernel drops the
+	// flock and the heartbeat goes stale.
+	childA.kill9()
+	t.Logf("killed writer pid %d; follower must promote", childA.cmd.Process.Pid)
+
+	promoted := waitFleetRole(t, childB.base, "writer")
+	epochAfter := metricValue(t, childB.base, "ahs_fleet_epoch")
+	if epochAfter < 2 || epochAfter <= epochBefore {
+		t.Fatalf("post-failover epoch %v (was %v), want a strictly higher epoch ≥ 2", epochAfter, epochBefore)
+	}
+	if got := metricValue(t, childB.base, "ahs_fleet_promotions_total"); got != 1 {
+		t.Fatalf("ahs_fleet_promotions_total = %v, want 1", got)
+	}
+	if promoted["epoch"] == nil {
+		t.Fatalf("promoted healthz carries no epoch: %v", promoted)
+	}
+
+	// Everything the dead writer computed is served from the shared
+	// store by the survivor — bit-identical, no re-evaluation.
+	for _, sc := range fleetScenarios {
+		code, ack := postEvaluate(t, childB.base, sc)
+		if code != http.StatusOK || ack["cached"] != true {
+			t.Fatalf("survivor did not serve %s from a cache tier: HTTP %d %v", sc, code, ack)
+		}
+		id := ack["id"].(string)
+		codeR, body := getBody(t, childB.base+"/v1/results/"+id)
+		if codeR != http.StatusOK {
+			t.Fatalf("survivor result: HTTP %d", codeR)
+		}
+		if string(body) != string(want[sc]) {
+			t.Errorf("survivor's result for %s diverged from the original:\ngot:\n%s\nwant:\n%s", sc, body, want[sc])
+		}
+	}
+
+	// Exactly-once fleet-wide: the writer's completions plus the
+	// survivor's account for every scenario; the re-submissions above
+	// were store hits, not evaluations.
+	completedB := metricValue(t, childB.base, "ahs_service_completed_total")
+	if total := completedA + completedB; total != float64(len(fleetScenarios)) {
+		t.Errorf("completed jobs across the fleet = %v + %v = %v, want exactly %d",
+			completedA, completedB, total, len(fleetScenarios))
+	}
+
+	// The promoted writer still evaluates fresh work.
+	fresh := evaluateToDone(t, childB.base,
+		`{"name":"fleet-e2e-fresh","n":2,"lambdaPerHour":0.02,"tripHours":[0.5,1.5],"batches":300,"seed":26}`)
+	if len(fresh) == 0 {
+		t.Fatal("promoted writer returned an empty result")
+	}
+
+	// Fencing: a put stamped with the dead writer's epoch must bounce
+	// with 409 and be counted.
+	fencedBefore := metricValue(t, childB.base, "ahs_fleet_fenced_writes_total")
+	req, err := http.NewRequest("POST", childB.base+"/fleet/v1/results?hash=stale-e2e-hash",
+		strings.NewReader(`{"stale":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-AHS-Fleet-Epoch", "1") // the first writer's epoch
+	req.Header.Set("X-AHS-Fleet-Owner", "ghost-of-writer-a")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale-epoch put: HTTP %d, want 409", resp.StatusCode)
+	}
+	if got := metricValue(t, childB.base, "ahs_fleet_fenced_writes_total"); got != fencedBefore+1 {
+		t.Fatalf("ahs_fleet_fenced_writes_total = %v, want %v", got, fencedBefore+1)
+	}
+
+	// The survivor still shuts down gracefully after living through a
+	// failover.
+	childB.term()
+}

@@ -25,6 +25,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,6 +39,8 @@ import (
 	"time"
 
 	"ahs/internal/cluster"
+	"ahs/internal/config"
+	"ahs/internal/fleet"
 	"ahs/internal/obs"
 	"ahs/internal/resultstore"
 	"ahs/internal/service"
@@ -75,6 +78,10 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		journalDir    = fs.String("journal-dir", "", "cluster job-journal directory for crash-safe evaluation (requires -cluster; empty = no journal, jobs are lost on crash)")
 		storeDir      = fs.String("store-dir", "", "persistent result-store directory; results survive restarts and are shared by every instance on the same directory (empty = memory-only cache)")
 		storeFollower = fs.Bool("store-follower", false, "open -store-dir read-only: serve its results but leave writing to another instance (requires -store-dir)")
+		fleetMode     = fs.Bool("fleet", false, "coordinate with peers sharing -store-dir: store-mediated work claims, writer failover and fleet-wide exactly-once evaluation (requires -store-dir and -advertise-url)")
+		advertiseURL  = fs.String("advertise-url", "", "this instance's base URL (scheme://host:port) as reachable by fleet peers; work claims and the writer heartbeat carry it (requires -fleet)")
+		fleetHB       = fs.Duration("fleet-heartbeat", 500*time.Millisecond, "fleet writer-heartbeat and claim-renewal interval; a writer quiet for four intervals is presumed dead and followers promote")
+		fleetClaimTTL = fs.Duration("fleet-claim-ttl", 0, "fleet work-claim expiry before survivors may adopt a dead node's unfinished scenarios (0 = 8x -fleet-heartbeat)")
 		defaultTenant = fs.String("default-tenant", "", "tenant attributed to requests without an X-AHS-Tenant header (empty = \"default\")")
 		tenantQuota   = fs.Int("tenant-quota", 0, "per-tenant queued-job cap; a tenant at its quota gets 429 while others keep submitting (0 = no per-tenant cap)")
 		sweepInFlight = fs.Int("sweep-inflight", 4, "default per-sweep bound on concurrently submitted design points")
@@ -132,14 +139,40 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	if *storeFollower && *storeDir == "" {
 		return fmt.Errorf("-store-follower requires -store-dir")
 	}
+	if *fleetMode && *storeDir == "" {
+		return fmt.Errorf("-fleet requires -store-dir")
+	}
+	if *fleetMode && *advertiseURL == "" {
+		return fmt.Errorf("-fleet requires -advertise-url")
+	}
+	if !*fleetMode && *advertiseURL != "" {
+		return fmt.Errorf("-advertise-url requires -fleet")
+	}
+	fleetOwner := fmt.Sprintf("serve-%d", os.Getpid())
 	var store *resultstore.Store
 	if *storeDir != "" {
-		store, err = resultstore.Open(resultstore.Config{
+		storeCfg := resultstore.Config{
 			Dir:       *storeDir,
 			ReadOnly:  *storeFollower,
 			Telemetry: registry,
 			Logf:      logf,
-		})
+		}
+		if *fleetMode {
+			storeCfg.Owner = fleetOwner
+		}
+		store, err = resultstore.Open(storeCfg)
+		if *fleetMode && !*storeFollower && errors.Is(err, resultstore.ErrLocked) {
+			// A peer already holds the writer flock: join as a follower and
+			// let failover promote this instance if the writer dies.
+			var held *resultstore.LockHeldError
+			if errors.As(err, &held) {
+				logger.Info("ahs-serve: store writer lock held, joining fleet as follower",
+					slog.String("holder", held.HolderOwner),
+					slog.Int("holderPid", held.HolderPID))
+			}
+			storeCfg.ReadOnly = true
+			store, err = resultstore.Open(storeCfg)
+		}
 		if err != nil {
 			return err
 		}
@@ -185,23 +218,64 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		cfg.Eval = service.ClusterEval(coord)
 		cfg.Backend = service.ClusterBackend(coord)
 	}
+	// The fleet node is created before the manager (the manager's submit
+	// path consults it for claims) but its adoption path submits back into
+	// the manager; mgr is assigned before the node's Run loop starts, so
+	// the closure never observes it nil.
+	var mgr *service.Manager
+	var fleetNode *fleet.Node
+	if *fleetMode {
+		fleetNode, err = fleet.New(fleet.Config{
+			Dir:       *storeDir,
+			Owner:     fleetOwner,
+			URL:       *advertiseURL,
+			Store:     store,
+			Heartbeat: *fleetHB,
+			ClaimTTL:  *fleetClaimTTL,
+			Telemetry: registry,
+			Logf:      logf,
+			Submit: func(raw json.RawMessage) {
+				var sc config.Scenario
+				if err := json.Unmarshal(raw, &sc); err != nil {
+					logf("ahs-serve: adopted scenario undecodable: %v", err)
+					return
+				}
+				if _, err := mgr.Submit(&sc); err != nil {
+					logf("ahs-serve: adopted scenario submit failed: %v", err)
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer fleetNode.Close()
+		cfg.Fleet = fleetNode
+		logger.Info("ahs-serve: fleet member",
+			slog.String("owner", fleetOwner),
+			slog.String("role", fleetNode.Role()),
+			slog.Uint64("epoch", fleetNode.Epoch()),
+			slog.String("advertise", *advertiseURL))
+	}
 	if journal != nil || store != nil {
 		// Surface durability in GET /healthz: operators watching a
 		// crash-safe deployment can see the journal directory, live-job
-		// count, last compaction outcome and the result store's segment
-		// state without reading logs.
+		// count, last compaction outcome, the result store's segment
+		// state and this node's fleet role without reading logs.
 		cfg.ExtraHealth = func() map[string]any {
-			extra := make(map[string]any, 2)
+			extra := make(map[string]any, 3)
 			if journal != nil {
 				extra["journal"] = journal.Stats()
 			}
 			if store != nil {
 				extra["store"] = store.Stats()
 			}
+			if fleetNode != nil {
+				extra["fleet"] = fleetNode.Health()
+			}
 			return extra
 		}
 	}
-	mgr := service.NewManager(cfg)
+	mgr = service.NewManager(cfg)
 	// The sweep engine fans whole parameter designs out through the same
 	// manager, so sweep points share the dedup table, cache and backend
 	// (cluster included) with direct /v1/evaluate submissions.
@@ -220,6 +294,9 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	var handler http.Handler = mux
 	if coord != nil {
 		mux.Handle("/cluster/v1/", coord.Handler())
+	}
+	if fleetNode != nil {
+		mux.Handle("/fleet/v1/", fleetNode.Handler())
 	}
 	if *debug {
 		// Profiling endpoints are opt-in: they expose goroutine dumps and
@@ -257,6 +334,12 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
+	if fleetNode != nil {
+		// Heartbeats, claim renewal, failover detection and pending-put
+		// retries; ctx cancellation releases this node's claims on the way
+		// out so peers pick unfinished work up immediately.
+		go fleetNode.Run(ctx)
+	}
 
 	select {
 	case err := <-serveErr:

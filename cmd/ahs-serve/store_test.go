@@ -30,8 +30,12 @@ const (
 )
 
 // TestMain reroutes re-exec'd children into the server role; normal
-// invocations run the test suite.
+// invocations run the test suite. The fleet e2e (fleet_test.go) has its
+// own child flavor — one TestMain dispatches both.
 func TestMain(m *testing.M) {
+	if os.Getenv(fleetEnvDir) != "" {
+		os.Exit(runFleetChild())
+	}
 	if os.Getenv(storeEnvDir) != "" {
 		os.Exit(runStoreChild())
 	}

@@ -1,0 +1,95 @@
+package faultinject
+
+import (
+	"sync"
+)
+
+// Tripwire fires a registered action the Nth time a named site is hit.
+// It is the bridge between code-level fault sites (resultstore's
+// Config.Hook, the claims segment's ClaimsConfig.Hook) and a seeded
+// chaos schedule: the harness arms "kill the writer on its 3rd
+// put.pre-sync" with the hit count drawn from a replayable stream, wires
+// Hit as the hook, and the crash lands at a reproducible point in the
+// middle of a durability-critical operation.
+//
+// A tripwire fires at most once per Arm; hits keep counting afterwards
+// (Hits is useful for asserting a schedule actually exercised its site).
+// All methods are safe for concurrent use. The action runs synchronously
+// inside Hit — on the victim's own goroutine, at the exact instruction
+// the site marks — so actions must not call back into the tripwire's
+// owner in a way that deadlocks.
+type Tripwire struct {
+	mu    sync.Mutex
+	hits  map[string]uint64
+	armed map[string]*trip
+}
+
+type trip struct {
+	at     uint64 // fire on the at-th hit, 1-based
+	action func()
+	fired  bool
+}
+
+// NewTripwire returns an empty tripwire; nothing fires until Arm.
+func NewTripwire() *Tripwire {
+	return &Tripwire{hits: make(map[string]uint64), armed: make(map[string]*trip)}
+}
+
+// Arm schedules action to run on the at-th Hit of site (1-based; at==1
+// fires on the next hit). Re-arming a site replaces its previous
+// schedule and resets only the fired latch, not the hit count — the
+// at-th hit is counted from the site's first hit ever, so schedules
+// drawn up front stay valid however they are armed.
+func (t *Tripwire) Arm(site string, at uint64, action func()) {
+	if at == 0 {
+		at = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.armed[site] = &trip{at: at, action: action}
+}
+
+// Hit records one hit of site, firing its armed action when the count
+// reaches the armed threshold. Designed to be used directly as a
+// Config.Hook: hook = tripwire.Hit.
+func (t *Tripwire) Hit(site string) {
+	t.mu.Lock()
+	t.hits[site]++
+	n := t.hits[site]
+	tr := t.armed[site]
+	var action func()
+	if tr != nil && !tr.fired && n >= tr.at {
+		tr.fired = true
+		action = tr.action
+	}
+	t.mu.Unlock()
+	if action != nil {
+		action()
+	}
+}
+
+// Hits reports how many times site has been hit.
+func (t *Tripwire) Hits(site string) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hits[site]
+}
+
+// Fired reports whether site's armed action has run.
+func (t *Tripwire) Fired(site string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := t.armed[site]
+	return tr != nil && tr.fired
+}
+
+// PickHit draws a 1-based hit count in [1, max] from the seeded stream
+// for purpose — the replayable way to choose *when* a tripwire fires.
+// Logged together with the seed, the same (seed, purpose, max) reproduces
+// the same crash point.
+func PickHit(seed uint64, purpose string, max uint64) uint64 {
+	if max <= 1 {
+		return 1
+	}
+	return 1 + uint64(Rand(seed, purpose).Intn(int(max)))
+}

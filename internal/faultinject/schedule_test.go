@@ -1,0 +1,116 @@
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTripwireFiresAtArmedHit(t *testing.T) {
+	tw := NewTripwire()
+	var fired atomic.Uint64
+	tw.Arm("put.pre-sync", 3, func() { fired.Add(1) })
+
+	for i := 1; i <= 5; i++ {
+		tw.Hit("put.pre-sync")
+		want := uint64(0)
+		if i >= 3 {
+			want = 1
+		}
+		if got := fired.Load(); got != want {
+			t.Fatalf("after hit %d: fired %d times, want %d", i, got, want)
+		}
+	}
+	if !tw.Fired("put.pre-sync") {
+		t.Error("Fired reports false after firing")
+	}
+	if got := tw.Hits("put.pre-sync"); got != 5 {
+		t.Errorf("Hits = %d, want 5", got)
+	}
+}
+
+func TestTripwireUnarmedSitesJustCount(t *testing.T) {
+	tw := NewTripwire()
+	tw.Hit("compact.pre-rename")
+	tw.Hit("compact.pre-rename")
+	if got := tw.Hits("compact.pre-rename"); got != 2 {
+		t.Errorf("Hits = %d, want 2", got)
+	}
+	if tw.Fired("compact.pre-rename") {
+		t.Error("unarmed site reports fired")
+	}
+}
+
+func TestTripwireArmZeroMeansNextHit(t *testing.T) {
+	tw := NewTripwire()
+	var fired bool
+	tw.Arm("s", 0, func() { fired = true })
+	tw.Hit("s")
+	if !fired {
+		t.Error("at=0 did not fire on the first hit")
+	}
+}
+
+// TestTripwireRearmCountsFromFirstHit: hit counts are per-site lifetime
+// totals, so arming after some hits have already passed fires
+// immediately once the threshold is crossed.
+func TestTripwireRearmCountsFromFirstHit(t *testing.T) {
+	tw := NewTripwire()
+	tw.Hit("s")
+	tw.Hit("s")
+	var fired bool
+	tw.Arm("s", 2, func() { fired = true })
+	tw.Hit("s") // lifetime hit 3 ≥ threshold 2
+	if !fired {
+		t.Error("re-armed tripwire ignored pre-arm hits")
+	}
+}
+
+func TestTripwireFiresOnceUnderConcurrency(t *testing.T) {
+	tw := NewTripwire()
+	var fired atomic.Uint64
+	tw.Arm("s", 50, func() { fired.Add(1) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tw.Hit("s")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fired.Load(); got != 1 {
+		t.Errorf("fired %d times under concurrency, want exactly 1", got)
+	}
+	if got := tw.Hits("s"); got != 800 {
+		t.Errorf("Hits = %d, want 800", got)
+	}
+}
+
+// TestPickHitDeterministicAndBounded: same (seed, purpose, max) → same
+// draw; different purposes diverge; every draw is in [1, max].
+func TestPickHitDeterministicAndBounded(t *testing.T) {
+	a := PickHit(42, "kill-writer", 10)
+	b := PickHit(42, "kill-writer", 10)
+	if a != b {
+		t.Fatalf("PickHit not deterministic: %d vs %d", a, b)
+	}
+	if a < 1 || a > 10 {
+		t.Fatalf("PickHit out of [1,10]: %d", a)
+	}
+	if PickHit(42, "kill-writer", 1) != 1 {
+		t.Error("max=1 must pin the first hit")
+	}
+	if PickHit(42, "kill-writer", 0) != 1 {
+		t.Error("max=0 must degrade to 1")
+	}
+	seen := map[uint64]bool{}
+	for seed := uint64(0); seed < 32; seed++ {
+		seen[PickHit(seed, "kill-writer", 10)] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("32 seeds produced only %d distinct hit counts", len(seen))
+	}
+}

@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// maxResultBytes bounds one forwarded result document. Curves are
+// kilobytes; anything near this is a protocol error, not data.
+const maxResultBytes = 8 << 20
+
+// Handler returns the node's fleet API, mounted under /fleet/v1/ by
+// cmd/ahs-serve:
+//
+//	POST /fleet/v1/results?hash={hash}   writer-side result ingest
+//	GET  /fleet/v1/info                  role, epoch, identity
+//
+// The ingest endpoint is where fencing is enforced: a put stamped with a
+// stale epoch, or sent by a node that no longer owns the hash's claim,
+// is rejected with 409 and counted in ahs_fleet_fenced_writes_total. A
+// put reaching a non-writer gets 421 plus this node's view of the writer
+// so the sender can re-aim.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathResults, n.handleResultPut)
+	mux.HandleFunc("GET "+PathInfo, n.handleInfo)
+	return mux
+}
+
+func (n *Node) handleResultPut(w http.ResponseWriter, r *http.Request) {
+	hash := r.URL.Query().Get("hash")
+	if hash == "" {
+		http.Error(w, "fleet: missing hash parameter", http.StatusBadRequest)
+		return
+	}
+	n.mu.Lock()
+	role := n.role
+	current := n.epoch
+	n.mu.Unlock()
+	if role != RoleWriter {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusMisdirectedRequest)
+		json.NewEncoder(w).Encode(n.Health())
+		return
+	}
+	epoch, err := strconv.ParseUint(r.Header.Get(HeaderEpoch), 10, 64)
+	if err != nil {
+		http.Error(w, "fleet: missing or malformed "+HeaderEpoch, http.StatusBadRequest)
+		return
+	}
+	sender := r.Header.Get(HeaderOwner)
+	if sender == "" {
+		http.Error(w, "fleet: missing "+HeaderOwner, http.StatusBadRequest)
+		return
+	}
+	if epoch < current {
+		n.metrics.fencedIn.Inc()
+		n.cfg.Logf("fleet: fenced stale put for %s from %s (epoch %d < %d)", hash, sender, epoch, current)
+		http.Error(w, "fleet: stale epoch, put fenced", http.StatusConflict)
+		return
+	}
+	// The sender must still own the claim it is completing: a claim
+	// stolen after a missed TTL means a peer (or this writer, via
+	// adoption) owns the scenario now, and the loser's result is
+	// superseded.
+	if st, ok, err := n.claims.Get(hash); err == nil && ok && st.Owner != sender {
+		n.metrics.fencedIn.Inc()
+		n.cfg.Logf("fleet: fenced put for %s from %s (claim now owned by %s)", hash, sender, st.Owner)
+		http.Error(w, "fleet: claim no longer held by sender, put fenced", http.StatusConflict)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxResultBytes+1))
+	if err != nil {
+		http.Error(w, "fleet: reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxResultBytes {
+		http.Error(w, "fleet: result document too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	if !json.Valid(body) {
+		http.Error(w, "fleet: body is not valid JSON", http.StatusBadRequest)
+		return
+	}
+	if err := n.cfg.Store.Put(hash, json.RawMessage(body)); err != nil {
+		http.Error(w, "fleet: store put: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	n.metrics.ingested.Inc()
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (n *Node) handleInfo(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(n.Health())
+}

@@ -77,3 +77,63 @@ func FuzzStoreScan(f *testing.F) {
 		}
 	})
 }
+
+// FuzzClaimsScan attacks the claims-segment decoder the same way: every
+// fleet member appends here under a short flock, and any of them can die
+// mid-write, so ScanClaims must treat arbitrary trailing bytes as a cut
+// or a skip, never a panic — and the valid prefix it reports is what the
+// next appender truncates to, so rescanning that prefix must reproduce
+// the identical outcome.
+func FuzzClaimsScan(f *testing.F) {
+	frame := func(payload []byte) []byte {
+		b := make([]byte, 8+len(payload))
+		binary.LittleEndian.PutUint32(b[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(payload, crcTable))
+		copy(b[8:], payload)
+		return b
+	}
+	claim := frame([]byte(`{"key":"hash-1","owner":"node-a","url":"http://a","epoch":1,"op":"claim","expires":1754600000000000000,"scenario":{"name":"s"}}`))
+	renew := frame([]byte(`{"key":"hash-1","owner":"node-a","epoch":1,"op":"renew","expires":1754600001000000000}`))
+	release := frame([]byte(`{"key":"hash-1","owner":"node-a","op":"release","expires":1754600002000000000}`))
+	undecodable := frame([]byte(`[1,2,3]`))
+	missingOwner := frame([]byte(`{"key":"hash-1","op":"claim"}`))
+
+	f.Add([]byte{})
+	f.Add(claim)
+	f.Add(append(append(append([]byte{}, claim...), renew...), release...))
+	f.Add(append(append([]byte{}, claim...), 0x01, 0x02)) // torn tail
+	f.Add(append(append([]byte{}, undecodable...), claim...))
+	f.Add(missingOwner)
+	corrupt := append([]byte{}, claim...)
+	corrupt[12] ^= 0x80
+	f.Add(corrupt)
+	huge := make([]byte, 12)
+	huge[3] = 0xFF
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		valid, records, skipped := ScanClaims(data)
+		if valid < 0 || valid > int64(len(data)) {
+			t.Fatalf("valid prefix %d outside [0, %d]", valid, len(data))
+		}
+		if skipped < 0 {
+			t.Fatalf("negative skip count %d", skipped)
+		}
+		v2, r2, s2 := ScanClaims(data[:valid])
+		if v2 != valid || len(r2) != len(records) || s2 != skipped {
+			t.Fatalf("rescan of valid prefix diverged: (%d,%d,%d) vs (%d,%d,%d)",
+				v2, len(r2), s2, valid, len(records), skipped)
+		}
+		for i, rec := range records {
+			if rec.Record.Key == "" || rec.Record.Owner == "" || rec.Record.Op == "" {
+				t.Fatalf("record %d missing required fields: %+v", i, rec.Record)
+			}
+			if rec.Off < 0 || rec.Off+rec.Size > valid {
+				t.Fatalf("record %d frame [%d,%d) outside valid prefix %d", i, rec.Off, rec.Off+rec.Size, valid)
+			}
+			if len(rec.Record.Scenario) > 0 && !json.Valid(rec.Record.Scenario) {
+				t.Fatalf("record %d carries invalid scenario JSON", i)
+			}
+		}
+	})
+}

@@ -3,16 +3,59 @@
 package resultstore
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"syscall"
+	"time"
 )
 
+// lockInfo is the JSON document the lock holder writes into the lock file
+// after winning the flock, so a losing Open can name who beat it. The
+// flock itself — not this document — is the authority: a stale document
+// left by a kill -9'd holder is harmless because the kernel has already
+// released its lock.
+type lockInfo struct {
+	PID   int    `json:"pid"`
+	Owner string `json:"owner,omitempty"`
+}
+
+// LockHeldError reports a directory whose writer lock is held by another
+// live process. It unwraps to ErrLocked, so existing
+// errors.Is(err, ErrLocked) checks keep working, and additionally names
+// the holder (PID, and owner when the holder declared one).
+type LockHeldError struct {
+	// Path is the lock file that was contended.
+	Path string
+	// HolderPID is the lock holder's process ID, 0 when the holder won
+	// the flock but had not yet written its identity.
+	HolderPID int
+	// HolderOwner is the holder's declared owner name (Config.Owner),
+	// empty when unknown.
+	HolderOwner string
+}
+
+func (e *LockHeldError) Error() string {
+	switch {
+	case e.HolderPID == 0:
+		return fmt.Sprintf("resultstore: %s is locked by another writer", e.Path)
+	case e.HolderOwner == "":
+		return fmt.Sprintf("resultstore: %s is locked by another writer (pid %d)", e.Path, e.HolderPID)
+	default:
+		return fmt.Sprintf("resultstore: %s is locked by another writer (pid %d, owner %s)", e.Path, e.HolderPID, e.HolderOwner)
+	}
+}
+
+// Is makes errors.Is(err, ErrLocked) match the typed error.
+func (e *LockHeldError) Is(target error) bool { return target == ErrLocked }
+
 // acquireLock takes an exclusive, non-blocking flock on path, creating the
-// file if needed. flock ownership dies with the process — including
-// kill -9 — so a crashed writer never wedges the directory, unlike an
-// O_EXCL-style lockfile. The restart e2e depends on this.
-func acquireLock(path string) (*os.File, error) {
+// file if needed, and records the winner's PID and owner in the file so a
+// contending Open can name the holder. flock ownership dies with the
+// process — including kill -9 — so a crashed writer never wedges the
+// directory, unlike an O_EXCL-style lockfile. The restart e2e depends on
+// this.
+func acquireLock(path, owner string) (*os.File, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("resultstore: lock file: %w", err)
@@ -20,8 +63,48 @@ func acquireLock(path string) (*os.File, error) {
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
 		f.Close()
 		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
-			return nil, ErrLocked
+			held := readLockInfo(path)
+			return nil, &LockHeldError{Path: path, HolderPID: held.PID, HolderOwner: held.Owner}
 		}
+		return nil, fmt.Errorf("resultstore: flock: %w", err)
+	}
+	// Holding the lock, stamp our identity. Best-effort: losing the race
+	// to write it only degrades the loser's error message.
+	if data, err := json.Marshal(lockInfo{PID: os.Getpid(), Owner: owner}); err == nil {
+		f.Truncate(0)
+		f.WriteAt(data, 0)
+	}
+	return f, nil
+}
+
+// readLockInfo reads the holder identity from a contended lock file,
+// retrying briefly: a winner that just took the flock may not have written
+// its PID yet.
+func readLockInfo(path string) lockInfo {
+	deadline := time.Now().Add(250 * time.Millisecond)
+	for {
+		var info lockInfo
+		data, err := os.ReadFile(path)
+		if err == nil && len(data) > 0 && json.Unmarshal(data, &info) == nil && info.PID != 0 {
+			return info
+		}
+		if time.Now().After(deadline) {
+			return lockInfo{}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// acquireLockBlocking takes an exclusive flock on path, waiting for the
+// current holder to release it. Claims-segment operations use it: they
+// hold the lock for microseconds, so waiting beats failing.
+func acquireLockBlocking(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
 		return nil, fmt.Errorf("resultstore: flock: %w", err)
 	}
 	return f, nil

@@ -90,6 +90,16 @@ type Config struct {
 	// ReadOnly opens the store as a follower: no writer lock, no tail
 	// truncation, Put rejected. Refresh picks up the writer's appends.
 	ReadOnly bool
+	// Owner is a human-readable identity stamped into the writer lock
+	// file, so a contending Open can name who holds the directory
+	// (default: "pid-<PID>").
+	Owner string
+	// MaxStale bounds how long a follower serves its last-scanned view:
+	// any Get or Has older than this refreshes first, so a long-idle
+	// follower cannot serve a pre-compaction (superseded) record
+	// indefinitely. 0 means the 2s default; negative disables the bound
+	// (misses still refresh, as before).
+	MaxStale time.Duration
 	// CompactMinDead is the dead-byte threshold below which automatic
 	// compaction never triggers (default 1 MiB). Compaction also requires
 	// dead bytes to exceed live bytes, so the segment is rewritten at most
@@ -102,7 +112,17 @@ type Config struct {
 	Telemetry *telemetry.Registry
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// Hook, when non-nil, is called at named internal sites
+	// ("put.pre-sync", "put.post-sync", "compact.pre-rename",
+	// "compact.post-rename") while the store mutex is held. The chaos
+	// harness arms faultinject tripwires on it to crash a writer at
+	// precisely scheduled points; production leaves it nil.
+	Hook func(site string)
 }
+
+// defaultMaxStale is the follower staleness bound applied when
+// Config.MaxStale is zero.
+const defaultMaxStale = 2 * time.Second
 
 // recordLoc locates one live record inside the segment.
 type recordLoc struct {
@@ -126,14 +146,19 @@ type Store struct {
 	cfg     Config
 	metrics *storeMetrics
 
-	mu      sync.Mutex
-	seg     *os.File // writer: O_APPEND handle; follower: read handle
-	lock    *os.File // held flock'd for the store's lifetime (writer only)
-	index   map[string]recordLoc
-	scanned int64 // byte length of the scanned valid prefix
-	dead    int64 // bytes owned by superseded records
-	nextOrd int
-	closed  bool
+	mu       sync.Mutex
+	readOnly bool     // current role; flips on Promote
+	seg      *os.File // writer: O_APPEND handle; follower: read handle
+	lock     *os.File // held flock'd for the store's lifetime (writer only)
+	index    map[string]recordLoc
+	scanned  int64 // byte length of the scanned valid prefix
+	dead     int64 // bytes owned by superseded records
+	nextOrd  int
+	closed   bool
+
+	// lastRefresh is when a follower last reconciled with the segment on
+	// disk; reads past MaxStale refresh first.
+	lastRefresh time.Time
 
 	compactions int
 	lastCompact time.Time
@@ -173,6 +198,12 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.CompactMinDead <= 0 {
 		cfg.CompactMinDead = 1 << 20
 	}
+	if cfg.MaxStale == 0 {
+		cfg.MaxStale = defaultMaxStale
+	}
+	if cfg.Owner == "" {
+		cfg.Owner = fmt.Sprintf("pid-%d", os.Getpid())
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -180,11 +211,13 @@ func Open(cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("resultstore: store dir: %w", err)
 	}
 	s := &Store{
-		cfg:   cfg,
-		index: make(map[string]recordLoc),
+		cfg:         cfg,
+		readOnly:    cfg.ReadOnly,
+		index:       make(map[string]recordLoc),
+		lastRefresh: time.Now(),
 	}
 	if !cfg.ReadOnly {
-		lock, err := acquireLock(filepath.Join(cfg.Dir, lockName))
+		lock, err := acquireLock(filepath.Join(cfg.Dir, lockName), cfg.Owner)
 		if err != nil {
 			return nil, err
 		}
@@ -379,18 +412,20 @@ func (s *Store) Put(key string, value any) error {
 	switch {
 	case s.closed:
 		return ErrClosed
-	case s.cfg.ReadOnly:
+	case s.readOnly:
 		return ErrReadOnly
 	}
 	off := s.scanned
 	if _, err := s.seg.WriteAt(frame, off); err != nil {
 		return fmt.Errorf("resultstore: segment write: %w", err)
 	}
+	s.hook("put.pre-sync")
 	if !s.cfg.NoSync {
 		if err := s.seg.Sync(); err != nil {
 			return fmt.Errorf("resultstore: segment fsync: %w", err)
 		}
 	}
+	s.hook("put.post-sync")
 	// Locate the raw value inside the payload just written, mirroring the
 	// scan, so Get and compaction see identical record geometry either way.
 	var rec segRecord
@@ -435,8 +470,9 @@ func (s *Store) Get(key string, value any) (bool, error) {
 	if s.closed {
 		return false, ErrClosed
 	}
+	s.maybeRefreshStaleLocked()
 	loc, ok := s.index[key]
-	if !ok && s.cfg.ReadOnly {
+	if !ok && s.readOnly {
 		if err := s.refreshLocked(); err != nil {
 			return false, err
 		}
@@ -472,10 +508,11 @@ func (s *Store) Has(key string) bool {
 	if s.closed {
 		return false
 	}
+	s.maybeRefreshStaleLocked()
 	if _, ok := s.index[key]; ok {
 		return true
 	}
-	if s.cfg.ReadOnly {
+	if s.readOnly {
 		if err := s.refreshLocked(); err != nil {
 			return false
 		}
@@ -483,6 +520,25 @@ func (s *Store) Has(key string) bool {
 		return ok
 	}
 	return false
+}
+
+// maybeRefreshStaleLocked bounds a follower's staleness: when the last
+// reconciliation with the on-disk segment is older than MaxStale, refresh
+// before serving. Without it a long-idle follower would keep serving the
+// pre-compaction view — including superseded records — indefinitely,
+// because hits never consulted the disk. Writers are authoritative and
+// never refresh. Best-effort: a failed refresh (logged) falls back to the
+// stale view rather than failing the read.
+func (s *Store) maybeRefreshStaleLocked() {
+	if !s.readOnly || s.cfg.MaxStale < 0 {
+		return
+	}
+	if time.Since(s.lastRefresh) <= s.cfg.MaxStale {
+		return
+	}
+	if err := s.refreshLocked(); err != nil {
+		s.cfg.Logf("resultstore: staleness refresh failed: %v", err)
+	}
 }
 
 // Len reports the number of stored results.
@@ -513,7 +569,7 @@ func (s *Store) Refresh() error {
 	if s.closed {
 		return ErrClosed
 	}
-	if !s.cfg.ReadOnly {
+	if !s.readOnly {
 		return nil
 	}
 	return s.refreshLocked()
@@ -521,6 +577,7 @@ func (s *Store) Refresh() error {
 
 // refreshLocked is Refresh with s.mu held.
 func (s *Store) refreshLocked() error {
+	s.lastRefresh = time.Now()
 	segPath := filepath.Join(s.cfg.Dir, segmentName)
 	if s.seg == nil {
 		f, err := os.Open(segPath)
@@ -562,7 +619,7 @@ func (s *Store) Compact() error {
 	switch {
 	case s.closed:
 		return ErrClosed
-	case s.cfg.ReadOnly:
+	case s.readOnly:
 		return ErrReadOnly
 	}
 	return s.compactLocked()
@@ -621,9 +678,11 @@ func (s *Store) compactLocked() error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
+	s.hook("compact.pre-rename")
 	if err := os.Rename(tmpPath, segPath); err != nil {
 		return err
 	}
+	s.hook("compact.post-rename")
 	syncDir(s.cfg.Dir)
 
 	// Swap the handle onto the new segment.
@@ -649,7 +708,7 @@ func (s *Store) Stats() Stats {
 	defer s.mu.Unlock()
 	st := Stats{
 		Dir:            s.cfg.Dir,
-		ReadOnly:       s.cfg.ReadOnly,
+		ReadOnly:       s.readOnly,
 		Entries:        len(s.index),
 		SegmentBytes:   s.scanned,
 		DeadBytes:      s.dead,
@@ -663,18 +722,110 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// ReadOnly reports whether the store was opened as a follower.
-func (s *Store) ReadOnly() bool { return s.cfg.ReadOnly }
+// ReadOnly reports whether the store is currently a follower. It starts
+// as Config.ReadOnly and flips to false on a successful Promote.
+func (s *Store) ReadOnly() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readOnly
+}
+
+// Dir reports the store directory.
+func (s *Store) Dir() string { return s.cfg.Dir }
 
 // Sync flushes the segment to stable storage. Puts already sync
 // individually unless NoSync; Sync exists for drain paths.
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed || s.cfg.ReadOnly || s.seg == nil {
+	if s.closed || s.readOnly || s.seg == nil {
 		return nil
 	}
 	return s.seg.Sync()
+}
+
+// Promote upgrades a follower into the writer: it takes the directory's
+// writer flock (failing with a LockHeldError while the old writer's lock
+// is still held — the kernel releases it the instant that process dies,
+// kill -9 included), reopens the segment read-write, reconciles the index
+// with whatever the dead writer managed to append, and cuts any torn tail
+// it left, exactly as a fresh writer Open would. On success the store
+// accepts Puts. Promoting a store that is already the writer is a no-op.
+//
+// Promote is the storage half of fleet failover; advancing the fencing
+// epoch and re-adopting claimed work are the caller's job (see
+// internal/fleet).
+func (s *Store) Promote() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.readOnly {
+		return nil
+	}
+	lock, err := acquireLock(filepath.Join(s.cfg.Dir, lockName), s.cfg.Owner)
+	if err != nil {
+		return err
+	}
+	segPath := filepath.Join(s.cfg.Dir, segmentName)
+	f, err := os.OpenFile(segPath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		releaseLock(lock)
+		return fmt.Errorf("resultstore: promote: open segment: %w", err)
+	}
+	// Rebuild the index from the file we now own: the held follower handle
+	// may point at a pre-compaction inode, and the dead writer may have
+	// appended past our last scan.
+	if s.seg != nil {
+		s.seg.Close()
+	}
+	s.seg = f
+	s.index = make(map[string]recordLoc)
+	s.scanned, s.dead, s.nextOrd = 0, 0, 0
+	if err := s.scanFrom(0); err != nil {
+		releaseLock(lock)
+		s.lock = nil
+		return err
+	}
+	size, err := s.seg.Seek(0, 2)
+	if err != nil {
+		releaseLock(lock)
+		return fmt.Errorf("resultstore: promote: seek segment: %w", err)
+	}
+	if s.scanned < size {
+		cut := size - s.scanned
+		s.cfg.Logf("resultstore: promote: dropping %d torn/corrupt trailing bytes left by the previous writer", cut)
+		if err := s.seg.Truncate(s.scanned); err != nil {
+			releaseLock(lock)
+			return fmt.Errorf("resultstore: promote: truncate segment: %w", err)
+		}
+		s.truncated += cut
+	}
+	s.lock = lock
+	s.readOnly = false
+	s.cfg.Logf("resultstore: promoted to writer on %s (%d results, %d segment bytes)", s.cfg.Dir, len(s.index), s.scanned)
+	return nil
+}
+
+// Abandon simulates the process dying without cleanup — kill -9 — for
+// chaos tests: every file handle is closed with no sync, no compaction
+// and no lock bookkeeping (closing the flock'd handle releases the lock,
+// exactly as process death would). The store is unusable afterwards; all
+// methods fail with ErrClosed. Production code has no reason to call it.
+func (s *Store) Abandon() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.seg != nil {
+		s.seg.Close()
+	}
+	if s.lock != nil {
+		s.lock.Close()
+	}
 }
 
 // Close syncs and closes the store, releasing the writer lock.
@@ -687,7 +838,7 @@ func (s *Store) Close() error {
 	s.closed = true
 	var err error
 	if s.seg != nil {
-		if !s.cfg.ReadOnly {
+		if !s.readOnly {
 			if serr := s.seg.Sync(); serr != nil {
 				err = serr
 			}
@@ -700,6 +851,13 @@ func (s *Store) Close() error {
 		releaseLock(s.lock)
 	}
 	return err
+}
+
+// hook fires the configured fault-site hook, if any.
+func (s *Store) hook(site string) {
+	if s.cfg.Hook != nil {
+		s.cfg.Hook(site)
+	}
 }
 
 // syncDir fsyncs a directory so a just-renamed file durably appears in it.

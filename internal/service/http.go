@@ -6,10 +6,13 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync"
 	"time"
 
 	"ahs/internal/config"
 	"ahs/internal/obs"
+	"ahs/internal/rng"
 	"ahs/internal/telemetry"
 )
 
@@ -40,6 +43,37 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// maxRetryAfterSeconds caps the jittered Retry-After advice on 429
+// responses.
+const maxRetryAfterSeconds = 8
+
+// retryAfterSeconds maps one uniform draw u ∈ [0,1) to full-jitter
+// Retry-After advice in whole seconds: uniformly 1..maxRetryAfterSeconds
+// rather than a constant, so a thundering herd bounced by a quota or a
+// full queue respreads instead of returning in lockstep. Pure in u for
+// the property test; the handler draws u from its jitter stream.
+func retryAfterSeconds(u float64) int {
+	s := 1 + int(u*maxRetryAfterSeconds)
+	if s < 1 {
+		s = 1
+	}
+	if s > maxRetryAfterSeconds {
+		s = maxRetryAfterSeconds
+	}
+	return s
+}
+
+// setRetryAfter stamps the jittered advice on a 429/409. Retry-After is
+// operational backoff, not an estimate, so drawing from a wall-clock
+// seeded stream does not touch result reproducibility (the simulation's
+// randomness all flows through seeded per-trajectory streams).
+func (s *server) setRetryAfter(w http.ResponseWriter) {
+	s.jitterMu.Lock()
+	u := s.jitter.Float64()
+	s.jitterMu.Unlock()
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(u)))
+}
+
 // RequestDurationBuckets is the latency layout of
 // ahs_http_request_duration_seconds: sub-millisecond to ~half a minute.
 var RequestDurationBuckets = telemetry.ExponentialBuckets(0.0005, 4, 9)
@@ -51,7 +85,7 @@ var RequestDurationBuckets = telemetry.ExponentialBuckets(0.0005, 4, 9)
 // The handler is safe for concurrent use and carries no state beyond the
 // manager.
 func NewHandler(m *Manager) http.Handler {
-	s := &server{m: m}
+	s := &server{m: m, jitter: rng.NewStream(uint64(time.Now().UnixNano()))}
 	reg := m.Registry()
 	latency := reg.HistogramVec(telemetry.Opts{
 		Name:    "ahs_http_request_duration_seconds",
@@ -73,6 +107,8 @@ func NewHandler(m *Manager) http.Handler {
 	handle("POST /v1/evaluate", s.handleEvaluate)
 	handle("GET /v1/jobs/{id}", s.handleJob)
 	handle("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	handle("GET /v1/scenarios/{hash}", s.handleScenario)
+	handle("GET /v1/scenarios/{hash}/stream", s.handleScenarioStream)
 	handle("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	handle("DELETE /v1/jobs/{id}", s.handleCancel)
 	handle("GET /v1/results/{id}", s.handleResult)
@@ -86,6 +122,10 @@ func NewHandler(m *Manager) http.Handler {
 
 type server struct {
 	m *Manager
+	// jitter feeds Retry-After advice; mutex-guarded because handlers
+	// run concurrently and rng streams are single-goroutine.
+	jitterMu sync.Mutex
+	jitter   *rng.Stream
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -102,7 +142,9 @@ func writeError(w http.ResponseWriter, code int, err error) {
 
 // handleEvaluate accepts a config.Scenario JSON body and answers 200 with
 // a done job (cache hit), 202 with a queued job, 400 on a malformed or
-// invalid scenario, 429 when the queue is full and 503 during shutdown.
+// invalid scenario, 429 (with jittered Retry-After) when the queue or the
+// tenant's quota is full, 307 when a fleet peer already claimed the
+// scenario, and 503 during shutdown.
 func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	sc, err := config.Load(http.MaxBytesReader(w, r.Body, maxScenarioBytes))
 	if err != nil {
@@ -114,10 +156,25 @@ func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	// manager's call.
 	ctx := WithTenant(r.Context(), r.Header.Get(TenantHeader))
 	view, err := s.m.SubmitCtx(ctx, sc)
+	var peer *PeerClaimedError
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantQuota):
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w)
 		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.As(err, &peer):
+		// A live peer owns this scenario. 307 preserves the method and
+		// body, so a standard client re-POSTs the identical scenario to
+		// the owner and lands on the in-flight job there. A holder that
+		// advertised no URL cannot be redirected to; advise a retry — by
+		// then the claim has either expired or produced a stored result.
+		if peer.URL == "" {
+			s.setRetryAfter(w)
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		w.Header().Set("Location", peer.URL+"/v1/evaluate")
+		writeError(w, http.StatusTemporaryRedirect, err)
 		return
 	case errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -197,6 +254,64 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusAccepted, view)
 	}
+}
+
+// scenarioResponse answers the by-hash lookups: the live job when this
+// instance is evaluating the scenario, the stored result when any fleet
+// member already finished it.
+type scenarioResponse struct {
+	ScenarioHash string   `json:"scenarioHash"`
+	Status       Status   `json:"status"`
+	Job          *JobView `json:"job,omitempty"`
+	Result       *Result  `json:"result,omitempty"`
+}
+
+// handleScenario serves GET /v1/scenarios/{hash}: the canonical-hash
+// view of a scenario, independent of which instance ran it. A live
+// local job answers with its JobView; otherwise the result tiers
+// (memory, then the shared store — where peers' results land) answer
+// with the finished Result; otherwise 404. Submitters bounced to a peer
+// by a 307 poll here to pick the result up without re-submitting.
+func (s *server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if view, ok := s.m.JobByHash(hash); ok {
+		writeJSON(w, http.StatusOK, scenarioResponse{
+			ScenarioHash: hash, Status: view.Status, Job: &view,
+		})
+		return
+	}
+	if res, ok := s.m.StoredResult(hash); ok {
+		writeJSON(w, http.StatusOK, scenarioResponse{
+			ScenarioHash: hash, Status: StatusDone, Result: res,
+		})
+		return
+	}
+	writeError(w, http.StatusNotFound,
+		fmt.Errorf("service: no job or stored result for scenario %s", hash))
+}
+
+// handleScenarioStream serves GET /v1/scenarios/{hash}/stream: the SSE
+// stream for whatever this instance knows about the scenario. A live
+// local job streams exactly like /v1/jobs/{id}/stream (Last-Event-ID
+// honored); a stored result streams as a single terminal result event;
+// otherwise 404.
+func (s *server) handleScenarioStream(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if view, ok := s.m.JobByHash(hash); ok {
+		s.streamJob(w, r, view.ID)
+		return
+	}
+	if res, ok := s.m.StoredResult(hash); ok {
+		sse, err := NewSSEWriter(w)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		_ = sse.Send("result", res)
+		return
+	}
+	writeError(w, http.StatusNotFound,
+		fmt.Errorf("service: no job or stored result for scenario %s", hash))
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {

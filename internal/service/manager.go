@@ -84,6 +84,14 @@ type Config struct {
 	// computed once is served forever — across restarts and by every
 	// instance sharing the store directory (see internal/resultstore).
 	Store ResultStore
+	// Fleet, when non-nil, coordinates this instance with peers sharing
+	// the store directory (see internal/fleet): submissions missing every
+	// result tier claim their scenario fleet-wide before evaluating, and
+	// finished results persist through the coordinator so the claim is
+	// released only once the result is durable. A scenario a live peer
+	// already claimed fails submission with *PeerClaimedError carrying
+	// the holder's URL.
+	Fleet FleetCoordinator
 	// Logf, when non-nil, receives operational log lines (store read/write
 	// failures); nil discards them.
 	Logf func(format string, args ...any)
@@ -178,6 +186,9 @@ type job struct {
 	// rendered as a Result) for the SSE stream; nil until the first
 	// accumulation round, and forever for backends without snapshots.
 	partial atomic.Pointer[Result]
+	// snaps numbers and retains recent snapshots so a dropped SSE stream
+	// can resume from its Last-Event-ID without missing events.
+	snaps snapshotLog
 
 	mu        sync.Mutex
 	status    Status
@@ -347,6 +358,17 @@ func (m *Manager) SubmitCtx(ctx context.Context, sc *config.Scenario) (JobView, 
 		m.metrics.StoreMisses.Add(1)
 		obs.AddEvent(ctx, "service.store-miss", obs.String("scenario", hash))
 	}
+	// Every local tier missed: claim the scenario fleet-wide before it
+	// occupies a queue slot. A peer-held claim fails the submission with
+	// the holder's URL so the HTTP layer can redirect.
+	if err := m.fleetClaimLocked(sc, hash); err != nil {
+		var peer *PeerClaimedError
+		if errors.As(err, &peer) {
+			obs.AddEvent(ctx, "service.peer-claimed",
+				obs.String("scenario", hash), obs.String("peer", peer.URL))
+		}
+		return JobView{}, err
+	}
 
 	j := m.newJobLocked(ctx, sc, hash)
 	j.tenant = tenant
@@ -356,6 +378,9 @@ func (m *Manager) SubmitCtx(ctx context.Context, sc *config.Scenario) (JobView, 
 		obs.AddEvent(ctx, "service.admission-rejected",
 			obs.String("tenant", tenant), obs.String("reason", err.Error()))
 		j.cancel()
+		// The claim was taken for a job that will never run; free it so a
+		// peer with queue headroom can pick the scenario up immediately.
+		m.fleetRelease(hash)
 		return JobView{}, err
 	}
 	m.metrics.QueueDepth.Add(1)
@@ -585,7 +610,10 @@ func (m *Manager) runJob(j *job) {
 	// default evaluation feeds it after every accumulation round, while
 	// backends without a snapshot source (the cluster) simply never call it
 	// and streams carry progress only.
-	ctx = withSnapshotSink(ctx, func(r *Result) { j.partial.Store(r) })
+	ctx = withSnapshotSink(ctx, func(r *Result) {
+		j.partial.Store(r)
+		j.snaps.append(r)
+	})
 
 	start := time.Now()
 	res, err := m.cfg.Eval(ctx, j.scenario, m.cfg.WorkersPerJob, progress)
@@ -595,7 +623,7 @@ func (m *Manager) runJob(j *job) {
 	switch {
 	case err == nil:
 		m.cache.Put(j.hash, res)
-		m.storePut(j.hash, res)
+		m.persistResult(j.hash, res)
 		m.metrics.EvalMillis.Add(uint64(elapsed.Milliseconds()))
 		m.metrics.BatchesSimulated.Add(res.Batches)
 		m.finishIf(j, StatusRunning, StatusDone, res, nil)
@@ -636,6 +664,13 @@ func (m *Manager) finishIf(j *job, from, to Status, res *Result, err error) {
 		m.metrics.Failed.Add(1)
 	case StatusCancelled:
 		m.metrics.Cancelled.Add(1)
+	}
+	// A job that ended without a result still holds its fleet claim
+	// (persistResult only releases on success); free it so peers can
+	// re-claim now instead of waiting out the TTL. Done jobs released
+	// inside PutResult — after the result was durable, never before.
+	if to != StatusDone {
+		m.fleetRelease(j.hash)
 	}
 
 	m.mu.Lock()

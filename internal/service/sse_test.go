@@ -14,9 +14,11 @@ import (
 	"ahs/internal/obs"
 )
 
-// sseEvent is one parsed Server-Sent Event.
+// sseEvent is one parsed Server-Sent Event; id is 0 when the event
+// carried no id line.
 type sseEvent struct {
 	name string
+	id   uint64
 	data []byte
 }
 
@@ -33,6 +35,8 @@ func readSSEEvent(r *bufio.Reader) (sseEvent, error) {
 		switch {
 		case strings.HasPrefix(line, "event: "):
 			ev.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "id: "):
+			ev.id, _ = strconv.ParseUint(strings.TrimPrefix(line, "id: "), 10, 64)
 		case strings.HasPrefix(line, "data: "):
 			ev.data = []byte(strings.TrimPrefix(line, "data: "))
 		case line == "" && ev.name != "":
